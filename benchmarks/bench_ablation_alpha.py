@@ -1,0 +1,32 @@
+"""Benchmark regenerating the α-sweep ablation (linear combinator weight)."""
+
+from __future__ import annotations
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
+
+from repro.eval.experiments.ablation_alpha import run_ablation_alpha
+
+
+def test_ablation_alpha(benchmark, save_result):
+    """Recall of linearSum as a function of the linear combinator weight α."""
+    result = run_once(
+        benchmark,
+        run_ablation_alpha,
+        scale=BENCH_SCALE,
+        seed=BENCH_SEED,
+    )
+    save_result("ablation_alpha", result.render())
+
+    for dataset in ("livejournal", "pokec"):
+        recalls = {
+            alpha: result.recall(dataset, alpha)
+            for alpha in (0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+        }
+        # Weighting only the first hop (α = 1) collapses the ranking among
+        # candidates sharing an intermediate vertex, so it must be the worst
+        # operating point on every dataset.
+        assert recalls[1.0] < min(recalls[alpha] for alpha in (0.1, 0.25, 0.5, 0.9))
+        # Every other α is a usable operating point (the paper picks 0.9; on
+        # the synthetic analogs smaller α values are at least as good — see
+        # EXPERIMENTS.md for the recorded deviation).
+        assert all(recalls[alpha] > 0.05 for alpha in (0.1, 0.25, 0.5, 0.75, 0.9))

@@ -1,0 +1,32 @@
+"""Benchmark regenerating the content-weight ablation."""
+
+from __future__ import annotations
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
+
+from repro.eval.experiments.ablation_content import run_ablation_content
+
+
+def test_ablation_content(benchmark, save_result):
+    """Recall of the hybrid topology+content similarity versus content weight."""
+    result = run_once(
+        benchmark,
+        run_ablation_content,
+        scale=BENCH_SCALE,
+        seed=BENCH_SEED,
+    )
+    save_result("ablation_content", result.render())
+
+    # With content_weight = 0 the profiles are ignored entirely, so the two
+    # regimes coincide with the purely topological predictor.
+    topo = result.recall("homophilous profiles", 0.0)
+    assert result.recall("random profiles", 0.0) == topo
+    assert topo > 0.05
+    # Structure-free content degrades recall as its weight grows; content that
+    # correlates with the graph stays competitive (and typically helps at
+    # moderate weights).
+    assert result.recall("random profiles", 1.0) < topo
+    assert result.recall("homophilous profiles", 1.0) > result.recall(
+        "random profiles", 1.0
+    )
+    assert result.recall("homophilous profiles", 0.25) > 0.9 * topo

@@ -1,0 +1,29 @@
+"""Benchmark regenerating the vertex-cut partitioning ablation."""
+
+from __future__ import annotations
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
+
+from repro.eval.experiments.ablation_partitioning import run_ablation_partitioning
+
+
+def test_ablation_partitioning(benchmark, save_result):
+    """Replication factor, traffic and simulated time per edge placement."""
+    result = run_once(
+        benchmark,
+        run_ablation_partitioning,
+        scale=BENCH_SCALE,
+        seed=BENCH_SEED,
+    )
+    save_result("ablation_partitioning", result.render())
+
+    random_row = result.row("livejournal", "random")
+    greedy_row = result.row("livejournal", "greedy")
+    hdrf_row = result.row("livejournal", "hdrf")
+    # Replication-factor ordering drives the synchronization traffic and the
+    # simulated time; the predictions themselves must not change.
+    assert hdrf_row.replication_factor < greedy_row.replication_factor
+    assert greedy_row.replication_factor < random_row.replication_factor
+    assert hdrf_row.network_mebibytes < random_row.network_mebibytes
+    assert hdrf_row.simulated_seconds < random_row.simulated_seconds
+    assert hdrf_row.recall == greedy_row.recall == random_row.recall

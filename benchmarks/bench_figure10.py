@@ -1,0 +1,25 @@
+"""Benchmark regenerating Figure 10 (recall vs removed edges per vertex)."""
+
+from __future__ import annotations
+
+from conftest import BENCH_SEED, run_once
+
+from repro.eval.experiments.figure10 import run_figure10
+
+
+def test_figure10(benchmark, save_result):
+    """Recall as 1–5 outgoing edges are removed from every eligible vertex."""
+    result = run_once(
+        benchmark,
+        run_figure10,
+        scale=0.4,
+        seed=BENCH_SEED,
+    )
+    save_result("figure10", result.render())
+
+    for dataset in ("livejournal", "pokec"):
+        for score in ("linearSum", "counter", "PPR"):
+            # Paper shape: removing more edges lowers recall.
+            assert result.recall(dataset, score, 5) < result.recall(dataset, score, 1)
+            values = [result.recall(dataset, score, removed) for removed in (1, 2, 3, 4, 5)]
+            assert all(b <= a + 0.02 for a, b in zip(values, values[1:]))

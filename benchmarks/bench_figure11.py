@@ -1,0 +1,32 @@
+"""Benchmark regenerating Figure 11 (random-walk PPR baseline sweep)."""
+
+from __future__ import annotations
+
+from conftest import BENCH_SEED, run_once
+
+from repro.eval.experiments.figure11 import run_figure11
+
+
+def test_figure11(benchmark, save_result):
+    """Recall/time of the Cassovary-style baseline for w and d sweeps."""
+    result = run_once(
+        benchmark,
+        run_figure11,
+        scale=0.3,
+        seed=BENCH_SEED,
+        walks=(10, 100, 300),
+        depths=(3, 5, 10),
+    )
+    save_result("figure11", result.render())
+
+    for dataset in ("livejournal", "twitter-rv"):
+        # Paper shape: more walks improve recall but cost more time.
+        few = result.runs[(dataset, 10, 3)]
+        many = result.runs[(dataset, 300, 3)]
+        assert many.recall >= few.recall
+        assert many.time_seconds > few.time_seconds
+        # Paper shape: increasing depth beyond 3 brings little extra recall.
+        shallow = result.runs[(dataset, 100, 3)]
+        deep = result.runs[(dataset, 100, 10)]
+        assert deep.recall <= shallow.recall + 0.05
+        assert deep.time_seconds > shallow.time_seconds

@@ -1,0 +1,38 @@
+"""Benchmark regenerating Figure 5 (scalability with graph size and cores)."""
+
+from __future__ import annotations
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
+
+from repro.eval.experiments.figure5 import run_figure5
+
+
+def test_figure5(benchmark, save_result):
+    """Execution time vs edge count for type-I/type-II clusters, klocal 40/80."""
+    result = run_once(
+        benchmark,
+        run_figure5,
+        scale=BENCH_SCALE,
+        seed=BENCH_SEED,
+        k_locals=(40, 80),
+        enforce_memory=False,
+    )
+    save_result("figure5", result.render())
+
+    for (machine, k_local), report in result.panels.items():
+        for label, points in report.as_dict().items():
+            ordered = [seconds for _edges, seconds in sorted(points)]
+            # Paper shape: time grows with the number of edges.
+            assert ordered == sorted(ordered), (machine, k_local, label)
+
+    # Paper shape: more cores are at least as fast on the largest dataset.
+    panel = result.panel("type-I", 40).as_dict()
+    largest_edges = max(x for x, _y in panel["64 cores"])
+    time_64 = dict(panel["64 cores"])[largest_edges]
+    time_256 = dict(panel["256 cores"])[largest_edges]
+    assert time_256 <= time_64
+
+    # Paper shape: doubling klocal increases execution time.
+    forty = dict(result.panel("type-I", 40).as_dict()["128 cores"])
+    eighty = dict(result.panel("type-I", 80).as_dict()["128 cores"])
+    assert eighty[largest_edges] > forty[largest_edges]

@@ -1,0 +1,33 @@
+"""Benchmark regenerating Figure 6 (degree CDFs and thrΓ sensitivity)."""
+
+from __future__ import annotations
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
+
+from repro.eval.experiments.figure6 import run_figure6
+
+
+def test_figure6(benchmark, save_result):
+    """Degree CDF coverage and relative recall improvement vs thrΓ."""
+    result = run_once(
+        benchmark,
+        run_figure6,
+        scale=BENCH_SCALE,
+        seed=BENCH_SEED,
+        k_local=80,
+    )
+    save_result("figure6", result.render())
+
+    for dataset in ("orkut", "livejournal", "twitter-rv"):
+        # Coverage is monotone in the threshold (CDF property).
+        coverages = [result.coverage[(dataset, thr)] for thr in result.thresholds]
+        assert coverages == sorted(coverages)
+        # Paper shape: recall at the largest threshold is at least the recall
+        # at the smallest one (truncating less never helps less than a lot).
+        assert result.recall[(dataset, result.thresholds[-1])] >= (
+            result.recall[(dataset, result.thresholds[0])] - 0.02
+        )
+        # Paper shape: once thrΓ covers ~80 % of vertices the improvement
+        # flattens — the last two thresholds should be within a few percent.
+        last = dict(result.improvement.series[dataset].points)
+        assert abs(last[result.thresholds[-1]] - last[result.thresholds[-2]]) <= 15.0

@@ -1,0 +1,29 @@
+"""Benchmark regenerating Figure 7 (Γmax / Γmin / Γrnd sampling policies)."""
+
+from __future__ import annotations
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
+
+from repro.eval.experiments.figure7 import run_figure7
+
+
+def test_figure7(benchmark, save_result):
+    """Recall of the three neighbor-selection policies across klocal values."""
+    result = run_once(
+        benchmark,
+        run_figure7,
+        dataset="livejournal",
+        scale=BENCH_SCALE,
+        seed=BENCH_SEED,
+    )
+    save_result("figure7", result.render())
+
+    for score in ("counter", "linearSum", "PPR"):
+        # Paper shape: Γmax beats Γmin clearly at the smallest klocal.
+        assert result.recall(score, "max", 5) > result.recall(score, "min", 5)
+        # Γmax is at least competitive with the random policy at small klocal.
+        assert result.recall(score, "max", 5) >= result.recall(score, "rnd", 5) - 0.01
+        # Paper shape: policies converge as klocal grows.
+        spread_small = abs(result.recall(score, "max", 5) - result.recall(score, "min", 5))
+        spread_large = abs(result.recall(score, "max", 80) - result.recall(score, "min", 80))
+        assert spread_large <= spread_small + 0.02

@@ -1,0 +1,30 @@
+"""Benchmark regenerating Figure 8 (recall vs time per scoring configuration)."""
+
+from __future__ import annotations
+
+from conftest import BENCH_SEED, run_once
+
+from repro.eval.experiments.figure8 import run_figure8
+
+
+def test_figure8(benchmark, save_result):
+    """Recall/time trade-off of all Table 3 scores across klocal values."""
+    result = run_once(
+        benchmark,
+        run_figure8,
+        scale=0.4,
+        seed=BENCH_SEED,
+        k_locals=(5, 20, 80),
+    )
+    save_result("figure8", result.render())
+
+    for dataset in ("livejournal", "twitter-rv"):
+        # Paper shape: the Sum aggregator family improves with klocal.
+        linear_sum = dict(result.recall_series(dataset, "linearSum"))
+        assert linear_sum[80] >= linear_sum[5] - 0.01
+        # Paper shape: the Geom family degrades (or at best stagnates) as
+        # klocal grows because low-similarity paths zero out the product.
+        linear_geom = dict(result.recall_series(dataset, "linearGeom"))
+        assert linear_geom[80] <= linear_geom[5] + 0.05
+        # Paper shape: at large klocal the Sum family beats the Geom family.
+        assert linear_sum[80] >= linear_geom[80]

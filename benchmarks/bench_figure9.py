@@ -1,0 +1,26 @@
+"""Benchmark regenerating Figure 9 (recall vs number of returned predictions k)."""
+
+from __future__ import annotations
+
+from conftest import BENCH_SEED, run_once
+
+from repro.eval.experiments.figure9 import run_figure9
+
+
+def test_figure9(benchmark, save_result):
+    """Recall as k grows from 5 to 20 on livejournal and pokec."""
+    result = run_once(
+        benchmark,
+        run_figure9,
+        scale=0.4,
+        seed=BENCH_SEED,
+    )
+    save_result("figure9", result.render())
+
+    for dataset in ("livejournal", "pokec"):
+        for score in ("linearSum", "counter", "PPR"):
+            # Paper shape: recall increases substantially with k.
+            assert result.recall(dataset, score, 20) > result.recall(dataset, score, 5)
+            # And is monotone (within noise) across the swept values.
+            values = [result.recall(dataset, score, k) for k in (5, 10, 15, 20)]
+            assert all(b >= a - 0.01 for a, b in zip(values, values[1:]))

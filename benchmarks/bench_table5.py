@@ -1,0 +1,32 @@
+"""Benchmark regenerating Table 5 (BASELINE vs SNAPLE configurations)."""
+
+from __future__ import annotations
+
+import math
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
+
+from repro.eval.experiments.table5 import run_table5
+
+
+def test_table5(benchmark, save_result):
+    """BASELINE vs SNAPLE: recall gains and speedups on three datasets."""
+    result = run_once(
+        benchmark,
+        run_table5,
+        scale=BENCH_SCALE,
+        seed=BENCH_SEED,
+        num_machines=4,
+    )
+    save_result("table5", result.render())
+
+    for dataset in ("gowalla", "pokec", "livejournal"):
+        baseline = result.baseline[dataset]
+        full = result.snaple[(dataset, "linearSum", math.inf, math.inf)]
+        sampled = result.snaple[(dataset, "linearSum", math.inf, 20)]
+        # Paper shape: SNAPLE improves recall over BASELINE on every dataset
+        # and is faster; klocal sampling gives the largest speedup.
+        assert full.recall > baseline.recall
+        assert full.time_seconds < baseline.time_seconds
+        assert sampled.time_seconds < full.time_seconds
+        assert sampled.recall > 0.8 * full.recall

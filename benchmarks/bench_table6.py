@@ -1,0 +1,41 @@
+"""Benchmark regenerating Table 6 (SNAPLE vs the single-machine baseline)."""
+
+from __future__ import annotations
+
+from conftest import BENCH_SEED, run_once
+
+from repro.eval.experiments.table6 import run_table6
+
+
+def test_table6(benchmark, save_result):
+    """SNAPLE vs random-walk PPR on one machine, plus the distributed run."""
+    result = run_once(
+        benchmark,
+        run_table6,
+        scale=0.4,
+        seed=BENCH_SEED,
+        k_local=20,
+        walks=(10, 100, 300),
+        depths=(3, 5),
+        distributed_machines=32,
+    )
+    save_result("table6", result.render())
+
+    for dataset in ("livejournal", "twitter-rv"):
+        baseline = result.cassovary[dataset]
+        snaple = result.snaple[dataset]
+        # Paper shape: on a single machine SNAPLE is clearly faster than the
+        # exhaustive random-walk sweep.  On livejournal it also matches the
+        # baseline's recall; the twitter analog (RMAT, very low clustering)
+        # favours walk-based exploration more than the real twitter-rv graph
+        # does, so only a weaker recall bound is asserted there — the
+        # deviation is recorded in EXPERIMENTS.md.
+        recall_factor = 0.8 if dataset == "livejournal" else 0.4
+        assert snaple.recall >= recall_factor * baseline.recall
+        assert result.speedup(dataset) > 1.0
+
+    # Paper shape: on the largest graph, the distributed SNAPLE deployment
+    # reaches the walk baseline's operating point many times faster (the
+    # paper's 30×-class headline is SNAPLE-on-a-cluster vs Cassovary).
+    assert result.distributed_speedup("twitter-rv") > 2.0
+    assert not result.distributed["twitter-rv"].failed

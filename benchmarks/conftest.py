@@ -1,0 +1,51 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper at a reduced but
+non-trivial dataset scale, asserts the qualitative shape the paper reports,
+and writes the rendered rows/series to ``benchmarks/results/`` so the numbers
+can be copied into EXPERIMENTS.md and compared against the paper.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Dataset scale used by the benchmark harness.  Chosen so the whole harness
+#: finishes in minutes on a laptop while keeping every dataset analog large
+#: enough for the paper's qualitative shapes to be visible.
+BENCH_SCALE = 0.5
+
+#: Seed shared by all benchmarks (dataset generation + removal protocol).
+BENCH_SEED = 42
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where rendered tables/series are written."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_result(results_dir):
+    """Callable that persists a rendered experiment to ``results/<name>.txt``."""
+
+    def _save(name: str, rendered: str) -> Path:
+        path = results_dir / f"{name}.txt"
+        path.write_text(rendered + "\n", encoding="utf-8")
+        return path
+
+    return _save
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic and expensive, so a single round is
+    both sufficient and necessary to keep the harness fast.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

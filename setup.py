@@ -1,0 +1,10 @@
+"""Setuptools shim enabling legacy editable installs on offline machines.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+that ``pip install -e .`` keeps working in environments without the ``wheel``
+package or network access (legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,129 @@
+"""Cassovary-like single-machine in-memory graph.
+
+Section 5.9 of the paper compares SNAPLE against Cassovary, Twitter's
+multithreaded in-memory graph library, running a random-walk approximation of
+personalized PageRank.  This module provides the substrate: a compact
+adjacency-array graph optimized for random walks, loaded entirely in memory,
+mirroring Cassovary's ``ArrayBasedDirectedGraph``.
+
+The walk-based predictor built on top of it lives in
+:mod:`repro.baselines.random_walk_ppr`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GraphError, VertexNotFoundError
+from repro.graph.digraph import DiGraph
+
+__all__ = ["InMemoryGraph", "WalkStats"]
+
+
+@dataclass(frozen=True)
+class WalkStats:
+    """Statistics of a batch of random walks (used by tests and reports)."""
+
+    walks: int
+    steps_taken: int
+    dead_ends: int
+
+    @property
+    def mean_length(self) -> float:
+        if self.walks == 0:
+            return 0.0
+        return self.steps_taken / self.walks
+
+
+class InMemoryGraph:
+    """Flat-array adjacency representation optimized for random walks.
+
+    The neighbor ids of all vertices are packed into a single integer array
+    indexed through an offsets array, which is exactly how Cassovary stores
+    graphs to traverse billions of edges from RAM.
+    """
+
+    __slots__ = ("_offsets", "_neighbors", "_num_vertices")
+
+    def __init__(self, graph: DiGraph) -> None:
+        self._num_vertices = graph.num_vertices
+        degrees = graph.out_degrees()
+        self._offsets = np.zeros(self._num_vertices + 1, dtype=np.int64)
+        np.cumsum(degrees, out=self._offsets[1:])
+        self._neighbors = np.empty(int(degrees.sum()), dtype=np.int64)
+        for u in graph.vertices():
+            start, end = self._offsets[u], self._offsets[u + 1]
+            self._neighbors[start:end] = graph.out_neighbors(u)
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return self._num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges."""
+        return int(self._neighbors.size)
+
+    def memory_bytes(self) -> int:
+        """Bytes used by the packed adjacency arrays."""
+        return int(self._offsets.nbytes + self._neighbors.nbytes)
+
+    def out_degree(self, u: int) -> int:
+        """Out-degree of ``u``."""
+        self._check(u)
+        return int(self._offsets[u + 1] - self._offsets[u])
+
+    def out_neighbors(self, u: int) -> np.ndarray:
+        """Out-neighbors of ``u`` as an array view."""
+        self._check(u)
+        return self._neighbors[self._offsets[u]:self._offsets[u + 1]]
+
+    def random_neighbor(self, u: int, rng: random.Random) -> int | None:
+        """Uniformly random out-neighbor of ``u`` (``None`` for sinks)."""
+        degree = self.out_degree(u)
+        if degree == 0:
+            return None
+        index = rng.randrange(degree)
+        return int(self._neighbors[self._offsets[u] + index])
+
+    def random_walk(self, start: int, depth: int, rng: random.Random) -> list[int]:
+        """One random walk of at most ``depth`` steps from ``start``.
+
+        Returns the list of visited vertices excluding ``start``; the walk
+        stops early when it reaches a sink vertex.
+        """
+        if depth < 0:
+            raise GraphError("depth must be non-negative")
+        visited: list[int] = []
+        current = start
+        for _ in range(depth):
+            nxt = self.random_neighbor(current, rng)
+            if nxt is None:
+                break
+            visited.append(nxt)
+            current = nxt
+        return visited
+
+    def run_walks(self, start: int, num_walks: int, depth: int,
+                  rng: random.Random) -> tuple[dict[int, int], WalkStats]:
+        """Run ``num_walks`` walks from ``start`` and count vertex visits."""
+        visits: dict[int, int] = {}
+        steps = 0
+        dead_ends = 0
+        for _ in range(num_walks):
+            walk = self.random_walk(start, depth, rng)
+            steps += len(walk)
+            if len(walk) < depth:
+                dead_ends += 1
+            for vertex in walk:
+                visits[vertex] = visits.get(vertex, 0) + 1
+        return visits, WalkStats(walks=num_walks, steps_taken=steps,
+                                 dead_ends=dead_ends)
+
+    def _check(self, u: int) -> None:
+        if not 0 <= u < self._num_vertices:
+            raise VertexNotFoundError(u, self._num_vertices)

@@ -1,0 +1,29 @@
+"""Evaluation harness: protocol, metrics, runner, reports, experiments."""
+
+from repro.eval.metrics import (
+    QualityReport,
+    evaluate_predictions,
+    mean_average_precision,
+    precision,
+    recall,
+)
+from repro.eval.protocol import EdgeRemovalSplit, holdout_split, remove_random_edges
+from repro.eval.report import FigureReport, Series, TextTable, format_number
+from repro.eval.runner import ExperimentRun, ExperimentRunner
+
+__all__ = [
+    "EdgeRemovalSplit",
+    "remove_random_edges",
+    "holdout_split",
+    "QualityReport",
+    "recall",
+    "precision",
+    "mean_average_precision",
+    "evaluate_predictions",
+    "ExperimentRun",
+    "ExperimentRunner",
+    "TextTable",
+    "Series",
+    "FigureReport",
+    "format_number",
+]

@@ -1,0 +1,146 @@
+"""Ablation: GAS versus BSP/Pregel execution of the same SNAPLE configuration.
+
+Section 7 of the paper lists porting SNAPLE to BSP engines (Giraph, Bagel) as
+future work.  This ablation runs the identical SNAPLE configuration through
+three execution paths on the same cluster and graph:
+
+* the simulated GAS engine with PowerGraph's random vertex-cut,
+* the simulated GAS engine with the oblivious greedy vertex-cut,
+* the simulated BSP/Pregel engine (hash edge-cut, explicit messages),
+
+and reports network traffic, simulated time and recall for each.  The shape
+to check: all three produce the same recall (the algorithm is unchanged), the
+greedy vertex-cut GAS run ships the fewest bytes, and the BSP port's traffic
+sits in the same order of magnitude as random-vertex-cut GAS — i.e. the GAS
+formulation's advantage materializes through the partitioner, not for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.eval.metrics import evaluate_predictions
+from repro.eval.report import TextTable
+from repro.eval.runner import ExperimentRunner
+from repro.gas.cluster import TYPE_I, cluster_of
+from repro.gas.partition import GreedyVertexCut
+from repro.snaple.bsp_program import SnapleBspPredictor
+from repro.snaple.config import SnapleConfig
+from repro.snaple.predictor import SnapleLinkPredictor
+
+__all__ = ["EngineRow", "AblationEnginesResult", "run_ablation_engines"]
+
+
+@dataclass
+class EngineRow:
+    """Measurements for one (dataset, execution path) pair."""
+
+    dataset: str
+    engine: str
+    network_mebibytes: float
+    simulated_seconds: float
+    recall: float
+    supersteps: int
+
+
+@dataclass
+class AblationEnginesResult:
+    """All rows of the engine ablation."""
+
+    rows: list[EngineRow] = field(default_factory=list)
+    num_machines: int = 8
+
+    def row(self, dataset: str, engine: str) -> EngineRow:
+        """The row for one (dataset, engine) pair."""
+        for row in self.rows:
+            if row.dataset == dataset and row.engine == engine:
+                return row
+        raise KeyError((dataset, engine))
+
+    def render(self) -> str:
+        table = TextTable(
+            title=(
+                "Ablation — GAS vs BSP execution of SNAPLE "
+                f"({self.num_machines} type-I machines)"
+            ),
+            columns=[
+                "dataset", "engine", "network MiB", "sim time (s)",
+                "recall", "steps",
+            ],
+        )
+        for row in self.rows:
+            table.add_row([
+                row.dataset,
+                row.engine,
+                f"{row.network_mebibytes:.2f}",
+                f"{row.simulated_seconds:.3f}",
+                f"{row.recall:.3f}",
+                row.supersteps,
+            ])
+        return table.render()
+
+
+def run_ablation_engines(
+    *,
+    scale: float = 1.0,
+    seed: int = 42,
+    datasets: tuple[str, ...] = ("livejournal",),
+    num_machines: int = 8,
+    k_local: float = 20,
+) -> AblationEnginesResult:
+    """Run the same SNAPLE configuration on the GAS and BSP substrates."""
+    runner = ExperimentRunner(scale=scale, seed=seed)
+    cluster = cluster_of(TYPE_I, num_machines)
+    result = AblationEnginesResult(num_machines=num_machines)
+    for dataset in datasets:
+        split = runner.split(dataset)
+        config = SnapleConfig.paper_default("linearSum", k_local=k_local, seed=seed)
+
+        gas_random = SnapleLinkPredictor(config).predict_gas(
+            split.train_graph, cluster=cluster, enforce_memory=False
+        )
+        gas_greedy = SnapleLinkPredictor(config).predict_gas(
+            split.train_graph,
+            cluster=cluster,
+            partitioner=GreedyVertexCut(),
+            enforce_memory=False,
+        )
+        bsp = SnapleBspPredictor(config).predict(
+            split.train_graph, cluster=cluster, enforce_memory=False
+        )
+
+        for name, predictions, metrics, simulated, steps in (
+            (
+                "GAS (random cut)",
+                gas_random.predictions,
+                gas_random.gas_result.metrics,
+                gas_random.simulated_seconds,
+                len(gas_random.gas_result.metrics.steps),
+            ),
+            (
+                "GAS (greedy cut)",
+                gas_greedy.predictions,
+                gas_greedy.gas_result.metrics,
+                gas_greedy.simulated_seconds,
+                len(gas_greedy.gas_result.metrics.steps),
+            ),
+            (
+                "BSP (hash cut)",
+                bsp.predictions,
+                bsp.bsp_result.metrics,
+                bsp.simulated_seconds,
+                bsp.bsp_result.supersteps,
+            ),
+        ):
+            quality = evaluate_predictions(predictions, split)
+            result.rows.append(
+                EngineRow(
+                    dataset=dataset,
+                    engine=name,
+                    network_mebibytes=metrics.total_network_bytes / 1024**2,
+                    simulated_seconds=simulated or 0.0,
+                    recall=quality.recall,
+                    supersteps=steps,
+                )
+            )
+    return result

@@ -1,0 +1,69 @@
+"""Figure 10: recall as a function of the number of removed edges per vertex.
+
+For livejournal and pokec, klocal = 80, the paper removes 1–5 outgoing edges
+per eligible vertex before predicting.  Removing more edges destroys more of
+the 2-hop paths SNAPLE relies on, so recall decreases roughly proportionally
+with the number of removed edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.eval.report import FigureReport
+from repro.eval.runner import ExperimentRunner
+from repro.snaple.config import SnapleConfig
+from repro.snaple.scoring import SUM_FAMILY
+
+__all__ = ["Figure10Result", "run_figure10", "FIGURE10_REMOVALS", "FIGURE10_DATASETS"]
+
+FIGURE10_REMOVALS: tuple[int, ...] = (1, 2, 3, 4, 5)
+FIGURE10_DATASETS: tuple[str, ...] = ("livejournal", "pokec")
+
+
+@dataclass
+class Figure10Result:
+    """One recall-vs-removed-edges panel per dataset."""
+
+    panels: dict[str, FigureReport] = field(default_factory=dict)
+
+    def recall(self, dataset: str, score: str, removed: int) -> float:
+        """Recall at one (dataset, score, removed-edges) point."""
+        for x, y in self.panels[dataset].series[score].points:
+            if int(x) == removed:
+                return y
+        raise KeyError(f"no point for removed={removed}")
+
+    def render(self) -> str:
+        return "\n\n".join(panel.render() for panel in self.panels.values())
+
+
+def run_figure10(
+    *,
+    scale: float = 1.0,
+    seed: int = 42,
+    datasets: tuple[str, ...] = FIGURE10_DATASETS,
+    removals: tuple[int, ...] = FIGURE10_REMOVALS,
+    scores: tuple[str, ...] = SUM_FAMILY,
+    k_local: int = 80,
+) -> Figure10Result:
+    """Regenerate Figure 10 (recall vs removed edges per vertex)."""
+    runner = ExperimentRunner(scale=scale, seed=seed)
+    result = Figure10Result()
+    for dataset in datasets:
+        report = FigureReport(
+            title=f"Figure 10 — recall vs removed edges on {dataset} (klocal={k_local})",
+            x_label="removed edges per vertex",
+            y_label="recall",
+        )
+        result.panels[dataset] = report
+        for score in scores:
+            for removed in removals:
+                config = SnapleConfig.paper_default(
+                    score, k_local=k_local, seed=seed
+                )
+                run = runner.run_snaple_local(
+                    dataset, config, removed_edges_per_vertex=removed
+                )
+                report.add_point(score, removed, run.recall)
+    return result

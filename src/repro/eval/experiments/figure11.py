@@ -1,0 +1,77 @@
+"""Figure 11: the Cassovary-style random-walk PPR baseline.
+
+For livejournal and twitter-rv the paper sweeps the number of walks
+w ∈ {10, 100, 1000} and the walk depth d ∈ {3, 4, 5, 10} for the
+single-machine random-walk PPR predictor and plots recall against computing
+time.  The shapes to reproduce: increasing depth beyond 3 barely improves
+recall, while increasing the number of walks improves recall at a steep time
+cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.random_walk_ppr import RandomWalkConfig
+from repro.eval.report import FigureReport
+from repro.eval.runner import ExperimentRun, ExperimentRunner
+
+__all__ = ["Figure11Result", "run_figure11", "FIGURE11_WALKS", "FIGURE11_DEPTHS"]
+
+FIGURE11_WALKS: tuple[int, ...] = (10, 100, 1000)
+FIGURE11_DEPTHS: tuple[int, ...] = (3, 4, 5, 10)
+FIGURE11_DATASETS: tuple[str, ...] = ("livejournal", "twitter-rv")
+
+
+@dataclass
+class Figure11Result:
+    """One recall-vs-time panel per dataset plus all raw runs."""
+
+    panels: dict[str, FigureReport] = field(default_factory=dict)
+    runs: dict[tuple[str, int, int], ExperimentRun] = field(default_factory=dict)
+
+    def best_run(self, dataset: str) -> ExperimentRun:
+        """The run with the highest recall (ties: shortest time) for a dataset.
+
+        This is the operating point the paper compares SNAPLE against in
+        Table 6 ("best recall in the shortest time").
+        """
+        candidates = [
+            run for (ds, _w, _d), run in self.runs.items() if ds == dataset
+        ]
+        if not candidates:
+            raise KeyError(f"no runs recorded for dataset {dataset!r}")
+        return max(candidates, key=lambda run: (run.recall, -run.time_seconds))
+
+    def render(self) -> str:
+        return "\n\n".join(panel.render() for panel in self.panels.values())
+
+
+def run_figure11(
+    *,
+    scale: float = 1.0,
+    seed: int = 42,
+    datasets: tuple[str, ...] = FIGURE11_DATASETS,
+    walks: tuple[int, ...] = FIGURE11_WALKS,
+    depths: tuple[int, ...] = FIGURE11_DEPTHS,
+    k: int = 5,
+) -> Figure11Result:
+    """Regenerate Figure 11 (random-walk PPR recall vs time sweep)."""
+    runner = ExperimentRunner(scale=scale, seed=seed)
+    result = Figure11Result()
+    for dataset in datasets:
+        report = FigureReport(
+            title=f"Figure 11 — random-walk PPR on {dataset}",
+            x_label="seconds",
+            y_label="recall",
+        )
+        result.panels[dataset] = report
+        for depth in depths:
+            for num_walks in walks:
+                config = RandomWalkConfig(
+                    num_walks=num_walks, depth=depth, k=k, seed=seed
+                )
+                run = runner.run_random_walk(dataset, config)
+                result.runs[(dataset, num_walks, depth)] = run
+                report.add_point(f"PPR d={depth}", run.time_seconds, run.recall)
+    return result

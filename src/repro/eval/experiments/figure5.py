@@ -1,0 +1,112 @@
+"""Figure 5: execution time versus graph size (scalability).
+
+The paper plots SNAPLE's execution time (linearSum) against the edge count of
+livejournal, orkut and twitter-rv for klocal ∈ {40, 80} on type-I clusters
+(64/128/256 cores) and type-II clusters (80/160 cores).  The shapes to
+reproduce: time grows roughly linearly with edge count, more cores are
+faster, doubling klocal increases time by roughly 70 %, and under-provisioned
+configurations do not fit into memory (missing points in the paper's plots).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ResourceExhaustedError
+from repro.eval.report import FigureReport
+from repro.eval.runner import ExperimentRunner
+from repro.gas.cluster import MachineSpec, TYPE_I, TYPE_II, cluster_of
+from repro.snaple.config import SnapleConfig
+
+__all__ = ["Figure5Result", "run_figure5", "FIGURE5_DATASETS"]
+
+#: Datasets swept, in increasing edge count (as in the paper's x axis).
+FIGURE5_DATASETS: tuple[str, ...] = ("livejournal", "orkut", "twitter-rv")
+
+#: Core counts per machine type, matching Figures 5a–5d.
+TYPE_I_CORES: tuple[int, ...] = (64, 128, 256)
+TYPE_II_CORES: tuple[int, ...] = (80, 160)
+
+
+@dataclass
+class Figure5Result:
+    """One :class:`FigureReport` per (machine type, klocal) panel."""
+
+    panels: dict[tuple[str, int], FigureReport] = field(default_factory=dict)
+    #: Configurations that did not fit into the simulated memory
+    #: (dataset, machine type, cores, klocal), mirroring missing points.
+    out_of_memory: list[tuple[str, str, int, int]] = field(default_factory=list)
+
+    def panel(self, machine_type: str, k_local: int) -> FigureReport:
+        """The report for one panel (e.g. ``('type-I', 40)``)."""
+        return self.panels[(machine_type, k_local)]
+
+    def render(self) -> str:
+        """Render all panels plus the OOM list."""
+        parts = [report.render() for report in self.panels.values()]
+        if self.out_of_memory:
+            lines = ["Configurations exceeding simulated memory (missing points):"]
+            for dataset, machine, cores, k_local in self.out_of_memory:
+                lines.append(f"  {dataset} on {cores} {machine} cores, klocal={k_local}")
+            parts.append("\n".join(lines))
+        return "\n\n".join(parts)
+
+
+def _cores_to_machines(machine: MachineSpec, cores: int) -> int:
+    return max(1, cores // machine.cores)
+
+
+def run_figure5(
+    *,
+    scale: float = 1.0,
+    seed: int = 42,
+    k_locals: tuple[int, ...] = (40, 80),
+    datasets: tuple[str, ...] = FIGURE5_DATASETS,
+    memory_scale: float = 2.0e-6,
+    enforce_memory: bool = True,
+) -> Figure5Result:
+    """Regenerate the four panels of Figure 5.
+
+    ``memory_scale`` shrinks the simulated per-machine memory so that, like
+    in the paper, the largest dataset with the larger klocal does not fit on
+    the smallest type-I cluster.
+    """
+    runner = ExperimentRunner(scale=scale, seed=seed)
+    result = Figure5Result()
+    machine_sweeps: list[tuple[MachineSpec, tuple[int, ...]]] = [
+        (TYPE_I, TYPE_I_CORES),
+        (TYPE_II, TYPE_II_CORES),
+    ]
+    for k_local in k_locals:
+        for machine, core_counts in machine_sweeps:
+            report = FigureReport(
+                title=f"Figure 5 — klocal={k_local}, {machine.name} nodes",
+                x_label="edges in the graph",
+                y_label="simulated seconds",
+            )
+            result.panels[(machine.name, k_local)] = report
+            for cores in core_counts:
+                cluster = cluster_of(
+                    machine,
+                    _cores_to_machines(machine, cores),
+                    memory_scale=memory_scale,
+                )
+                for dataset in datasets:
+                    config = SnapleConfig.paper_default(
+                        "linearSum", k_local=k_local, seed=seed
+                    )
+                    edges = runner.split(dataset).train_graph.num_edges
+                    try:
+                        run = runner.run_snaple_gas(
+                            dataset, config, cluster,
+                            enforce_memory=enforce_memory,
+                        )
+                    except ResourceExhaustedError:
+                        run = None
+                    if run is None or run.failed:
+                        result.out_of_memory.append(
+                            (dataset, machine.name, cores, k_local)
+                        )
+                        continue
+                    report.add_point(f"{cores} cores", edges, run.time_seconds)
+    return result

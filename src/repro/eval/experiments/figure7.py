@@ -1,0 +1,73 @@
+"""Figure 7: impact of the neighbor-selection policy (Γmax / Γmin / Γrnd).
+
+For the livejournal dataset and three scores (counter, linearSum, PPR), the
+paper sweeps klocal ∈ {5, 10, 20, 40, 80} and compares three sampling
+policies.  The shapes to reproduce: Γmax dominates the other two policies at
+small klocal (the paper reports roughly 2× Γmin and +50 % over Γrnd at
+klocal = 5) and the three policies converge as klocal grows large enough to
+cover most neighborhoods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.eval.report import FigureReport
+from repro.eval.runner import ExperimentRunner
+from repro.snaple.config import SnapleConfig
+
+__all__ = ["Figure7Result", "run_figure7", "FIGURE7_SCORES", "FIGURE7_KLOCALS"]
+
+FIGURE7_SCORES: tuple[str, ...] = ("counter", "linearSum", "PPR")
+FIGURE7_KLOCALS: tuple[int, ...] = (5, 10, 20, 40, 80)
+FIGURE7_POLICIES: tuple[str, ...] = ("max", "min", "rnd")
+
+
+@dataclass
+class Figure7Result:
+    """One panel per score; each panel has one recall-vs-klocal series per policy."""
+
+    panels: dict[str, FigureReport] = field(default_factory=dict)
+
+    def recall(self, score: str, policy: str, k_local: int) -> float:
+        """Recall for one (score, policy, klocal) point."""
+        series = self.panels[score].series[f"Γ{policy}"]
+        for x, y in series.points:
+            if int(x) == k_local:
+                return y
+        raise KeyError(f"no point for klocal={k_local}")
+
+    def render(self) -> str:
+        return "\n\n".join(panel.render() for panel in self.panels.values())
+
+
+def run_figure7(
+    *,
+    dataset: str = "livejournal",
+    scale: float = 1.0,
+    seed: int = 42,
+    scores: tuple[str, ...] = FIGURE7_SCORES,
+    k_locals: tuple[int, ...] = FIGURE7_KLOCALS,
+    policies: tuple[str, ...] = FIGURE7_POLICIES,
+) -> Figure7Result:
+    """Regenerate Figure 7 (sampling policy comparison on livejournal)."""
+    runner = ExperimentRunner(scale=scale, seed=seed)
+    result = Figure7Result()
+    for score in scores:
+        report = FigureReport(
+            title=f"Figure 7 — {score} on {dataset}",
+            x_label="klocal",
+            y_label="recall",
+        )
+        result.panels[score] = report
+        for policy in policies:
+            for k_local in k_locals:
+                config = SnapleConfig.paper_default(
+                    score,
+                    k_local=k_local,
+                    sampler_name=policy,
+                    seed=seed,
+                )
+                run = runner.run_snaple_local(dataset, config)
+                report.add_point(f"Γ{policy}", k_local, run.recall)
+    return result

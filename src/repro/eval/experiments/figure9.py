@@ -1,0 +1,66 @@
+"""Figure 9: recall as a function of the number of returned predictions k.
+
+For livejournal and pokec, klocal = 80, the paper sweeps k ∈ {5, 10, 15, 20}
+for the Sum-family scores and observes recall increasing substantially with
+k (more answers, more chances to include the removed edge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.eval.report import FigureReport
+from repro.eval.runner import ExperimentRunner
+from repro.snaple.config import SnapleConfig
+from repro.snaple.scoring import SUM_FAMILY
+
+__all__ = ["Figure9Result", "run_figure9", "FIGURE9_KS", "FIGURE9_DATASETS"]
+
+FIGURE9_KS: tuple[int, ...] = (5, 10, 15, 20)
+FIGURE9_DATASETS: tuple[str, ...] = ("livejournal", "pokec")
+
+
+@dataclass
+class Figure9Result:
+    """One recall-vs-k panel per dataset."""
+
+    panels: dict[str, FigureReport] = field(default_factory=dict)
+
+    def recall(self, dataset: str, score: str, k: int) -> float:
+        """Recall at one (dataset, score, k) point."""
+        for x, y in self.panels[dataset].series[score].points:
+            if int(x) == k:
+                return y
+        raise KeyError(f"no point for k={k}")
+
+    def render(self) -> str:
+        return "\n\n".join(panel.render() for panel in self.panels.values())
+
+
+def run_figure9(
+    *,
+    scale: float = 1.0,
+    seed: int = 42,
+    datasets: tuple[str, ...] = FIGURE9_DATASETS,
+    ks: tuple[int, ...] = FIGURE9_KS,
+    scores: tuple[str, ...] = SUM_FAMILY,
+    k_local: int = 80,
+) -> Figure9Result:
+    """Regenerate Figure 9 (recall vs number of recommended links k)."""
+    runner = ExperimentRunner(scale=scale, seed=seed)
+    result = Figure9Result()
+    for dataset in datasets:
+        report = FigureReport(
+            title=f"Figure 9 — recall vs k on {dataset} (klocal={k_local})",
+            x_label="k",
+            y_label="recall",
+        )
+        result.panels[dataset] = report
+        for score in scores:
+            for k in ks:
+                config = SnapleConfig.paper_default(
+                    score, k=k, k_local=k_local, seed=seed
+                )
+                run = runner.run_snaple_local(dataset, config)
+                report.add_point(score, k, run.recall)
+    return result

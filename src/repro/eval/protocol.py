@@ -1,0 +1,109 @@
+"""Evaluation protocol: edge removal and train/test split (Section 5.2).
+
+Following the paper (which follows Sarkar & Moore), the protocol randomly
+removes ``r`` outgoing edges from every vertex whose out-degree exceeds a
+minimum (3 in the paper for ``r = 1``); the removed edges are the ground
+truth the predictor must recover.  If a vertex has fewer edges than the
+number to remove, all but one are removed (Section 5.8).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import EvaluationError
+from repro.graph.digraph import DiGraph
+
+__all__ = ["EdgeRemovalSplit", "remove_random_edges", "holdout_split"]
+
+
+@dataclass(frozen=True)
+class EdgeRemovalSplit:
+    """A train graph plus the held-out (removed) edges used as ground truth."""
+
+    train_graph: DiGraph
+    removed_edges: frozenset[tuple[int, int]]
+    removed_per_vertex: int
+    min_degree: int
+    seed: int
+
+    @property
+    def num_removed(self) -> int:
+        """Total number of held-out edges."""
+        return len(self.removed_edges)
+
+    def removed_targets(self, vertex: int) -> set[int]:
+        """Held-out targets of ``vertex``."""
+        return {t for (s, t) in self.removed_edges if s == vertex}
+
+    def affected_vertices(self) -> set[int]:
+        """Vertices that lost at least one edge."""
+        return {s for (s, _t) in self.removed_edges}
+
+
+def remove_random_edges(
+    graph: DiGraph,
+    *,
+    edges_per_vertex: int = 1,
+    min_degree: int = 3,
+    seed: int = 0,
+) -> EdgeRemovalSplit:
+    """Remove ``edges_per_vertex`` random outgoing edges from eligible vertices.
+
+    A vertex is eligible when its out-degree is strictly greater than
+    ``min_degree`` (the paper removes one edge from each vertex with
+    ``|Γ(u)| > 3``).  When more removals are requested than a vertex can
+    afford, all its edges but one are removed, matching Section 5.8.
+    """
+    if edges_per_vertex < 1:
+        raise EvaluationError("edges_per_vertex must be >= 1")
+    if min_degree < 0:
+        raise EvaluationError("min_degree must be non-negative")
+    rng = random.Random(seed)
+    removed: set[tuple[int, int]] = set()
+    for u in graph.vertices():
+        neighbors = graph.out_neighbors(u).tolist()
+        if len(neighbors) <= min_degree:
+            continue
+        removable = min(edges_per_vertex, len(neighbors) - 1)
+        if removable <= 0:
+            continue
+        targets = rng.sample(neighbors, removable)
+        removed.update((u, t) for t in targets)
+    train = graph.remove_edges(removed)
+    return EdgeRemovalSplit(
+        train_graph=train,
+        removed_edges=frozenset(removed),
+        removed_per_vertex=edges_per_vertex,
+        min_degree=min_degree,
+        seed=seed,
+    )
+
+
+def holdout_split(
+    graph: DiGraph,
+    *,
+    fraction: float = 0.1,
+    seed: int = 0,
+) -> EdgeRemovalSplit:
+    """Remove a uniform fraction of all edges (alternative protocol).
+
+    Not used by the paper's headline experiments but handy for comparing
+    against the classic link-prediction setting where a global fraction of
+    edges is hidden.
+    """
+    if not 0.0 < fraction < 1.0:
+        raise EvaluationError("fraction must be in (0, 1)")
+    rng = random.Random(seed)
+    edges = list(graph.edges())
+    num_removed = max(1, int(len(edges) * fraction))
+    removed = set(rng.sample(edges, num_removed)) if edges else set()
+    train = graph.remove_edges(removed)
+    return EdgeRemovalSplit(
+        train_graph=train,
+        removed_edges=frozenset(removed),
+        removed_per_vertex=0,
+        min_degree=0,
+        seed=seed,
+    )

@@ -1,0 +1,112 @@
+"""Plain-text rendering of experiment results (tables and series).
+
+The benchmark harness prints the same rows/series the paper reports: Table 5
+and Table 6 become aligned text tables, the figures become ``(x, y)`` series
+grouped by curve label.  Keeping rendering in one module lets the benchmarks,
+the CLI and EXPERIMENTS.md share the exact same output.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+__all__ = ["TextTable", "Series", "FigureReport", "format_number"]
+
+
+def format_number(value: float, *, digits: int = 3) -> str:
+    """Format a number compactly: integers plain, floats with ``digits`` places."""
+    if value != value:  # NaN
+        return "-"
+    if value in (float("inf"), float("-inf")):
+        return "inf" if value > 0 else "-inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.{digits}f}"
+
+
+@dataclass
+class TextTable:
+    """Aligned plain-text table with a title (used for Tables 5 and 6)."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[Sequence[str]] = field(default_factory=list)
+
+    def add_row(self, values: Iterable[object]) -> None:
+        """Append one row; values are stringified with :func:`format_number`."""
+        rendered = [
+            value if isinstance(value, str) else format_number(float(value))
+            for value in values
+        ]
+        self.rows.append(rendered)
+
+    def render(self) -> str:
+        """Render the table with aligned columns."""
+        header = [str(c) for c in self.columns]
+        widths = [len(h) for h in header]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [self.title, ""]
+        lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+        lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+
+@dataclass
+class Series:
+    """One labelled curve of a figure: ``(x, y)`` points in x order."""
+
+    label: str
+    points: list[tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        """Append one data point."""
+        self.points.append((float(x), float(y)))
+
+    def xs(self) -> list[float]:
+        return [x for x, _ in self.points]
+
+    def ys(self) -> list[float]:
+        return [y for _, y in self.points]
+
+    def render(self) -> str:
+        """Render as ``label: (x, y) (x, y) ...``."""
+        formatted = " ".join(
+            f"({format_number(x)}, {format_number(y)})" for x, y in self.points
+        )
+        return f"{self.label}: {formatted}"
+
+
+@dataclass
+class FigureReport:
+    """A figure reproduction: a set of labelled series plus axis names."""
+
+    title: str
+    x_label: str
+    y_label: str
+    series: dict[str, Series] = field(default_factory=dict)
+
+    def series_for(self, label: str) -> Series:
+        """Get (or create) the series with the given label."""
+        if label not in self.series:
+            self.series[label] = Series(label=label)
+        return self.series[label]
+
+    def add_point(self, label: str, x: float, y: float) -> None:
+        """Append a point to the labelled series."""
+        self.series_for(label).add(x, y)
+
+    def render(self) -> str:
+        """Render the whole figure as text."""
+        lines = [self.title, f"x: {self.x_label}   y: {self.y_label}", ""]
+        for label in sorted(self.series):
+            lines.append("  " + self.series[label].render())
+        return "\n".join(lines)
+
+    def as_dict(self) -> Mapping[str, list[tuple[float, float]]]:
+        """Mapping from series label to its points (used by tests)."""
+        return {label: list(series.points) for label, series in self.series.items()}

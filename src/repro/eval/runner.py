@@ -1,0 +1,232 @@
+"""Experiment runner: one place that executes predictor + protocol + metrics.
+
+Every table/figure experiment in :mod:`repro.eval.experiments` is ultimately a
+set of :class:`ExperimentRun` records produced by this runner: load (or reuse)
+a dataset analog, split it with the edge-removal protocol, run a predictor
+(SNAPLE local, SNAPLE on the simulated GAS cluster, the naive BASELINE, or
+the random-walk PPR baseline), and measure recall plus timing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.baselines.gas_baseline import GasBaselinePredictor
+from repro.baselines.random_walk_ppr import RandomWalkConfig, RandomWalkPPRPredictor
+from repro.errors import ResourceExhaustedError
+from repro.eval.metrics import QualityReport, evaluate_predictions
+from repro.eval.protocol import EdgeRemovalSplit, remove_random_edges
+from repro.gas.cluster import TYPE_II, ClusterConfig
+from repro.graph.datasets import load_dataset
+from repro.graph.digraph import DiGraph
+from repro.snaple.config import SnapleConfig
+from repro.snaple.predictor import SnapleLinkPredictor
+
+__all__ = ["ExperimentRun", "ExperimentRunner"]
+
+
+@dataclass
+class ExperimentRun:
+    """One (dataset, predictor configuration) measurement."""
+
+    dataset: str
+    predictor: str
+    quality: QualityReport | None
+    wall_clock_seconds: float
+    simulated_seconds: float | None = None
+    failed: bool = False
+    failure_reason: str = ""
+    extra: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def recall(self) -> float:
+        """Recall of the run (0.0 when the run failed)."""
+        if self.quality is None:
+            return 0.0
+        return self.quality.recall
+
+    @property
+    def time_seconds(self) -> float:
+        """Simulated cluster time when available, wall clock otherwise."""
+        if self.simulated_seconds is not None:
+            return self.simulated_seconds
+        return self.wall_clock_seconds
+
+
+class ExperimentRunner:
+    """Shared machinery for all table/figure experiments.
+
+    Parameters
+    ----------
+    scale:
+        Dataset scale multiplier passed to :func:`repro.graph.datasets.load_dataset`.
+    seed:
+        Seed shared by the dataset generator and the removal protocol.
+    removed_edges_per_vertex, min_degree:
+        Protocol parameters (paper defaults: 1 edge removed from vertices with
+        out-degree greater than 3).
+    """
+
+    def __init__(self, *, scale: float = 1.0, seed: int = 42,
+                 removed_edges_per_vertex: int = 1, min_degree: int = 3) -> None:
+        self._scale = scale
+        self._seed = seed
+        self._removed_edges_per_vertex = removed_edges_per_vertex
+        self._min_degree = min_degree
+        self._splits: dict[tuple[str, int], EdgeRemovalSplit] = {}
+
+    @property
+    def scale(self) -> float:
+        return self._scale
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    # ------------------------------------------------------------------
+    # Dataset / split management
+    # ------------------------------------------------------------------
+    def dataset(self, name: str) -> DiGraph:
+        """The synthetic analog of dataset ``name`` at this runner's scale."""
+        return load_dataset(name, scale=self._scale, seed=self._seed)
+
+    def split(self, dataset_name: str,
+              *, removed_edges_per_vertex: int | None = None) -> EdgeRemovalSplit:
+        """The edge-removal split for ``dataset_name`` (cached per removal count)."""
+        removed = (self._removed_edges_per_vertex
+                   if removed_edges_per_vertex is None
+                   else removed_edges_per_vertex)
+        key = (dataset_name, removed)
+        if key not in self._splits:
+            graph = self.dataset(dataset_name)
+            self._splits[key] = remove_random_edges(
+                graph,
+                edges_per_vertex=removed,
+                min_degree=self._min_degree,
+                seed=self._seed,
+            )
+        return self._splits[key]
+
+    # ------------------------------------------------------------------
+    # Predictor runs
+    # ------------------------------------------------------------------
+    def run_snaple_local(self, dataset_name: str, config: SnapleConfig,
+                         *, removed_edges_per_vertex: int | None = None) -> ExperimentRun:
+        """SNAPLE in local (single-process) mode; recall-focused experiments."""
+        split = self.split(dataset_name,
+                           removed_edges_per_vertex=removed_edges_per_vertex)
+        predictor = SnapleLinkPredictor(config)
+        result = predictor.predict_local(split.train_graph)
+        quality = evaluate_predictions(result.predictions, split)
+        return ExperimentRun(
+            dataset=dataset_name,
+            predictor=config.describe(),
+            quality=quality,
+            wall_clock_seconds=result.wall_clock_seconds,
+        )
+
+    def run_snaple_gas(self, dataset_name: str, config: SnapleConfig,
+                       cluster: ClusterConfig,
+                       *, enforce_memory: bool = True) -> ExperimentRun:
+        """SNAPLE on the simulated distributed GAS engine."""
+        split = self.split(dataset_name)
+        predictor = SnapleLinkPredictor(config)
+        try:
+            result = predictor.predict_gas(
+                split.train_graph, cluster=cluster, enforce_memory=enforce_memory
+            )
+        except ResourceExhaustedError as exc:
+            return ExperimentRun(
+                dataset=dataset_name,
+                predictor=f"SNAPLE {config.describe()} on {cluster.name}",
+                quality=None,
+                wall_clock_seconds=0.0,
+                failed=True,
+                failure_reason=str(exc),
+            )
+        quality = evaluate_predictions(result.predictions, split)
+        run = ExperimentRun(
+            dataset=dataset_name,
+            predictor=f"SNAPLE {config.describe()} on {cluster.name}",
+            quality=quality,
+            wall_clock_seconds=result.wall_clock_seconds,
+            simulated_seconds=result.simulated_seconds,
+        )
+        if result.gas_result is not None:
+            metrics = result.gas_result.metrics
+            run.extra["network_bytes"] = float(metrics.total_network_bytes)
+            run.extra["peak_memory_bytes"] = float(metrics.peak_machine_memory_bytes)
+        return run
+
+    def run_baseline_gas(self, dataset_name: str, cluster: ClusterConfig,
+                         *, k: int = 5,
+                         enforce_memory: bool = True) -> ExperimentRun:
+        """The naive 2-hop Jaccard BASELINE on the simulated GAS engine."""
+        split = self.split(dataset_name)
+        predictor = GasBaselinePredictor(k=k)
+        try:
+            result = predictor.predict_gas(
+                split.train_graph, cluster=cluster, enforce_memory=enforce_memory
+            )
+        except ResourceExhaustedError as exc:
+            return ExperimentRun(
+                dataset=dataset_name,
+                predictor=f"BASELINE on {cluster.name}",
+                quality=None,
+                wall_clock_seconds=0.0,
+                failed=True,
+                failure_reason=str(exc),
+            )
+        quality = evaluate_predictions(result.predictions, split)
+        run = ExperimentRun(
+            dataset=dataset_name,
+            predictor=f"BASELINE on {cluster.name}",
+            quality=quality,
+            wall_clock_seconds=result.wall_clock_seconds,
+            simulated_seconds=result.simulated_seconds,
+        )
+        metrics = result.gas_result.metrics
+        run.extra["network_bytes"] = float(metrics.total_network_bytes)
+        run.extra["peak_memory_bytes"] = float(metrics.peak_machine_memory_bytes)
+        return run
+
+    def run_random_walk(self, dataset_name: str,
+                        config: RandomWalkConfig) -> ExperimentRun:
+        """The Cassovary-style random-walk PPR baseline.
+
+        The simulated time charges one work unit per walk step on a single
+        type-II machine, using the same (scaled) per-core throughput as the
+        GAS cost model.  This keeps the Figure 11 / Table 6 time axis in the
+        same simulated currency as the SNAPLE runs instead of mixing Python
+        wall-clock with simulated cluster seconds.
+        """
+        split = self.split(dataset_name)
+        predictor = RandomWalkPPRPredictor(config)
+        result = predictor.predict(split.train_graph)
+        quality = evaluate_predictions(result.predictions, split)
+        single_machine_throughput = TYPE_II.cores * TYPE_II.core_ops_per_second
+        simulated = result.total_walk_steps / single_machine_throughput
+        return ExperimentRun(
+            dataset=dataset_name,
+            predictor=config.describe(),
+            quality=quality,
+            wall_clock_seconds=result.wall_clock_seconds,
+            simulated_seconds=simulated,
+            extra={"walk_steps": float(result.total_walk_steps)},
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def speedup(reference: ExperimentRun, candidate: ExperimentRun) -> float:
+        """``reference.time / candidate.time`` (∞ when the candidate is instant)."""
+        if candidate.time_seconds <= 0:
+            return math.inf
+        return reference.time_seconds / candidate.time_seconds
+
+    @staticmethod
+    def recall_gain(reference: ExperimentRun, candidate: ExperimentRun) -> float:
+        """``candidate.recall / reference.recall`` (∞ for a zero-recall reference)."""
+        if reference.recall <= 0:
+            return math.inf
+        return candidate.recall / reference.recall

@@ -1,0 +1,92 @@
+"""Analytical cost model converting GAS accounting into simulated times.
+
+The paper's timing results come from a physical 32-node cluster.  This
+reproduction executes the same vertex programs locally and *simulates* the
+cluster time of every super-step from first principles:
+
+``step_time = max_over_machines(compute_time) + max_over_machines(network_time)
+              + barrier_latency``
+
+* compute time: work units performed by a machine divided by its aggregate
+  core throughput (cores × ops/s) — this yields the paper's near-linear
+  scaling with edges and with the number of cores;
+* network time: bytes a machine must send/receive (remote gathers plus
+  replica synchronization after apply) divided by its NIC bandwidth — this is
+  the term that penalizes the naive BASELINE which ships whole neighborhoods;
+* barrier latency: a fixed per-step cost modelling the synchronous engine's
+  barrier, which prevents perfect scaling for tiny graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gas.cluster import ClusterConfig
+from repro.gas.metrics import RunMetrics, StepMetrics
+
+__all__ = ["CostBreakdown", "CostModel"]
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Simulated time of one super-step split by resource."""
+
+    step_name: str
+    compute_seconds: float
+    network_seconds: float
+    barrier_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.compute_seconds + self.network_seconds + self.barrier_seconds
+
+
+class CostModel:
+    """Turns :class:`StepMetrics` into simulated execution times."""
+
+    def __init__(self, cluster: ClusterConfig) -> None:
+        self._cluster = cluster
+
+    @property
+    def cluster(self) -> ClusterConfig:
+        return self._cluster
+
+    def step_cost(self, step: StepMetrics) -> CostBreakdown:
+        """Simulated time of a single super-step."""
+        machine = self._cluster.machine
+        per_machine_throughput = machine.cores * machine.core_ops_per_second
+        compute_seconds = 0.0
+        if step.compute_units_per_machine:
+            compute_seconds = max(step.compute_units_per_machine) / per_machine_throughput
+        network_seconds = 0.0
+        if self._cluster.is_distributed:
+            per_machine_bytes = [
+                gather + sync
+                for gather, sync in zip(step.network_bytes_per_machine,
+                                        step.sync_bytes_per_machine)
+            ]
+            if per_machine_bytes:
+                network_seconds = max(per_machine_bytes) / machine.network_bytes_per_second
+        return CostBreakdown(
+            step_name=step.name,
+            compute_seconds=compute_seconds,
+            network_seconds=network_seconds,
+            barrier_seconds=machine.barrier_latency_seconds,
+        )
+
+    def run_cost(self, metrics: RunMetrics) -> float:
+        """Total simulated seconds for a full program run."""
+        return sum(self.step_cost(step).total_seconds for step in metrics.steps)
+
+    def breakdown(self, metrics: RunMetrics) -> list[CostBreakdown]:
+        """Per-step cost breakdown for a full run."""
+        return [self.step_cost(step) for step in metrics.steps]
+
+    def speedup_against(self, metrics: RunMetrics, other: "CostModel",
+                        other_metrics: RunMetrics) -> float:
+        """Speedup of this cluster/run versus another cluster/run."""
+        mine = self.run_cost(metrics)
+        theirs = other.run_cost(other_metrics)
+        if mine <= 0:
+            return float("inf")
+        return theirs / mine

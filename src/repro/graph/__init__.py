@@ -1,0 +1,18 @@
+"""Graph substrate: compact directed graphs, generators, datasets, and stats."""
+
+from repro.graph.attributes import VertexProfiles, generate_profiles
+from repro.graph.builder import GraphBuilder
+from repro.graph.digraph import DiGraph, GraphSummary
+from repro.graph.io import load_graph, read_edge_list, save_graph, write_edge_list
+
+__all__ = [
+    "DiGraph",
+    "GraphSummary",
+    "GraphBuilder",
+    "read_edge_list",
+    "write_edge_list",
+    "load_graph",
+    "save_graph",
+    "VertexProfiles",
+    "generate_profiles",
+]

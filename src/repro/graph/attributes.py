@@ -1,0 +1,193 @@
+"""Vertex content: per-vertex profiles (tag sets) attached to a graph.
+
+The paper's scoring framework is purely topological, but Section 3.1 notes
+that the raw similarity of equation (6) "can be extended to content-based
+metrics by simply including data attached to vertices" — user profiles, tags,
+or documents.  This module provides that vertex data layer: a
+:class:`VertexProfiles` container mapping every vertex to a set of tag ids,
+profile-level similarities, and a generator that synthesizes profiles whose
+tag overlap is correlated with graph adjacency (homophily), which is the
+property that makes content useful for link prediction in the first place.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+
+__all__ = [
+    "VertexProfiles",
+    "generate_profiles",
+    "profile_jaccard",
+    "profile_cosine",
+    "profile_overlap",
+]
+
+
+@dataclass(frozen=True)
+class VertexProfiles:
+    """Immutable per-vertex tag sets (the "content" attached to vertices).
+
+    Parameters
+    ----------
+    tags:
+        Tuple with one frozenset of tag ids per vertex, indexed by vertex id.
+    num_tags:
+        Size of the tag vocabulary (tag ids lie in ``[0, num_tags)``).
+    """
+
+    tags: tuple[frozenset[int], ...]
+    num_tags: int
+
+    def __post_init__(self) -> None:
+        if self.num_tags < 0:
+            raise GraphError("num_tags must be non-negative")
+        for vertex, profile in enumerate(self.tags):
+            for tag in profile:
+                if not 0 <= tag < self.num_tags:
+                    raise GraphError(
+                        f"vertex {vertex} has tag {tag} outside [0, {self.num_tags})"
+                    )
+
+    @classmethod
+    def from_mapping(cls, profiles: Mapping[int, Iterable[int]],
+                     *, num_vertices: int,
+                     num_tags: int | None = None) -> "VertexProfiles":
+        """Build profiles from a ``{vertex: tags}`` mapping (missing = empty)."""
+        tags = tuple(
+            frozenset(profiles.get(vertex, ())) for vertex in range(num_vertices)
+        )
+        if num_tags is None:
+            num_tags = 1 + max((t for profile in tags for t in profile), default=-1)
+        return cls(tags=tags, num_tags=num_tags)
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices the profiles cover."""
+        return len(self.tags)
+
+    def of(self, vertex: int) -> frozenset[int]:
+        """Tag set of ``vertex``."""
+        if not 0 <= vertex < len(self.tags):
+            raise GraphError(
+                f"vertex {vertex} is out of range for profiles covering "
+                f"{len(self.tags)} vertices"
+            )
+        return self.tags[vertex]
+
+    def mean_profile_size(self) -> float:
+        """Average number of tags per vertex."""
+        if not self.tags:
+            return 0.0
+        return sum(len(profile) for profile in self.tags) / len(self.tags)
+
+    def tag_usage(self) -> dict[int, int]:
+        """Number of vertices carrying each tag."""
+        usage: dict[int, int] = {}
+        for profile in self.tags:
+            for tag in profile:
+                usage[tag] = usage.get(tag, 0) + 1
+        return usage
+
+    def homophily(self, graph: DiGraph) -> float:
+        """Mean profile Jaccard across edges minus across random pairs.
+
+        A positive value means adjacent vertices share more tags than random
+        pairs do — the property content-aware scoring exploits.  Random pairs
+        are drawn deterministically from a fixed seed so the measure is
+        reproducible.
+        """
+        if graph.num_edges == 0 or self.num_vertices < 2:
+            return 0.0
+        edge_total = 0.0
+        for u, v in graph.edges():
+            edge_total += profile_jaccard(self.of(u), self.of(v))
+        edge_mean = edge_total / graph.num_edges
+        rng = random.Random(12345)
+        samples = min(graph.num_edges, 2000)
+        random_total = 0.0
+        for _ in range(samples):
+            u = rng.randrange(self.num_vertices)
+            v = rng.randrange(self.num_vertices)
+            random_total += profile_jaccard(self.of(u), self.of(v))
+        return edge_mean - random_total / samples
+
+
+def profile_jaccard(profile_u: frozenset[int], profile_v: frozenset[int]) -> float:
+    """Jaccard coefficient between two tag sets."""
+    if not profile_u and not profile_v:
+        return 0.0
+    union = len(profile_u | profile_v)
+    if union == 0:
+        return 0.0
+    return len(profile_u & profile_v) / union
+
+
+def profile_cosine(profile_u: frozenset[int], profile_v: frozenset[int]) -> float:
+    """Cosine similarity between tag indicator vectors."""
+    if not profile_u or not profile_v:
+        return 0.0
+    return len(profile_u & profile_v) / math.sqrt(len(profile_u) * len(profile_v))
+
+
+def profile_overlap(profile_u: frozenset[int], profile_v: frozenset[int]) -> float:
+    """Overlap coefficient between two tag sets."""
+    smaller = min(len(profile_u), len(profile_v))
+    if smaller == 0:
+        return 0.0
+    return len(profile_u & profile_v) / smaller
+
+
+def generate_profiles(
+    graph: DiGraph,
+    *,
+    num_tags: int = 50,
+    tags_per_vertex: int = 5,
+    homophily: float = 0.7,
+    seed: int = 0,
+) -> VertexProfiles:
+    """Synthesize tag profiles correlated with the graph's structure.
+
+    Vertices are processed in id order; each of their ``tags_per_vertex``
+    tags is, with probability ``homophily``, copied from a neighbor that
+    already has a profile (out- or in-neighbor), and drawn uniformly from the
+    vocabulary otherwise.  ``homophily = 0`` produces structure-free random
+    profiles; values close to 1 make adjacent vertices share most tags.
+
+    The construction mirrors how content correlates with structure in real
+    social graphs (interests spread along edges), which is what makes the
+    content-aware scoring extension improve recall.
+    """
+    if num_tags < 1:
+        raise GraphError("num_tags must be >= 1")
+    if tags_per_vertex < 0:
+        raise GraphError("tags_per_vertex must be non-negative")
+    if not 0.0 <= homophily <= 1.0:
+        raise GraphError("homophily must be in [0, 1]")
+    rng = random.Random(seed)
+    assigned: list[set[int]] = [set() for _ in range(graph.num_vertices)]
+    for u in range(graph.num_vertices):
+        neighbor_tags: list[int] = []
+        for v in graph.out_neighbors(u).tolist():
+            if v < u:
+                neighbor_tags.extend(assigned[v])
+        for v in graph.in_neighbors(u).tolist():
+            if v < u:
+                neighbor_tags.extend(assigned[v])
+        profile = assigned[u]
+        attempts = 0
+        while len(profile) < min(tags_per_vertex, num_tags) and attempts < 10 * tags_per_vertex:
+            attempts += 1
+            if neighbor_tags and rng.random() < homophily:
+                profile.add(rng.choice(neighbor_tags))
+            else:
+                profile.add(rng.randrange(num_tags))
+    return VertexProfiles(
+        tags=tuple(frozenset(profile) for profile in assigned),
+        num_tags=num_tags,
+    )

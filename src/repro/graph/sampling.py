@@ -1,0 +1,99 @@
+"""Neighborhood truncation utilities.
+
+Step 1 of SNAPLE's GAS program (Algorithm 2) collects a *truncated* sample of
+each vertex's neighborhood, ``Γ̂(u)``, bounded by the truncation threshold
+``thrΓ``.  The paper implements this with a per-neighbor Bernoulli test
+(``rand() > thrΓ/|Γ(u)|`` drops the neighbor) because a GAS gather sees one
+neighbor at a time.  We provide that probabilistic variant plus an exact
+reservoir-sampling variant for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Sequence
+
+from repro.errors import GraphError
+
+__all__ = [
+    "bernoulli_truncate",
+    "reservoir_sample",
+    "truncate_neighborhood",
+    "expected_truncated_size",
+]
+
+
+def bernoulli_truncate(
+    neighbors: Sequence[int],
+    threshold: int | float,
+    *,
+    rng: random.Random,
+) -> list[int]:
+    """Probabilistic truncation mirroring Algorithm 2, step 1.
+
+    Every neighbor is kept independently with probability
+    ``min(1, threshold / |Γ(u)|)``, which approximates a uniform sample of
+    size ``threshold`` without requiring the full neighborhood to be
+    materialized in one place (the constraint imposed by the GAS gather).
+    """
+    _check_threshold(threshold)
+    degree = len(neighbors)
+    if degree == 0:
+        return []
+    if math.isinf(threshold) or degree <= threshold:
+        return list(neighbors)
+    keep_probability = threshold / degree
+    return [v for v in neighbors if rng.random() <= keep_probability]
+
+
+def reservoir_sample(
+    neighbors: Sequence[int],
+    threshold: int | float,
+    *,
+    rng: random.Random,
+) -> list[int]:
+    """Exact uniform sample of at most ``threshold`` neighbors (reservoir)."""
+    _check_threshold(threshold)
+    if math.isinf(threshold) or len(neighbors) <= threshold:
+        return list(neighbors)
+    size = int(threshold)
+    reservoir = list(neighbors[:size])
+    for index in range(size, len(neighbors)):
+        slot = rng.randint(0, index)
+        if slot < size:
+            reservoir[slot] = neighbors[index]
+    return reservoir
+
+
+def truncate_neighborhood(
+    neighbors: Sequence[int],
+    threshold: int | float,
+    *,
+    rng: random.Random,
+    exact: bool = False,
+) -> list[int]:
+    """Truncate a neighborhood to ``Γ̂(u)``.
+
+    With ``exact=False`` (default) this uses the paper's Bernoulli
+    approximation; with ``exact=True`` it uses reservoir sampling, which
+    guarantees ``len(result) <= threshold``.
+    """
+    if exact:
+        return reservoir_sample(neighbors, threshold, rng=rng)
+    return bernoulli_truncate(neighbors, threshold, rng=rng)
+
+
+def expected_truncated_size(degree: int, threshold: int | float) -> float:
+    """Expected size of the Bernoulli-truncated neighborhood."""
+    _check_threshold(threshold)
+    if degree <= 0:
+        return 0.0
+    if math.isinf(threshold) or degree <= threshold:
+        return float(degree)
+    return float(threshold)
+
+
+def _check_threshold(threshold: int | float) -> None:
+    if not math.isinf(threshold) and threshold < 0:
+        raise GraphError("truncation threshold must be non-negative or infinity")

@@ -1,0 +1,142 @@
+"""Path aggregators (``⊕``, Table 2 of the paper).
+
+Multiple 2-hop paths may connect a source ``u`` to the same candidate ``z``
+(through different intermediate vertices).  An aggregator reduces the
+path-similarities of all those paths to the final ``score(u, z)``.  Following
+the paper, an aggregator decomposes into:
+
+* ``pre(a, b)`` — a commutative, associative binary reduction applied
+  incrementally (this is what the GAS ``sum`` can evaluate), and
+* ``post(sigma, n)`` — a normalization applied once, given the reduced value
+  and the number of paths.
+
+The three aggregators evaluated in the paper are Sum, arithmetic Mean, and
+geometric Mean.  Max is provided as an additional option mentioned in the
+text ("selecting the largest similarity").
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterable
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Aggregator",
+    "SumAggregator",
+    "MeanAggregator",
+    "GeometricMeanAggregator",
+    "MaxAggregator",
+    "AGGREGATORS",
+    "get_aggregator",
+]
+
+
+class Aggregator(ABC):
+    """Reduces the path-similarities reaching one candidate to a final score."""
+
+    #: Registry name (capitalized as in the paper: Sum / Mean / Geom).
+    name: str = "aggregator"
+
+    @abstractmethod
+    def pre(self, left: float, right: float) -> float:
+        """Commutative, associative pairwise reduction (``⊕pre``)."""
+
+    @abstractmethod
+    def post(self, accumulated: float, count: int) -> float:
+        """Final normalization from the reduced value and path count (``⊕post``)."""
+
+    def identity(self) -> float:
+        """Neutral element of :meth:`pre` used to seed incremental reductions."""
+        return 0.0
+
+    def aggregate(self, values: Iterable[float]) -> float:
+        """Convenience full reduction ``⊕_{x ∈ values} x``."""
+        count = 0
+        accumulated = self.identity()
+        for value in values:
+            accumulated = value if count == 0 else self.pre(accumulated, value)
+            count += 1
+        if count == 0:
+            return 0.0
+        return self.post(accumulated, count)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SumAggregator(Aggregator):
+    """Plain sum: rewards candidates reachable through many paths."""
+
+    name = "Sum"
+
+    def pre(self, left: float, right: float) -> float:
+        return left + right
+
+    def post(self, accumulated: float, count: int) -> float:
+        return accumulated
+
+
+class MeanAggregator(Aggregator):
+    """Arithmetic mean: averages out path multiplicity."""
+
+    name = "Mean"
+
+    def pre(self, left: float, right: float) -> float:
+        return left + right
+
+    def post(self, accumulated: float, count: int) -> float:
+        if count == 0:
+            return 0.0
+        return accumulated / count
+
+
+class GeometricMeanAggregator(Aggregator):
+    """Geometric mean: heavily penalizes any zero-similarity path."""
+
+    name = "Geom"
+
+    def pre(self, left: float, right: float) -> float:
+        return left * right
+
+    def post(self, accumulated: float, count: int) -> float:
+        if count == 0:
+            return 0.0
+        if accumulated <= 0.0:
+            return 0.0
+        return accumulated ** (1.0 / count)
+
+    def identity(self) -> float:
+        return 1.0
+
+
+class MaxAggregator(Aggregator):
+    """Keeps only the best path (mentioned but not evaluated in the paper)."""
+
+    name = "Max"
+
+    def pre(self, left: float, right: float) -> float:
+        return max(left, right)
+
+    def post(self, accumulated: float, count: int) -> float:
+        return accumulated
+
+
+#: Registry of aggregators by name.
+AGGREGATORS: dict[str, Aggregator] = {
+    "Sum": SumAggregator(),
+    "Mean": MeanAggregator(),
+    "Geom": GeometricMeanAggregator(),
+    "Max": MaxAggregator(),
+}
+
+
+def get_aggregator(name: str) -> Aggregator:
+    """Look up an aggregator by name (case-sensitive, as in the paper)."""
+    try:
+        return AGGREGATORS[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown aggregator {name!r}; available: {', '.join(sorted(AGGREGATORS))}"
+        ) from exc

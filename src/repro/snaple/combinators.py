@@ -1,0 +1,153 @@
+"""Path combinators (``⊗``, Table 1 of the paper).
+
+A combinator merges the two raw similarities along a 2-hop path
+``u → v → z`` into a single *path-similarity*:
+
+``sim*_v(u, z) = sim(u, v) ⊗ sim(v, z)``
+
+The paper requires ``⊗`` to be monotonically increasing in both arguments and
+evaluates five instances: a linear combination (weight ``α``), the Euclidean
+norm, the geometric mean, a plain sum, and a degenerate counter that maps
+every path to 1.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Combinator",
+    "LinearCombinator",
+    "EuclideanCombinator",
+    "GeometricCombinator",
+    "SumCombinator",
+    "CountCombinator",
+    "COMBINATORS",
+    "get_combinator",
+]
+
+
+class Combinator(ABC):
+    """Binary operator combining the raw similarities along a 2-hop path."""
+
+    #: Registry name.
+    name: str = "combinator"
+
+    @abstractmethod
+    def combine(self, sim_uv: float, sim_vz: float) -> float:
+        """Return the path-similarity ``sim(u,v) ⊗ sim(v,z)``."""
+
+    def __call__(self, sim_uv: float, sim_vz: float) -> float:
+        return self.combine(sim_uv, sim_vz)
+
+    def fold(self, similarities: list[float]) -> float:
+        """Combine raw similarities along a path of arbitrary length.
+
+        The paper restricts itself to 2-hop paths but notes the combinator
+        can be folded along longer paths; this helper implements that fold.
+        """
+        if not similarities:
+            return 0.0
+        result = similarities[0]
+        for value in similarities[1:]:
+            result = self.combine(result, value)
+        return result
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+@dataclass(frozen=True, repr=False)
+class LinearCombinator(Combinator):
+    """``α·a + (1-α)·b`` — the *linear* row of Table 1.
+
+    The paper uses ``α = 0.9`` (Section 5.2), weighting the first hop
+    ``sim(u, v)`` much more than the second.
+    """
+
+    alpha: float = 0.9
+    name: str = "linear"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ConfigurationError("alpha must be in [0, 1]")
+
+    def combine(self, sim_uv: float, sim_vz: float) -> float:
+        return self.alpha * sim_uv + (1.0 - self.alpha) * sim_vz
+
+    def __repr__(self) -> str:
+        return f"LinearCombinator(alpha={self.alpha})"
+
+
+class EuclideanCombinator(Combinator):
+    """``sqrt(a² + b²)`` — the *eucl* row of Table 1."""
+
+    name = "eucl"
+
+    def combine(self, sim_uv: float, sim_vz: float) -> float:
+        return math.sqrt(sim_uv * sim_uv + sim_vz * sim_vz)
+
+
+class GeometricCombinator(Combinator):
+    """``sqrt(a·b)`` — the *geom* row of Table 1.
+
+    Returns 0 whenever either hop has zero similarity, which is what makes
+    the geomGeom score so sensitive to dissimilar intermediate vertices.
+    """
+
+    name = "geom"
+
+    def combine(self, sim_uv: float, sim_vz: float) -> float:
+        product = sim_uv * sim_vz
+        if product <= 0.0:
+            return 0.0
+        return math.sqrt(product)
+
+
+class SumCombinator(Combinator):
+    """``a + b`` — the *sum* row of Table 1 (used by the PPR score)."""
+
+    name = "sum"
+
+    def combine(self, sim_uv: float, sim_vz: float) -> float:
+        return sim_uv + sim_vz
+
+
+class CountCombinator(Combinator):
+    """Degenerate combinator mapping every path to 1 (the *counter* score)."""
+
+    name = "count"
+
+    def combine(self, sim_uv: float, sim_vz: float) -> float:
+        return 1.0
+
+
+#: Registry of default-constructed combinators by name.
+COMBINATORS: dict[str, Combinator] = {
+    "linear": LinearCombinator(),
+    "eucl": EuclideanCombinator(),
+    "geom": GeometricCombinator(),
+    "sum": SumCombinator(),
+    "count": CountCombinator(),
+}
+
+
+def get_combinator(name: str, *, alpha: float | None = None) -> Combinator:
+    """Look up a combinator by name.
+
+    ``alpha`` customizes the linear combinator's weight; it is rejected for
+    other combinators to catch configuration mistakes early.
+    """
+    if name not in COMBINATORS:
+        raise ConfigurationError(
+            f"unknown combinator {name!r}; available: {', '.join(sorted(COMBINATORS))}"
+        )
+    if alpha is not None:
+        if name != "linear":
+            raise ConfigurationError("alpha is only valid for the linear combinator")
+        return LinearCombinator(alpha=alpha)
+    return COMBINATORS[name]

@@ -1,0 +1,95 @@
+"""Predictor configuration (the knobs of Algorithm 2)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigurationError
+from repro.snaple.sampler import NeighborSampler, get_sampler
+from repro.snaple.scoring import ScoreConfig, score_config
+
+__all__ = ["SnapleConfig"]
+
+
+@dataclass(frozen=True)
+class SnapleConfig:
+    """Full configuration for a SNAPLE link-prediction run.
+
+    Parameters mirror the paper's notation:
+
+    * ``k`` — number of predictions returned per vertex (paper default 5);
+    * ``score`` — a scoring configuration from Table 3 (default linearSum);
+    * ``truncation_threshold`` — ``thrΓ``, the neighborhood truncation bound
+      (paper default 200; ``inf`` disables truncation);
+    * ``k_local`` — the per-vertex neighbor sampling budget (``inf`` disables
+      sampling);
+    * ``sampler`` — the ``Γmax`` / ``Γmin`` / ``Γrnd`` selection policy;
+    * ``exact_truncation`` — use exact reservoir sampling for ``Γ̂`` instead
+      of the paper's Bernoulli approximation;
+    * ``seed`` — randomness seed for truncation and the ``Γrnd`` policy.
+    """
+
+    k: int = 5
+    score: ScoreConfig = field(default_factory=lambda: score_config("linearSum"))
+    truncation_threshold: float = 200.0
+    k_local: float = math.inf
+    sampler: NeighborSampler = field(default_factory=lambda: get_sampler("max"))
+    exact_truncation: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ConfigurationError("k must be >= 1")
+        if not math.isinf(self.truncation_threshold) and self.truncation_threshold < 1:
+            raise ConfigurationError("truncation_threshold must be >= 1 or infinity")
+        if not math.isinf(self.k_local) and self.k_local < 1:
+            raise ConfigurationError("k_local must be >= 1 or infinity")
+
+    # Convenience constructors -----------------------------------------
+    @classmethod
+    def paper_default(cls, score_name: str = "linearSum", *,
+                      k: int = 5, k_local: float = 80,
+                      truncation_threshold: float = 200,
+                      sampler_name: str = "max",
+                      alpha: float = 0.9,
+                      seed: int = 0) -> "SnapleConfig":
+        """Configuration matching the defaults used throughout Section 5."""
+        return cls(
+            k=k,
+            score=score_config(score_name,
+                               alpha=alpha if score_name.startswith("linear") else None),
+            truncation_threshold=truncation_threshold,
+            k_local=k_local,
+            sampler=get_sampler(sampler_name),
+            seed=seed,
+        )
+
+    def with_score(self, score_name: str, *, alpha: float | None = None) -> "SnapleConfig":
+        """Copy with a different scoring configuration."""
+        return replace(self, score=score_config(score_name, alpha=alpha))
+
+    def with_k_local(self, k_local: float) -> "SnapleConfig":
+        """Copy with a different sampling budget."""
+        return replace(self, k_local=k_local)
+
+    def with_truncation(self, truncation_threshold: float) -> "SnapleConfig":
+        """Copy with a different truncation threshold ``thrΓ``."""
+        return replace(self, truncation_threshold=truncation_threshold)
+
+    def with_sampler(self, sampler_name: str) -> "SnapleConfig":
+        """Copy with a different neighbor-selection policy."""
+        return replace(self, sampler=get_sampler(sampler_name))
+
+    def with_k(self, k: int) -> "SnapleConfig":
+        """Copy with a different number of returned predictions."""
+        return replace(self, k=k)
+
+    def describe(self) -> str:
+        """One-line description used in experiment reports."""
+        thr = "inf" if math.isinf(self.truncation_threshold) else int(self.truncation_threshold)
+        klo = "inf" if math.isinf(self.k_local) else int(self.k_local)
+        return (
+            f"{self.score.name} (k={self.k}, thrΓ={thr}, klocal={klo}, "
+            f"Γ{self.sampler.name})"
+        )

@@ -1,0 +1,220 @@
+"""High-level SNAPLE link-prediction API.
+
+Two execution modes are offered:
+
+* :meth:`SnapleLinkPredictor.predict_gas` — runs Algorithm 2 through the
+  simulated distributed GAS engine, returning predictions plus the engine's
+  accounting (simulated cluster time, traffic, memory).  This is the mode the
+  paper's performance evaluation is about.
+* :meth:`SnapleLinkPredictor.predict_local` — an equivalent single-process
+  implementation without GAS book-keeping.  It produces the same predictions
+  (given the same seed) and is used for fast recall-focused experiments and
+  as a cross-check oracle in the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.gas.cluster import ClusterConfig, TYPE_II, cluster_of
+from repro.gas.engine import GasEngine, GasRunResult
+from repro.gas.partition import Partitioner
+from repro.graph.digraph import DiGraph
+from repro.graph.sampling import truncate_neighborhood
+from repro.snaple.config import SnapleConfig
+from repro.snaple.program import build_snaple_steps, top_k_predictions
+
+__all__ = ["PredictionResult", "SnapleLinkPredictor"]
+
+
+@dataclass
+class PredictionResult:
+    """Predictions for every vertex plus execution accounting."""
+
+    predictions: dict[int, list[int]]
+    scores: dict[int, dict[int, float]]
+    config: SnapleConfig
+    wall_clock_seconds: float
+    simulated_seconds: float | None = None
+    gas_result: GasRunResult | None = field(default=None, repr=False)
+
+    def predicted_edges(self) -> set[tuple[int, int]]:
+        """All predicted edges as ``(source, predicted target)`` pairs."""
+        return {
+            (u, z) for u, targets in self.predictions.items() for z in targets
+        }
+
+    def top_prediction(self, vertex: int) -> int | None:
+        """Best-scored prediction for ``vertex`` (``None`` when empty)."""
+        targets = self.predictions.get(vertex, [])
+        return targets[0] if targets else None
+
+
+class SnapleLinkPredictor:
+    """Link prediction with the SNAPLE scoring framework.
+
+    Parameters
+    ----------
+    config:
+        The :class:`~repro.snaple.config.SnapleConfig` controlling the scoring
+        configuration, ``thrΓ``, ``klocal``, the sampling policy, and ``k``.
+    """
+
+    def __init__(self, config: SnapleConfig | None = None) -> None:
+        self._config = config if config is not None else SnapleConfig()
+
+    @property
+    def config(self) -> SnapleConfig:
+        return self._config
+
+    # ------------------------------------------------------------------
+    # GAS (distributed simulation) execution
+    # ------------------------------------------------------------------
+    def predict_gas(
+        self,
+        graph: DiGraph,
+        *,
+        cluster: ClusterConfig | None = None,
+        partitioner: Partitioner | None = None,
+        enforce_memory: bool = True,
+        vertices: list[int] | None = None,
+    ) -> PredictionResult:
+        """Run Algorithm 2 on the simulated GAS engine.
+
+        Raises :class:`~repro.errors.ResourceExhaustedError` when the chosen
+        cluster cannot hold the program's vertex data (only relevant for the
+        naive baseline or deliberately tiny clusters).
+        """
+        if cluster is None:
+            cluster = cluster_of(TYPE_II, 1)
+        engine = GasEngine(
+            graph=graph,
+            cluster=cluster,
+            partitioner=partitioner,
+            enforce_memory=enforce_memory,
+            seed=self._config.seed,
+        )
+        steps = build_snaple_steps(self._config, graph)
+        recommendation_step = steps[-1]
+        start = time.perf_counter()
+        run = engine.run(steps, vertices=vertices)
+        wall = time.perf_counter() - start
+        predictions: dict[int, list[int]] = {}
+        scores: dict[int, dict[int, float]] = {}
+        for u in (vertices if vertices is not None else graph.vertices()):
+            data = run.data_of(u)
+            predictions[u] = list(data.get("predicted", []))
+            scores[u] = dict(recommendation_step.collected_scores.get(u, {}))
+        return PredictionResult(
+            predictions=predictions,
+            scores=scores,
+            config=self._config,
+            wall_clock_seconds=wall,
+            simulated_seconds=run.simulated_seconds,
+            gas_result=run,
+        )
+
+    # ------------------------------------------------------------------
+    # Local (single-process) execution
+    # ------------------------------------------------------------------
+    def predict_local(
+        self,
+        graph: DiGraph,
+        *,
+        vertices: list[int] | None = None,
+    ) -> PredictionResult:
+        """Run SNAPLE scoring without the GAS engine book-keeping.
+
+        Semantically equivalent to :meth:`predict_gas`; used for recall
+        experiments where only prediction quality matters.
+        """
+        config = self._config
+        start = time.perf_counter()
+        rng_truncate = random.Random(config.seed)
+        rng_sample = random.Random(config.seed + 1)
+        target_vertices = list(graph.vertices()) if vertices is None else list(vertices)
+
+        # Step 1: truncated neighborhoods for every vertex (targets need the
+        # neighborhoods of their neighbors too, so compute them globally).
+        gamma: list[list[int]] = []
+        for u in graph.vertices():
+            neighbors = graph.out_neighbors(u).tolist()
+            if (
+                not math.isinf(config.truncation_threshold)
+                and len(neighbors) > config.truncation_threshold
+            ):
+                neighbors = truncate_neighborhood(
+                    neighbors,
+                    config.truncation_threshold,
+                    rng=rng_truncate,
+                    exact=config.exact_truncation,
+                )
+            gamma.append(sorted(neighbors))
+
+        # Step 2: raw similarities and klocal selection for every vertex.
+        # The selection ranks neighbors by the set similarity of equation
+        # (11) (Jaccard by default), while the kept values are the score's
+        # own raw similarity, which step 3 combines along paths.
+        similarity = config.score.similarity
+        selection_similarity = config.score.selection_similarity
+        sampler = config.sampler
+        sims: list[dict[int, float]] = []
+        for u in graph.vertices():
+            neighbors = graph.out_neighbors(u).tolist()
+            selection = {
+                v: selection_similarity(gamma[u], gamma[v]) for v in neighbors
+            }
+            kept = sampler.select(selection, config.k_local, rng=rng_sample)
+            if selection_similarity is similarity:
+                sims.append(kept)
+            else:
+                sims.append({v: similarity(gamma[u], gamma[v]) for v in kept})
+
+        # Step 3: path combination + aggregation + top-k.
+        combinator = config.score.combinator
+        aggregator = config.score.aggregator
+        predictions: dict[int, list[int]] = {}
+        scores: dict[int, dict[int, float]] = {}
+        for u in target_vertices:
+            gamma_u = set(gamma[u])
+            accumulated: dict[int, tuple[float, int]] = {}
+            for v, sim_uv in sims[u].items():
+                for z, sim_vz in sims[v].items():
+                    if z == u or z in gamma_u:
+                        continue
+                    path_similarity = combinator.combine(sim_uv, sim_vz)
+                    if z in accumulated:
+                        value, count = accumulated[z]
+                        accumulated[z] = (aggregator.pre(value, path_similarity),
+                                          count + 1)
+                    else:
+                        accumulated[z] = (path_similarity, 1)
+            final = {
+                z: aggregator.post(value, count)
+                for z, (value, count) in accumulated.items()
+            }
+            scores[u] = final
+            predictions[u] = top_k_predictions(final, config.k)
+        wall = time.perf_counter() - start
+        return PredictionResult(
+            predictions=predictions,
+            scores=scores,
+            config=config,
+            wall_clock_seconds=wall,
+            simulated_seconds=None,
+            gas_result=None,
+        )
+
+    # ------------------------------------------------------------------
+    def predict(self, graph: DiGraph, *, mode: str = "local",
+                **kwargs) -> PredictionResult:
+        """Dispatch to :meth:`predict_local` or :meth:`predict_gas` by name."""
+        if mode == "local":
+            return self.predict_local(graph, **kwargs)
+        if mode == "gas":
+            return self.predict_gas(graph, **kwargs)
+        raise ConfigurationError(f"unknown prediction mode {mode!r}")

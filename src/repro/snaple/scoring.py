@@ -1,0 +1,146 @@
+"""Scoring configurations: the SNAPLE design space (Table 3 of the paper).
+
+A scoring configuration is the triple (raw similarity, combinator ``⊗``,
+aggregator ``⊕``).  Table 3 of the paper instantiates eleven of them: the
+nine Jaccard × {linear, eucl, geom} × {Sum, Mean, Geom} combinations plus two
+special rows — PPR (``1/|Γ(v)|`` similarity with a plain-sum combinator) and
+*counter* (count the 2-hop paths).  This module exposes those configurations
+by the names used in the paper's tables and figures (``linearSum``,
+``euclMean``, ``counter``, ``PPR``, …).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigurationError
+from repro.snaple.aggregators import Aggregator, get_aggregator
+from repro.snaple.combinators import Combinator, get_combinator
+from repro.snaple.similarity import SimilarityFn, get_similarity
+
+__all__ = [
+    "ScoreConfig",
+    "score_config",
+    "paper_score_names",
+    "PAPER_SCORES",
+    "SUM_FAMILY",
+    "MEAN_FAMILY",
+    "GEOM_FAMILY",
+]
+
+
+@dataclass(frozen=True)
+class ScoreConfig:
+    """One point in SNAPLE's scoring design space.
+
+    Attributes
+    ----------
+    name:
+        The paper's name for the configuration (e.g. ``linearSum``).
+    similarity_name:
+        Name of the raw similarity in :mod:`repro.snaple.similarity` that is
+        combined along 2-hop paths (the ``sim(u, v)`` column of Table 3).
+    combinator:
+        Path combinator ``⊗``.
+    aggregator:
+        Path aggregator ``⊕``.
+    selection_similarity_name:
+        Similarity used by the ``Γmax`` neighbor selection of equation (11).
+        The paper defines the selection on the set-similarity of the truncated
+        neighborhoods regardless of the score's own raw similarity (which is
+        what makes ``Γmax`` meaningful for the *counter* and *PPR* rows), so
+        this defaults to Jaccard for every configuration.
+    """
+
+    name: str
+    similarity_name: str
+    combinator: Combinator
+    aggregator: Aggregator
+    selection_similarity_name: str = "jaccard"
+    similarity: SimilarityFn = field(compare=False, repr=False, default=None)  # type: ignore[assignment]
+    selection_similarity: SimilarityFn = field(compare=False, repr=False, default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.similarity is None:
+            object.__setattr__(self, "similarity", get_similarity(self.similarity_name))
+        if self.selection_similarity is None:
+            object.__setattr__(
+                self,
+                "selection_similarity",
+                get_similarity(self.selection_similarity_name),
+            )
+
+    def with_alpha(self, alpha: float) -> "ScoreConfig":
+        """Return a copy with the linear combinator's ``α`` replaced."""
+        if self.combinator.name != "linear":
+            raise ConfigurationError(
+                f"score {self.name!r} does not use the linear combinator"
+            )
+        return replace(self, combinator=get_combinator("linear", alpha=alpha))
+
+    def describe(self) -> str:
+        """One-line description matching the columns of Table 3."""
+        return (
+            f"{self.name}: sim={self.similarity_name} "
+            f"⊗={self.combinator.name} ⊕={self.aggregator.name}"
+        )
+
+
+def _jaccard_config(combinator_name: str, aggregator_name: str) -> ScoreConfig:
+    return ScoreConfig(
+        name=f"{combinator_name}{aggregator_name}",
+        similarity_name="jaccard",
+        combinator=get_combinator(combinator_name),
+        aggregator=get_aggregator(aggregator_name),
+    )
+
+
+def _build_paper_scores() -> dict[str, ScoreConfig]:
+    scores: dict[str, ScoreConfig] = {}
+    for combinator_name in ("linear", "eucl", "geom"):
+        for aggregator_name in ("Sum", "Mean", "Geom"):
+            config = _jaccard_config(combinator_name, aggregator_name)
+            scores[config.name] = config
+    scores["PPR"] = ScoreConfig(
+        name="PPR",
+        similarity_name="inverse_degree",
+        combinator=get_combinator("sum"),
+        aggregator=get_aggregator("Sum"),
+    )
+    scores["counter"] = ScoreConfig(
+        name="counter",
+        similarity_name="one",
+        combinator=get_combinator("count"),
+        aggregator=get_aggregator("Sum"),
+    )
+    return scores
+
+
+#: The eleven configurations of Table 3, keyed by the paper's names.
+PAPER_SCORES: dict[str, ScoreConfig] = _build_paper_scores()
+
+#: Scores grouped by aggregator as plotted in Figure 8.
+SUM_FAMILY: tuple[str, ...] = ("counter", "euclSum", "geomSum", "linearSum", "PPR")
+MEAN_FAMILY: tuple[str, ...] = ("euclMean", "geomMean", "linearMean")
+GEOM_FAMILY: tuple[str, ...] = ("euclGeom", "geomGeom", "linearGeom")
+
+
+def paper_score_names() -> list[str]:
+    """Names of all Table 3 configurations, Sum family first."""
+    return list(SUM_FAMILY) + list(MEAN_FAMILY) + list(GEOM_FAMILY)
+
+
+def score_config(name: str, *, alpha: float | None = None) -> ScoreConfig:
+    """Return the named scoring configuration.
+
+    ``alpha`` overrides the linear combinator weight for the ``linear*``
+    configurations (the paper uses 0.9).
+    """
+    if name not in PAPER_SCORES:
+        raise ConfigurationError(
+            f"unknown score {name!r}; available: {', '.join(paper_score_names())}"
+        )
+    config = PAPER_SCORES[name]
+    if alpha is not None:
+        config = config.with_alpha(alpha)
+    return config

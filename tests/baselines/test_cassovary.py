@@ -1,0 +1,90 @@
+"""Unit tests for the Cassovary-like in-memory graph."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import GraphError, VertexNotFoundError
+from repro.baselines.cassovary import InMemoryGraph
+from repro.graph.digraph import DiGraph
+
+
+class TestInMemoryGraph:
+    def test_degrees_match_source_graph(self, small_social_graph):
+        memory_graph = InMemoryGraph(small_social_graph)
+        for vertex in range(small_social_graph.num_vertices):
+            assert memory_graph.out_degree(vertex) == small_social_graph.out_degree(vertex)
+
+    def test_neighbors_match_source_graph(self, small_social_graph):
+        memory_graph = InMemoryGraph(small_social_graph)
+        for vertex in range(0, 100, 9):
+            assert sorted(memory_graph.out_neighbors(vertex).tolist()) == sorted(
+                small_social_graph.out_neighbors(vertex).tolist()
+            )
+
+    def test_edge_and_vertex_counts(self, small_social_graph):
+        memory_graph = InMemoryGraph(small_social_graph)
+        assert memory_graph.num_vertices == small_social_graph.num_vertices
+        assert memory_graph.num_edges == small_social_graph.num_edges
+
+    def test_memory_footprint_is_linear_in_edges(self, small_social_graph):
+        memory_graph = InMemoryGraph(small_social_graph)
+        expected = 8 * (small_social_graph.num_vertices + 1
+                        + small_social_graph.num_edges)
+        assert memory_graph.memory_bytes() == expected
+
+    def test_vertex_out_of_range_raises(self, triangle_graph):
+        memory_graph = InMemoryGraph(triangle_graph)
+        with pytest.raises(VertexNotFoundError):
+            memory_graph.out_degree(10)
+
+
+class TestRandomWalks:
+    def test_walk_length_bounded_by_depth(self, small_social_graph):
+        memory_graph = InMemoryGraph(small_social_graph)
+        rng = random.Random(0)
+        for _ in range(20):
+            walk = memory_graph.random_walk(0, 4, rng)
+            assert len(walk) <= 4
+
+    def test_walk_follows_edges(self, small_social_graph):
+        memory_graph = InMemoryGraph(small_social_graph)
+        rng = random.Random(1)
+        walk = memory_graph.random_walk(0, 5, rng)
+        current = 0
+        for vertex in walk:
+            assert vertex in memory_graph.out_neighbors(current).tolist()
+            current = vertex
+
+    def test_walk_stops_at_sink(self):
+        graph = DiGraph(3, [0, 1], [1, 2])  # 2 is a sink
+        memory_graph = InMemoryGraph(graph)
+        walk = memory_graph.random_walk(0, 10, random.Random(0))
+        assert walk == [1, 2]
+
+    def test_negative_depth_rejected(self, triangle_graph):
+        memory_graph = InMemoryGraph(triangle_graph)
+        with pytest.raises(GraphError):
+            memory_graph.random_walk(0, -1, random.Random(0))
+
+    def test_random_neighbor_of_sink_is_none(self):
+        graph = DiGraph(2, [0], [1])
+        memory_graph = InMemoryGraph(graph)
+        assert memory_graph.random_neighbor(1, random.Random(0)) is None
+
+    def test_run_walks_counts_visits(self, small_social_graph):
+        memory_graph = InMemoryGraph(small_social_graph)
+        visits, stats = memory_graph.run_walks(0, 50, 3, random.Random(2))
+        assert stats.walks == 50
+        assert stats.steps_taken == sum(
+            count for count in visits.values()
+        ) or stats.steps_taken >= sum(visits.values()) - stats.dead_ends
+        assert stats.mean_length <= 3
+        assert all(count > 0 for count in visits.values())
+
+    def test_walk_stats_mean_length_empty(self):
+        from repro.baselines.cassovary import WalkStats
+
+        assert WalkStats(walks=0, steps_taken=0, dead_ends=0).mean_length == 0.0

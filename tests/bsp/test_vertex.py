@@ -1,0 +1,122 @@
+"""Unit tests for the Pregel vertex-program API (context, combiners, defaults)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import pytest
+
+from repro.bsp.vertex import (
+    BspVertexProgram,
+    ComputeContext,
+    MaxCombiner,
+    MinCombiner,
+    SumCombiner,
+)
+
+
+def _make_context(**overrides) -> tuple[ComputeContext, dict]:
+    """Build a ComputeContext wired to recording callbacks."""
+    recorded: dict[str, Any] = {"sent": [], "halted": [], "aggregated": []}
+
+    def send(source: int, target: int, value: Any) -> None:
+        recorded["sent"].append((source, target, value))
+
+    def halt(vertex: int) -> None:
+        recorded["halted"].append(vertex)
+
+    def aggregate(name: str, value: Any) -> None:
+        recorded["aggregated"].append((name, value))
+
+    defaults = dict(
+        superstep=2,
+        num_vertices=10,
+        num_edges=20,
+        vertex=3,
+        out_neighbors=[4, 5, 6],
+        send=send,
+        halt=halt,
+        aggregate=aggregate,
+        aggregated_values={"total": 7.5},
+    )
+    defaults.update(overrides)
+    return ComputeContext(**defaults), recorded
+
+
+class TestComputeContext:
+    def test_exposes_topology(self):
+        context, _ = _make_context()
+        assert context.vertex == 3
+        assert context.out_neighbors() == [4, 5, 6]
+        assert context.out_degree() == 3
+        assert context.num_vertices == 10
+        assert context.num_edges == 20
+        assert context.superstep == 2
+
+    def test_send_message_records_sender_and_counts(self):
+        context, recorded = _make_context()
+        context.send_message(7, "hello")
+        assert recorded["sent"] == [(3, 7, "hello")]
+        assert context.messages_sent == 1
+
+    def test_send_to_all_neighbors_sends_one_message_per_edge(self):
+        context, recorded = _make_context()
+        context.send_message_to_all_neighbors(1.5)
+        assert recorded["sent"] == [(3, 4, 1.5), (3, 5, 1.5), (3, 6, 1.5)]
+        assert context.messages_sent == 3
+
+    def test_vote_to_halt_reports_the_running_vertex(self):
+        context, recorded = _make_context()
+        context.vote_to_halt()
+        assert recorded["halted"] == [3]
+
+    def test_aggregate_and_aggregated(self):
+        context, recorded = _make_context()
+        context.aggregate("total", 2.0)
+        assert recorded["aggregated"] == [("total", 2.0)]
+        assert context.aggregated("total") == 7.5
+        assert context.aggregated("missing", default=0.0) == 0.0
+
+
+class TestCombiners:
+    def test_sum_combiner(self):
+        assert SumCombiner().combine(2, 3) == 5
+
+    def test_min_combiner(self):
+        assert MinCombiner().combine(2, 3) == 2
+
+    def test_max_combiner(self):
+        assert MaxCombiner().combine(2, 3) == 3
+
+    @pytest.mark.parametrize("combiner", [SumCombiner(), MinCombiner(), MaxCombiner()])
+    def test_combiners_are_commutative(self, combiner):
+        assert combiner.combine(1.25, 4.5) == combiner.combine(4.5, 1.25)
+
+
+class TestProgramDefaults:
+    class MinimalProgram(BspVertexProgram):
+        name = "minimal"
+
+        def compute(self, state, messages, context):
+            context.vote_to_halt()
+
+    def test_default_initial_state_is_empty(self):
+        assert self.MinimalProgram().initial_state(0) == {}
+
+    def test_default_aggregators_are_empty(self):
+        assert self.MinimalProgram().aggregators() == {}
+
+    def test_default_compute_cost_counts_messages(self):
+        program = self.MinimalProgram()
+        assert program.compute_cost({}, 0) == 1
+        assert program.compute_cost({}, 5) == 6
+
+    def test_default_message_payload_matches_gas_estimator(self):
+        from repro.gas.vertex_program import payload_size_bytes
+
+        program = self.MinimalProgram()
+        payload = {"a": [1, 2, 3], "b": 4.0}
+        assert program.message_payload_bytes(payload) == payload_size_bytes(payload)
+
+    def test_default_combiner_is_none(self):
+        assert self.MinimalProgram().combiner is None

@@ -1,0 +1,61 @@
+"""Shared fixtures for the SNAPLE reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import generators
+from repro.graph.builder import GraphBuilder
+from repro.graph.digraph import DiGraph
+
+
+@pytest.fixture
+def triangle_graph() -> DiGraph:
+    """Directed triangle 0 -> 1 -> 2 -> 0."""
+    return DiGraph(3, [0, 1, 2], [1, 2, 0])
+
+
+@pytest.fixture
+def paper_figure3_graph() -> DiGraph:
+    """The example graph of Figure 3 in the paper.
+
+    Vertices (first-seen interning order): a=0, b=1, c=2, d=3, h=4, e=5,
+    f=6, g=7.
+    Edges: a->{b, c, d, h}; b->{e, f}; c->{f, g}; d->{g}; h->{e, g}.
+    The edge weights of the figure are raw similarities, reproduced in tests
+    by monkeypatching the similarity lookup; the topology alone is enough for
+    path-counting checks.
+    """
+    builder = GraphBuilder()
+    edges = [
+        ("a", "b"), ("a", "c"), ("a", "d"), ("a", "h"),
+        ("b", "e"), ("b", "f"),
+        ("c", "f"), ("c", "g"),
+        ("d", "g"),
+        ("h", "e"), ("h", "g"),
+    ]
+    builder.add_edges(edges)
+    return builder.build()
+
+
+@pytest.fixture
+def small_social_graph() -> DiGraph:
+    """A ~300-vertex clustered power-law graph used across integration tests."""
+    return generators.powerlaw_cluster(300, 4, 0.5, seed=7)
+
+
+@pytest.fixture
+def medium_social_graph() -> DiGraph:
+    """A ~800-vertex clustered graph for experiments needing more structure."""
+    return generators.powerlaw_cluster(800, 4, 0.5, seed=11)
+
+
+@pytest.fixture
+def star_graph() -> DiGraph:
+    """A hub (vertex 0) pointing at 10 leaves, each leaf pointing back."""
+    sources = []
+    targets = []
+    for leaf in range(1, 11):
+        sources += [0, leaf]
+        targets += [leaf, 0]
+    return DiGraph(11, sources, targets)

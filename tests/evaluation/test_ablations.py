@@ -1,0 +1,167 @@
+"""Tests for the ablation experiments (small scale, shape-level assertions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.experiments import EXPERIMENTS
+from repro.eval.experiments.ablation_alpha import run_ablation_alpha
+from repro.eval.experiments.ablation_content import run_ablation_content
+from repro.eval.experiments.ablation_engines import run_ablation_engines
+from repro.eval.experiments.ablation_khop import run_ablation_khop
+from repro.eval.experiments.ablation_partitioning import run_ablation_partitioning
+
+SCALE = 0.12
+SEED = 42
+
+
+class TestAblationRegistry:
+    def test_all_ablations_are_registered(self):
+        for name in (
+            "ablation-alpha",
+            "ablation-content",
+            "ablation-engines",
+            "ablation-khop",
+            "ablation-partitioning",
+        ):
+            assert name in EXPERIMENTS
+
+    def test_registered_callables_accept_scale_and_seed(self):
+        result = EXPERIMENTS["ablation-khop"](scale=SCALE, seed=SEED)
+        assert result.rows
+
+
+class TestAblationAlpha:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_ablation_alpha(
+            scale=SCALE, seed=SEED, datasets=("livejournal",), k_local=20
+        )
+
+    def test_covers_every_requested_alpha(self, result):
+        alphas = {alpha for (_, alpha) in result.recalls}
+        assert alphas == {0.1, 0.25, 0.5, 0.75, 0.9, 1.0}
+
+    def test_recalls_are_probabilities(self, result):
+        assert all(0.0 <= value <= 1.0 for value in result.recalls.values())
+
+    def test_pure_first_hop_weighting_is_worst(self, result):
+        # alpha = 1 ignores the second hop entirely, so all candidates
+        # reached through the same intermediate tie — recall must suffer.
+        best = result.recall("livejournal", result.best_alpha("livejournal"))
+        assert result.recall("livejournal", 1.0) < best
+
+    def test_render_mentions_every_dataset(self, result):
+        assert "livejournal" in result.render()
+
+
+class TestAblationPartitioning:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_ablation_partitioning(scale=SCALE, seed=SEED)
+
+    def test_replication_factor_ordering(self, result):
+        random_row = result.row("livejournal", "random")
+        greedy_row = result.row("livejournal", "greedy")
+        hdrf_row = result.row("livejournal", "hdrf")
+        assert hdrf_row.replication_factor < greedy_row.replication_factor
+        assert greedy_row.replication_factor < random_row.replication_factor
+
+    def test_network_traffic_follows_replication(self, result):
+        random_row = result.row("livejournal", "random")
+        hdrf_row = result.row("livejournal", "hdrf")
+        assert hdrf_row.network_mebibytes < random_row.network_mebibytes
+
+    def test_partitioning_does_not_change_recall(self, result):
+        recalls = {row.recall for row in result.rows}
+        assert len(recalls) == 1
+
+    def test_unknown_row_lookup_raises(self, result):
+        with pytest.raises(KeyError):
+            result.row("livejournal", "does-not-exist")
+
+    def test_render_contains_all_partitioners(self, result):
+        rendered = result.render()
+        for name in ("random", "greedy", "hdrf"):
+            assert name in rendered
+
+
+class TestAblationEngines:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_ablation_engines(scale=SCALE, seed=SEED)
+
+    def test_all_engines_reach_the_same_recall(self, result):
+        recalls = {row.recall for row in result.rows}
+        assert len(recalls) == 1
+
+    def test_greedy_gas_ships_fewest_bytes(self, result):
+        greedy = result.row("livejournal", "GAS (greedy cut)")
+        random_cut = result.row("livejournal", "GAS (random cut)")
+        bsp = result.row("livejournal", "BSP (hash cut)")
+        assert greedy.network_mebibytes < random_cut.network_mebibytes
+        assert greedy.network_mebibytes < bsp.network_mebibytes
+
+    def test_bsp_runs_four_supersteps_gas_runs_three(self, result):
+        assert result.row("livejournal", "BSP (hash cut)").supersteps == 4
+        assert result.row("livejournal", "GAS (random cut)").supersteps == 3
+
+    def test_render_contains_all_engines(self, result):
+        rendered = result.render()
+        assert "GAS (greedy cut)" in rendered
+        assert "BSP (hash cut)" in rendered
+
+
+class TestAblationKHop:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_ablation_khop(scale=SCALE, seed=SEED, k_locals=(5,))
+
+    def test_longer_paths_explore_many_more_candidates(self, result):
+        two = result.row("livejournal", 2, 5)
+        three = result.row("livejournal", 3, 5)
+        assert three.explored_paths > 2 * two.explored_paths
+
+    def test_two_hop_recall_is_non_trivial(self, result):
+        assert result.row("livejournal", 2, 5).recall > 0.05
+
+    def test_three_hop_recall_does_not_collapse(self, result):
+        two = result.row("livejournal", 2, 5)
+        three = result.row("livejournal", 3, 5)
+        assert three.recall > 0.3 * two.recall
+
+    def test_render_lists_both_path_lengths(self, result):
+        rendered = result.render()
+        assert " 2 " in rendered or "2  " in rendered
+        assert " 3 " in rendered or "3  " in rendered
+
+
+class TestAblationContent:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_ablation_content(scale=SCALE, seed=SEED, k_local=20)
+
+    def test_zero_weight_recall_is_identical_across_regimes(self, result):
+        assert result.recall("homophilous profiles", 0.0) == pytest.approx(
+            result.recall("random profiles", 0.0)
+        )
+
+    def test_random_profiles_degrade_at_full_content_weight(self, result):
+        assert result.recall("random profiles", 1.0) < result.recall(
+            "random profiles", 0.0
+        )
+
+    def test_homophilous_profiles_beat_random_profiles_at_full_weight(self, result):
+        assert result.recall("homophilous profiles", 1.0) > result.recall(
+            "random profiles", 1.0
+        )
+
+    def test_moderate_weight_with_homophilous_profiles_stays_competitive(self, result):
+        topo = result.recall("homophilous profiles", 0.0)
+        blended = result.recall("homophilous profiles", 0.5)
+        assert blended > 0.85 * topo
+
+    def test_render_contains_both_regimes(self, result):
+        rendered = result.render()
+        assert "homophilous profiles" in rendered
+        assert "random profiles" in rendered

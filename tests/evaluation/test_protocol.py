@@ -1,0 +1,93 @@
+"""Unit tests for the edge-removal evaluation protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval.protocol import holdout_split, remove_random_edges
+from repro.graph.digraph import DiGraph
+
+
+class TestRemoveRandomEdges:
+    def test_only_eligible_vertices_lose_edges(self, small_social_graph):
+        split = remove_random_edges(small_social_graph, min_degree=3, seed=0)
+        for vertex in split.affected_vertices():
+            assert small_social_graph.out_degree(vertex) > 3
+
+    def test_one_edge_removed_per_eligible_vertex(self, small_social_graph):
+        split = remove_random_edges(small_social_graph, edges_per_vertex=1, seed=0)
+        removed_per_vertex: dict[int, int] = {}
+        for source, _target in split.removed_edges:
+            removed_per_vertex[source] = removed_per_vertex.get(source, 0) + 1
+        assert all(count == 1 for count in removed_per_vertex.values())
+
+    def test_removed_edges_existed_in_original(self, small_social_graph):
+        split = remove_random_edges(small_social_graph, seed=0)
+        for source, target in split.removed_edges:
+            assert small_social_graph.has_edge(source, target)
+            assert not split.train_graph.has_edge(source, target)
+
+    def test_train_graph_edge_count(self, small_social_graph):
+        split = remove_random_edges(small_social_graph, seed=0)
+        assert (
+            split.train_graph.num_edges
+            == small_social_graph.num_edges - split.num_removed
+        )
+
+    def test_multiple_removals_leave_at_least_one_edge(self, small_social_graph):
+        split = remove_random_edges(small_social_graph, edges_per_vertex=10, seed=0)
+        for vertex in split.affected_vertices():
+            assert split.train_graph.out_degree(vertex) >= 1
+
+    def test_more_removals_remove_more_edges(self, small_social_graph):
+        one = remove_random_edges(small_social_graph, edges_per_vertex=1, seed=0)
+        three = remove_random_edges(small_social_graph, edges_per_vertex=3, seed=0)
+        assert three.num_removed > one.num_removed
+
+    def test_deterministic_given_seed(self, small_social_graph):
+        first = remove_random_edges(small_social_graph, seed=7)
+        second = remove_random_edges(small_social_graph, seed=7)
+        assert first.removed_edges == second.removed_edges
+
+    def test_different_seeds_differ(self, medium_social_graph):
+        first = remove_random_edges(medium_social_graph, seed=1)
+        second = remove_random_edges(medium_social_graph, seed=2)
+        assert first.removed_edges != second.removed_edges
+
+    def test_removed_targets_helper(self, small_social_graph):
+        split = remove_random_edges(small_social_graph, seed=0)
+        some_vertex = next(iter(split.affected_vertices()))
+        targets = split.removed_targets(some_vertex)
+        assert targets
+        assert all((some_vertex, target) in split.removed_edges for target in targets)
+
+    def test_validation(self, small_social_graph):
+        with pytest.raises(EvaluationError):
+            remove_random_edges(small_social_graph, edges_per_vertex=0)
+        with pytest.raises(EvaluationError):
+            remove_random_edges(small_social_graph, min_degree=-1)
+
+    def test_no_eligible_vertices(self):
+        sparse = DiGraph(4, [0, 1], [1, 2])
+        split = remove_random_edges(sparse, min_degree=3)
+        assert split.num_removed == 0
+        assert split.train_graph.num_edges == sparse.num_edges
+
+
+class TestHoldoutSplit:
+    def test_fraction_of_edges_removed(self, medium_social_graph):
+        split = holdout_split(medium_social_graph, fraction=0.1, seed=0)
+        expected = int(medium_social_graph.num_edges * 0.1)
+        assert split.num_removed == expected
+
+    def test_invalid_fraction_rejected(self, small_social_graph):
+        with pytest.raises(EvaluationError):
+            holdout_split(small_social_graph, fraction=0.0)
+        with pytest.raises(EvaluationError):
+            holdout_split(small_social_graph, fraction=1.0)
+
+    def test_train_plus_removed_covers_original(self, small_social_graph):
+        split = holdout_split(small_social_graph, fraction=0.2, seed=1)
+        total = split.train_graph.num_edges + split.num_removed
+        assert total == small_social_graph.num_edges

@@ -1,0 +1,74 @@
+"""Unit tests for the plain-text table/figure rendering."""
+
+from __future__ import annotations
+
+import math
+
+from repro.eval.report import FigureReport, Series, TextTable, format_number
+
+
+class TestFormatNumber:
+    def test_integers_rendered_plain(self):
+        assert format_number(5.0) == "5"
+        assert format_number(120) == "120"
+
+    def test_floats_rounded(self):
+        assert format_number(0.123456) == "0.123"
+        assert format_number(0.123456, digits=1) == "0.1"
+
+    def test_nan_and_infinity(self):
+        assert format_number(float("nan")) == "-"
+        assert format_number(math.inf) == "inf"
+        assert format_number(-math.inf) == "-inf"
+
+
+class TestTextTable:
+    def test_rows_align_with_columns(self):
+        table = TextTable(title="demo", columns=["name", "value"])
+        table.add_row(["alpha", 1.5])
+        table.add_row(["beta-longer", 22])
+        rendered = table.render()
+        lines = rendered.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[2]
+        assert "alpha" in rendered
+        assert "1.500" in rendered
+        assert "22" in rendered
+
+    def test_string_cells_not_reformatted(self):
+        table = TextTable(title="t", columns=["a"])
+        table.add_row(["0.28 (2.3)"])
+        assert "0.28 (2.3)" in table.render()
+
+    def test_column_width_accounts_for_long_cells(self):
+        table = TextTable(title="t", columns=["x", "y"])
+        table.add_row(["very-long-cell-content", 1])
+        header_line, separator_line = table.render().splitlines()[2:4]
+        assert len(separator_line) >= len("very-long-cell-content")
+        assert len(header_line) == len(separator_line)
+
+
+class TestSeriesAndFigure:
+    def test_series_accumulates_points(self):
+        series = Series(label="curve")
+        series.add(1, 0.5)
+        series.add(2, 0.7)
+        assert series.xs() == [1.0, 2.0]
+        assert series.ys() == [0.5, 0.7]
+        assert "curve" in series.render()
+
+    def test_figure_series_created_on_demand(self):
+        figure = FigureReport(title="f", x_label="x", y_label="y")
+        figure.add_point("a", 1, 2)
+        figure.add_point("a", 2, 3)
+        figure.add_point("b", 1, 1)
+        assert set(figure.series) == {"a", "b"}
+        assert figure.as_dict()["a"] == [(1.0, 2.0), (2.0, 3.0)]
+
+    def test_figure_render_lists_all_series(self):
+        figure = FigureReport(title="fig", x_label="k", y_label="recall")
+        figure.add_point("zeta", 1, 0.1)
+        figure.add_point("alpha", 1, 0.2)
+        rendered = figure.render()
+        assert "fig" in rendered
+        assert rendered.index("alpha") < rendered.index("zeta")

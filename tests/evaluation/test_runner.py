@@ -1,0 +1,117 @@
+"""Unit tests for the experiment runner."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines.random_walk_ppr import RandomWalkConfig
+from repro.eval.runner import ExperimentRun, ExperimentRunner
+from repro.eval.metrics import QualityReport
+from repro.gas.cluster import TYPE_II, ClusterConfig, cluster_of
+from repro.snaple.config import SnapleConfig
+
+
+@pytest.fixture(scope="module")
+def runner() -> ExperimentRunner:
+    """A runner on small dataset analogs shared by all tests in this module."""
+    return ExperimentRunner(scale=0.3, seed=7)
+
+
+class TestSplitsAndDatasets:
+    def test_split_is_cached(self, runner):
+        first = runner.split("gowalla")
+        second = runner.split("gowalla")
+        assert first is second
+
+    def test_split_per_removal_count(self, runner):
+        one = runner.split("gowalla", removed_edges_per_vertex=1)
+        two = runner.split("gowalla", removed_edges_per_vertex=2)
+        assert two.num_removed > one.num_removed
+
+    def test_dataset_scale_respected(self):
+        small = ExperimentRunner(scale=0.25, seed=7).dataset("pokec")
+        large = ExperimentRunner(scale=0.75, seed=7).dataset("pokec")
+        assert large.num_vertices > small.num_vertices
+
+    def test_properties(self, runner):
+        assert runner.scale == 0.3
+        assert runner.seed == 7
+
+
+class TestRuns:
+    def test_snaple_local_run(self, runner):
+        config = SnapleConfig.paper_default("linearSum", k_local=10)
+        run = runner.run_snaple_local("gowalla", config)
+        assert isinstance(run.quality, QualityReport)
+        assert 0.0 <= run.recall <= 1.0
+        assert run.wall_clock_seconds > 0
+        assert run.simulated_seconds is None
+
+    def test_snaple_gas_run_records_extras(self, runner):
+        config = SnapleConfig.paper_default("counter", k_local=10)
+        run = runner.run_snaple_gas("gowalla", config, cluster_of(TYPE_II, 2),
+                                    enforce_memory=False)
+        assert run.simulated_seconds is not None
+        assert "network_bytes" in run.extra
+        assert "peak_memory_bytes" in run.extra
+        assert run.time_seconds == run.simulated_seconds
+
+    def test_baseline_gas_run(self, runner):
+        run = runner.run_baseline_gas("gowalla", cluster_of(TYPE_II, 2),
+                                      enforce_memory=False)
+        assert not run.failed
+        assert run.recall > 0
+
+    def test_baseline_failure_recorded_not_raised(self, runner):
+        tiny = ClusterConfig(machine=TYPE_II, num_machines=2, memory_scale=1e-9)
+        run = runner.run_baseline_gas("gowalla", tiny, enforce_memory=True)
+        assert run.failed
+        assert run.recall == 0.0
+        assert "memory" in run.failure_reason.lower() or "exhausted" in run.failure_reason.lower()
+
+    def test_snaple_failure_recorded_not_raised(self, runner):
+        tiny = ClusterConfig(machine=TYPE_II, num_machines=2, memory_scale=1e-9)
+        config = SnapleConfig.paper_default("linearSum", k_local=10)
+        run = runner.run_snaple_gas("gowalla", config, tiny, enforce_memory=True)
+        assert run.failed
+
+    def test_random_walk_run(self, runner):
+        run = runner.run_random_walk("gowalla", RandomWalkConfig(num_walks=20, depth=3))
+        assert run.extra["walk_steps"] > 0
+        assert 0.0 <= run.recall <= 1.0
+
+    def test_random_walk_simulated_time_scales_with_walks(self, runner):
+        few = runner.run_random_walk("gowalla", RandomWalkConfig(num_walks=10, depth=3))
+        many = runner.run_random_walk("gowalla", RandomWalkConfig(num_walks=100, depth=3))
+        assert many.simulated_seconds > few.simulated_seconds
+
+
+class TestComparisons:
+    def _run(self, recall: float, seconds: float) -> ExperimentRun:
+        quality = QualityReport(recall=recall, precision=recall / 5,
+                                mean_average_precision=recall, hits=0,
+                                num_removed=1, num_predictions=5)
+        return ExperimentRun(dataset="d", predictor="p", quality=quality,
+                             wall_clock_seconds=seconds)
+
+    def test_speedup(self):
+        reference = self._run(0.1, 10.0)
+        candidate = self._run(0.2, 2.0)
+        assert ExperimentRunner.speedup(reference, candidate) == pytest.approx(5.0)
+
+    def test_speedup_infinite_for_instant_candidate(self):
+        assert math.isinf(
+            ExperimentRunner.speedup(self._run(0.1, 10.0), self._run(0.1, 0.0))
+        )
+
+    def test_recall_gain(self):
+        assert ExperimentRunner.recall_gain(
+            self._run(0.1, 1.0), self._run(0.25, 1.0)
+        ) == pytest.approx(2.5)
+
+    def test_recall_gain_infinite_for_zero_reference(self):
+        assert math.isinf(
+            ExperimentRunner.recall_gain(self._run(0.0, 1.0), self._run(0.2, 1.0))
+        )

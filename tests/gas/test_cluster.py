@@ -1,0 +1,77 @@
+"""Unit tests for the cluster hardware model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gas.cluster import (
+    SINGLE_MACHINE,
+    TYPE_I,
+    TYPE_II,
+    ClusterConfig,
+    MachineSpec,
+    cluster_of,
+)
+
+
+class TestMachineSpec:
+    def test_paper_core_counts(self):
+        assert TYPE_I.cores == 8
+        assert TYPE_II.cores == 20
+
+    def test_paper_memory_ratio(self):
+        # 32 GB vs 128 GB in the paper.
+        assert TYPE_II.memory_bytes == 4 * TYPE_I.memory_bytes
+
+    def test_paper_network_ratio(self):
+        # 1 GbE vs 10 GbE in the paper.
+        assert TYPE_II.network_bytes_per_second == pytest.approx(
+            10 * TYPE_I.network_bytes_per_second
+        )
+
+    def test_single_machine_is_type_ii(self):
+        assert SINGLE_MACHINE is TYPE_II
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MachineSpec("bad", 0, 1.0, 1, 1.0)
+        with pytest.raises(ConfigurationError):
+            MachineSpec("bad", 1, 0.0, 1, 1.0)
+        with pytest.raises(ConfigurationError):
+            MachineSpec("bad", 1, 1.0, 0, 1.0)
+        with pytest.raises(ConfigurationError):
+            MachineSpec("bad", 1, 1.0, 1, 0.0)
+
+
+class TestClusterConfig:
+    def test_total_cores(self):
+        cluster = cluster_of(TYPE_I, 32)
+        assert cluster.total_cores == 256  # the paper's largest deployment
+
+    def test_type_ii_160_cores(self):
+        assert cluster_of(TYPE_II, 8).total_cores == 160
+
+    def test_default_name(self):
+        assert cluster_of(TYPE_I, 4).name == "4xtype-I"
+
+    def test_memory_scaling(self):
+        cluster = ClusterConfig(machine=TYPE_I, num_machines=2, memory_scale=0.5)
+        assert cluster.per_machine_memory_bytes == pytest.approx(
+            TYPE_I.memory_bytes * 0.5
+        )
+
+    def test_is_distributed(self):
+        assert not cluster_of(TYPE_II, 1).is_distributed
+        assert cluster_of(TYPE_II, 2).is_distributed
+
+    def test_describe_mentions_machine_count(self):
+        description = cluster_of(TYPE_I, 3).describe()
+        assert "3" in description
+        assert "type-I" in description
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(machine=TYPE_I, num_machines=0)
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(machine=TYPE_I, num_machines=1, memory_scale=0)

@@ -1,0 +1,92 @@
+"""Unit tests for the analytical cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gas.cluster import TYPE_I, TYPE_II, cluster_of
+from repro.gas.cost_model import CostModel
+from repro.gas.metrics import RunMetrics, StepMetrics
+
+
+def _step(compute_per_machine, network_per_machine=None, sync_per_machine=None,
+          name="step"):
+    machines = len(compute_per_machine)
+    return StepMetrics(
+        name=name,
+        num_machines=machines,
+        compute_units_per_machine=list(compute_per_machine),
+        network_bytes_per_machine=list(network_per_machine or [0] * machines),
+        sync_bytes_per_machine=list(sync_per_machine or [0] * machines),
+    )
+
+
+class TestStepCost:
+    def test_compute_time_uses_slowest_machine(self):
+        model = CostModel(cluster_of(TYPE_I, 2))
+        breakdown = model.step_cost(_step([100, 400]))
+        throughput = TYPE_I.cores * TYPE_I.core_ops_per_second
+        assert breakdown.compute_seconds == pytest.approx(400 / throughput)
+
+    def test_single_machine_pays_no_network(self):
+        model = CostModel(cluster_of(TYPE_II, 1))
+        breakdown = model.step_cost(_step([100], [10_000], [5_000]))
+        assert breakdown.network_seconds == 0.0
+
+    def test_distributed_network_time(self):
+        model = CostModel(cluster_of(TYPE_II, 2))
+        breakdown = model.step_cost(_step([0, 0], [1_000, 5_000], [0, 5_000]))
+        assert breakdown.network_seconds == pytest.approx(
+            10_000 / TYPE_II.network_bytes_per_second
+        )
+
+    def test_barrier_always_charged(self):
+        model = CostModel(cluster_of(TYPE_I, 4))
+        breakdown = model.step_cost(_step([0, 0, 0, 0]))
+        assert breakdown.barrier_seconds == TYPE_I.barrier_latency_seconds
+        assert breakdown.total_seconds == pytest.approx(breakdown.barrier_seconds)
+
+    def test_total_is_sum_of_components(self):
+        model = CostModel(cluster_of(TYPE_I, 2))
+        breakdown = model.step_cost(_step([1000, 2000], [500, 700]))
+        assert breakdown.total_seconds == pytest.approx(
+            breakdown.compute_seconds
+            + breakdown.network_seconds
+            + breakdown.barrier_seconds
+        )
+
+
+class TestRunCost:
+    def test_run_cost_sums_steps(self):
+        model = CostModel(cluster_of(TYPE_I, 2))
+        metrics = RunMetrics()
+        metrics.add_step(_step([100, 200], name="a"))
+        metrics.add_step(_step([300, 50], name="b"))
+        expected = sum(b.total_seconds for b in model.breakdown(metrics))
+        assert model.run_cost(metrics) == pytest.approx(expected)
+
+    def test_more_machines_reduce_balanced_compute_time(self):
+        metrics_small = RunMetrics()
+        metrics_small.add_step(_step([1_000_000, 1_000_000]))
+        metrics_large = RunMetrics()
+        metrics_large.add_step(_step([250_000] * 8))
+        small = CostModel(cluster_of(TYPE_I, 2)).run_cost(metrics_small)
+        large = CostModel(cluster_of(TYPE_I, 8)).run_cost(metrics_large)
+        assert large < small
+
+    def test_type_ii_faster_than_type_i_for_same_work(self):
+        metrics = RunMetrics()
+        metrics.add_step(_step([1_000_000]))
+        type_i = CostModel(cluster_of(TYPE_I, 1)).run_cost(metrics)
+        type_ii = CostModel(cluster_of(TYPE_II, 1)).run_cost(metrics)
+        assert type_ii < type_i
+
+    def test_speedup_against(self):
+        metrics = RunMetrics()
+        metrics.add_step(_step([1_000_000]))
+        fast = CostModel(cluster_of(TYPE_II, 4))
+        slow = CostModel(cluster_of(TYPE_I, 1))
+        fast_metrics = RunMetrics()
+        fast_metrics.add_step(_step([250_000] * 4))
+        speedup = fast.speedup_against(fast_metrics, slow, metrics)
+        assert speedup > 1.0

@@ -1,0 +1,64 @@
+"""Unit tests for the GAS run metrics containers."""
+
+from __future__ import annotations
+
+from repro.gas.metrics import RunMetrics, StepMetrics
+
+
+class TestStepMetrics:
+    def test_defaults_initialized_per_machine(self):
+        step = StepMetrics(name="s", num_machines=3)
+        assert step.compute_units_per_machine == [0, 0, 0]
+        assert step.network_bytes_per_machine == [0, 0, 0]
+        assert step.sync_bytes_per_machine == [0, 0, 0]
+        assert step.vertex_data_bytes_per_machine == [0, 0, 0]
+
+    def test_totals(self):
+        step = StepMetrics(
+            name="s",
+            num_machines=2,
+            compute_units_per_machine=[5, 7],
+            network_bytes_per_machine=[100, 50],
+            sync_bytes_per_machine=[10, 20],
+        )
+        assert step.total_compute_units == 12
+        assert step.total_network_bytes == 180
+
+    def test_max_machine_memory(self):
+        step = StepMetrics(
+            name="s",
+            num_machines=2,
+            vertex_data_bytes_per_machine=[300, 800],
+        )
+        assert step.max_machine_memory_bytes == 800
+
+
+class TestRunMetrics:
+    def test_empty_run(self):
+        run = RunMetrics()
+        assert run.total_compute_units == 0
+        assert run.total_network_bytes == 0
+        assert run.peak_machine_memory_bytes == 0
+        assert run.total_gather_invocations == 0
+
+    def test_aggregation_over_steps(self):
+        run = RunMetrics()
+        run.add_step(StepMetrics(name="a", num_machines=1,
+                                 compute_units_per_machine=[10],
+                                 gather_invocations=4,
+                                 vertex_data_bytes_per_machine=[100]))
+        run.add_step(StepMetrics(name="b", num_machines=1,
+                                 compute_units_per_machine=[20],
+                                 gather_invocations=6,
+                                 vertex_data_bytes_per_machine=[50]))
+        assert run.total_compute_units == 30
+        assert run.total_gather_invocations == 10
+        assert run.peak_machine_memory_bytes == 100
+
+    def test_describe_contains_step_names(self):
+        run = RunMetrics()
+        run.add_step(StepMetrics(name="sample", num_machines=1))
+        run.add_step(StepMetrics(name="score", num_machines=1))
+        text = run.describe()
+        assert "sample" in text
+        assert "score" in text

@@ -1,0 +1,120 @@
+"""Tests for vertex profiles (the content layer of the content-aware extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import generators
+from repro.graph.attributes import (
+    VertexProfiles,
+    generate_profiles,
+    profile_cosine,
+    profile_jaccard,
+    profile_overlap,
+)
+from repro.graph.digraph import DiGraph
+
+
+class TestProfileSimilarities:
+    def test_jaccard_of_identical_profiles_is_one(self):
+        profile = frozenset({1, 2, 3})
+        assert profile_jaccard(profile, profile) == 1.0
+
+    def test_jaccard_of_disjoint_profiles_is_zero(self):
+        assert profile_jaccard(frozenset({1}), frozenset({2})) == 0.0
+
+    def test_jaccard_of_empty_profiles_is_zero(self):
+        assert profile_jaccard(frozenset(), frozenset()) == 0.0
+
+    def test_cosine_matches_manual_computation(self):
+        value = profile_cosine(frozenset({1, 2}), frozenset({2, 3, 4}))
+        assert value == pytest.approx(1 / (2 * 3) ** 0.5)
+
+    def test_cosine_with_one_empty_profile_is_zero(self):
+        assert profile_cosine(frozenset(), frozenset({1})) == 0.0
+
+    def test_overlap_uses_the_smaller_profile(self):
+        value = profile_overlap(frozenset({1, 2}), frozenset({1, 2, 3, 4}))
+        assert value == 1.0
+
+    def test_all_similarities_are_symmetric(self):
+        a = frozenset({1, 2, 5})
+        b = frozenset({2, 5, 9, 11})
+        for fn in (profile_jaccard, profile_cosine, profile_overlap):
+            assert fn(a, b) == pytest.approx(fn(b, a))
+
+
+class TestVertexProfiles:
+    def test_from_mapping_fills_missing_vertices(self):
+        profiles = VertexProfiles.from_mapping(
+            {0: [1, 2], 2: [3]}, num_vertices=4
+        )
+        assert profiles.of(0) == frozenset({1, 2})
+        assert profiles.of(1) == frozenset()
+        assert profiles.of(3) == frozenset()
+        assert profiles.num_tags == 4
+
+    def test_rejects_out_of_range_tags(self):
+        with pytest.raises(GraphError):
+            VertexProfiles(tags=(frozenset({5}),), num_tags=3)
+
+    def test_of_rejects_unknown_vertex(self):
+        profiles = VertexProfiles.from_mapping({0: [0]}, num_vertices=1)
+        with pytest.raises(GraphError):
+            profiles.of(5)
+
+    def test_mean_profile_size(self):
+        profiles = VertexProfiles.from_mapping(
+            {0: [0, 1], 1: [2]}, num_vertices=2, num_tags=3
+        )
+        assert profiles.mean_profile_size() == pytest.approx(1.5)
+
+    def test_tag_usage_counts_vertices_per_tag(self):
+        profiles = VertexProfiles.from_mapping(
+            {0: [0, 1], 1: [1]}, num_vertices=2, num_tags=2
+        )
+        assert profiles.tag_usage() == {0: 1, 1: 2}
+
+
+class TestGenerateProfiles:
+    def test_profiles_cover_every_vertex(self, small_social_graph):
+        profiles = generate_profiles(small_social_graph, seed=1)
+        assert profiles.num_vertices == small_social_graph.num_vertices
+        assert all(len(profiles.of(u)) > 0 for u in small_social_graph.vertices())
+
+    def test_deterministic_for_a_seed(self, small_social_graph):
+        first = generate_profiles(small_social_graph, seed=5)
+        second = generate_profiles(small_social_graph, seed=5)
+        assert first.tags == second.tags
+
+    def test_profile_size_is_bounded(self, small_social_graph):
+        profiles = generate_profiles(
+            small_social_graph, tags_per_vertex=3, num_tags=30, seed=2
+        )
+        assert all(len(profiles.of(u)) <= 3 for u in small_social_graph.vertices())
+
+    def test_rejects_invalid_parameters(self, triangle_graph):
+        with pytest.raises(GraphError):
+            generate_profiles(triangle_graph, num_tags=0)
+        with pytest.raises(GraphError):
+            generate_profiles(triangle_graph, tags_per_vertex=-1)
+        with pytest.raises(GraphError):
+            generate_profiles(triangle_graph, homophily=1.5)
+
+    def test_homophilous_profiles_correlate_with_edges(self):
+        graph = generators.powerlaw_cluster(400, 4, 0.5, seed=3)
+        correlated = generate_profiles(graph, homophily=0.9, seed=3)
+        random_profiles = generate_profiles(graph, homophily=0.0, seed=3)
+        assert correlated.homophily(graph) > random_profiles.homophily(graph)
+        assert correlated.homophily(graph) > 0.05
+
+    def test_zero_homophily_profiles_are_roughly_structure_free(self):
+        graph = generators.powerlaw_cluster(300, 4, 0.5, seed=4)
+        profiles = generate_profiles(graph, homophily=0.0, num_tags=40, seed=4)
+        assert abs(profiles.homophily(graph)) < 0.1
+
+    def test_homophily_of_empty_graph_is_zero(self):
+        graph = DiGraph(3, [], [])
+        profiles = generate_profiles(graph, seed=1)
+        assert profiles.homophily(graph) == 0.0

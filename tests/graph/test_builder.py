@@ -1,0 +1,101 @@
+"""Unit tests for the graph builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphBuildError
+from repro.graph.builder import GraphBuilder
+
+
+class TestBuilderBasics:
+    def test_labels_are_interned_in_order(self):
+        builder = GraphBuilder()
+        builder.add_edge("alice", "bob")
+        builder.add_edge("bob", "carol")
+        assert builder.labels() == ["alice", "bob", "carol"]
+        assert builder.vertex_id("carol") == 2
+
+    def test_unknown_label_raises(self):
+        builder = GraphBuilder()
+        builder.add_edge("a", "b")
+        with pytest.raises(GraphBuildError):
+            builder.vertex_id("zzz")
+
+    def test_self_loops_dropped_by_default(self):
+        builder = GraphBuilder()
+        builder.add_edge("a", "a")
+        builder.add_edge("a", "b")
+        graph = builder.build()
+        assert graph.num_edges == 1
+
+    def test_self_loops_kept_when_allowed(self):
+        builder = GraphBuilder(allow_self_loops=True)
+        builder.add_edge("a", "a")
+        graph = builder.build()
+        assert graph.num_edges == 1
+        assert graph.has_edge(0, 0)
+
+    def test_duplicate_edges_deduplicated(self):
+        builder = GraphBuilder()
+        builder.add_edge("a", "b")
+        builder.add_edge("a", "b")
+        assert builder.num_edges == 1
+
+    def test_duplicates_kept_when_requested(self):
+        builder = GraphBuilder(deduplicate=False)
+        builder.add_edge("a", "b")
+        builder.add_edge("a", "b")
+        assert builder.num_edges == 2
+
+    def test_add_undirected_edge(self):
+        builder = GraphBuilder()
+        builder.add_undirected_edge(1, 2)
+        graph = builder.build()
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(1, 0)
+
+    def test_add_edges_bulk(self):
+        builder = GraphBuilder()
+        builder.add_edges([(1, 2), (2, 3), (3, 1)])
+        assert builder.num_vertices == 3
+        assert builder.num_edges == 3
+
+    def test_add_vertex_without_edges(self):
+        builder = GraphBuilder()
+        vid = builder.add_vertex("lonely")
+        graph = builder.build()
+        assert vid == 0
+        assert graph.num_vertices == 1
+        assert graph.num_edges == 0
+
+
+class TestBuilderFinalization:
+    def test_build_with_labels(self):
+        builder = GraphBuilder()
+        builder.add_edge("x", "y")
+        graph, mapping = builder.build_with_labels()
+        assert mapping == {"x": 0, "y": 1}
+        assert graph.has_edge(0, 1)
+
+    def test_builder_cannot_be_reused(self):
+        builder = GraphBuilder()
+        builder.add_edge("a", "b")
+        builder.build()
+        with pytest.raises(GraphBuildError):
+            builder.add_edge("b", "c")
+        with pytest.raises(GraphBuildError):
+            builder.build()
+
+    def test_empty_builder_builds_empty_graph(self):
+        graph = GraphBuilder().build()
+        assert graph.num_vertices == 0
+        assert graph.num_edges == 0
+
+    def test_mixed_label_types(self):
+        builder = GraphBuilder()
+        builder.add_edge(1, "a")
+        builder.add_edge((2, 3), 1)
+        graph = builder.build()
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 2

@@ -1,0 +1,80 @@
+"""Unit tests for the synthetic dataset analogs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.datasets import (
+    DATASETS,
+    PAPER_EDGE_COUNTS,
+    dataset_names,
+    dataset_spec,
+    load_dataset,
+)
+
+
+class TestRegistry:
+    def test_all_paper_datasets_present(self):
+        assert set(DATASETS) == {
+            "gowalla", "pokec", "livejournal", "orkut", "twitter-rv",
+        }
+
+    def test_dataset_names_ordered_by_paper_size(self):
+        names = dataset_names()
+        sizes = [DATASETS[name].paper_edges for name in names]
+        assert sizes == sorted(sizes)
+        assert names[0] == "gowalla"
+        assert names[-1] == "twitter-rv"
+
+    def test_paper_edge_counts_match_table4(self):
+        assert PAPER_EDGE_COUNTS["gowalla"] == 950_000
+        assert PAPER_EDGE_COUNTS["twitter-rv"] == 1_400_000_000
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(GraphError):
+            dataset_spec("facebook")
+        with pytest.raises(GraphError):
+            load_dataset("facebook")
+
+    def test_spec_scale_validation(self):
+        spec = dataset_spec("gowalla")
+        with pytest.raises(GraphError):
+            spec.vertices_at_scale(0)
+        assert spec.vertices_at_scale(2.0) == 2 * spec.base_vertices
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_each_dataset_generates_nonempty_graph(self, name):
+        graph = load_dataset(name, scale=0.25, seed=1)
+        assert graph.num_vertices > 0
+        assert graph.num_edges > 0
+
+    def test_deterministic_given_seed_and_scale(self):
+        first = load_dataset("gowalla", scale=0.5, seed=3)
+        second = load_dataset("gowalla", scale=0.5, seed=3)
+        assert first is second  # lru_cache returns the same object
+
+    def test_scale_controls_size(self):
+        small = load_dataset("pokec", scale=0.25, seed=1)
+        large = load_dataset("pokec", scale=0.75, seed=1)
+        assert large.num_vertices > small.num_vertices
+        assert large.num_edges > small.num_edges
+
+    def test_relative_order_of_sizes_preserved(self):
+        sizes = {
+            name: load_dataset(name, scale=0.25, seed=1).num_edges
+            for name in ("gowalla", "livejournal", "orkut")
+        }
+        assert sizes["gowalla"] < sizes["livejournal"] < sizes["orkut"]
+
+    def test_undirected_datasets_are_symmetric(self):
+        graph = load_dataset("gowalla", scale=0.25, seed=1)
+        for u, v in list(graph.edges())[:500]:
+            assert graph.has_edge(v, u)
+
+    def test_twitter_analog_has_skewed_degrees(self):
+        graph = load_dataset("twitter-rv", scale=0.5, seed=1)
+        degrees = graph.out_degrees()
+        assert degrees.max() > 8 * max(1.0, degrees.mean())

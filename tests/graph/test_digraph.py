@@ -1,0 +1,175 @@
+"""Unit tests for the CSR-backed directed graph."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, VertexNotFoundError
+from repro.graph.digraph import DiGraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = DiGraph(0, [], [])
+        assert graph.num_vertices == 0
+        assert graph.num_edges == 0
+
+    def test_isolated_vertices(self):
+        graph = DiGraph(5, [], [])
+        assert graph.num_vertices == 5
+        assert graph.num_edges == 0
+        assert graph.out_degree(3) == 0
+
+    def test_basic_edges(self, triangle_graph):
+        assert triangle_graph.num_vertices == 3
+        assert triangle_graph.num_edges == 3
+        assert triangle_graph.has_edge(0, 1)
+        assert not triangle_graph.has_edge(1, 0)
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(GraphError):
+            DiGraph(3, [0, 1], [1])
+
+    def test_out_of_range_endpoints_rejected(self):
+        with pytest.raises(GraphError):
+            DiGraph(2, [0], [5])
+        with pytest.raises(GraphError):
+            DiGraph(2, [-1], [0])
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(GraphError):
+            DiGraph(-1, [], [])
+
+    def test_accepts_numpy_arrays(self):
+        graph = DiGraph(3, np.array([0, 1]), np.array([1, 2]))
+        assert graph.num_edges == 2
+
+
+class TestNeighborhoods:
+    def test_out_neighbors_sorted(self):
+        graph = DiGraph(4, [0, 0, 0], [3, 1, 2])
+        assert graph.out_neighbors(0).tolist() == [1, 2, 3]
+
+    def test_in_neighbors(self):
+        graph = DiGraph(4, [0, 1, 2], [3, 3, 3])
+        assert graph.in_neighbors(3).tolist() == [0, 1, 2]
+        assert graph.in_degree(3) == 3
+        assert graph.out_degree(3) == 0
+
+    def test_degree_arrays_match_scalar_degrees(self, small_social_graph):
+        out = small_social_graph.out_degrees()
+        for vertex in range(small_social_graph.num_vertices):
+            assert out[vertex] == small_social_graph.out_degree(vertex)
+
+    def test_vertex_out_of_range_raises(self, triangle_graph):
+        with pytest.raises(VertexNotFoundError):
+            triangle_graph.out_neighbors(3)
+        with pytest.raises(VertexNotFoundError):
+            triangle_graph.out_degree(-1)
+
+    def test_neighbor_set(self, triangle_graph):
+        assert triangle_graph.neighbor_set(0) == {1}
+
+    def test_has_edge_uses_sorted_lookup(self):
+        graph = DiGraph(6, [0, 0, 0, 0], [5, 3, 1, 4])
+        assert graph.has_edge(0, 4)
+        assert not graph.has_edge(0, 2)
+
+
+class TestTwoHop:
+    def test_two_hop_excludes_direct_and_self(self, triangle_graph):
+        # 0 -> 1 -> 2; two-hop of 0 is {2}.
+        assert triangle_graph.two_hop_neighbors(0) == {2}
+
+    def test_two_hop_keep_direct(self):
+        # 0 -> {1, 2}, 1 -> 2: vertex 2 is both a direct and a 2-hop neighbor.
+        graph = DiGraph(3, [0, 0, 1], [1, 2, 2])
+        assert graph.two_hop_neighbors(0, exclude_direct=False) == {2}
+        assert graph.two_hop_neighbors(0, exclude_direct=True) == set()
+
+    def test_k_hop_matches_two_hop_for_k2(self, small_social_graph):
+        for vertex in range(0, 50, 7):
+            assert (
+                small_social_graph.k_hop_neighbors(vertex, 2)
+                == small_social_graph.two_hop_neighbors(vertex)
+            )
+
+    def test_k_hop_rejects_zero(self, triangle_graph):
+        with pytest.raises(GraphError):
+            triangle_graph.k_hop_neighbors(0, 0)
+
+    def test_k_hop_grows_with_k(self, small_social_graph):
+        one = small_social_graph.k_hop_neighbors(0, 1, exclude_direct=False)
+        two = small_social_graph.k_hop_neighbors(0, 2, exclude_direct=False)
+        three = small_social_graph.k_hop_neighbors(0, 3, exclude_direct=False)
+        assert one <= two <= three
+
+
+class TestDerivedGraphs:
+    def test_reversed(self, triangle_graph):
+        reverse = triangle_graph.reversed()
+        assert reverse.has_edge(1, 0)
+        assert reverse.has_edge(2, 1)
+        assert not reverse.has_edge(0, 1)
+
+    def test_to_undirected_symmetrizes(self):
+        graph = DiGraph(3, [0, 1], [1, 2])
+        undirected = graph.to_undirected()
+        assert undirected.has_edge(1, 0)
+        assert undirected.has_edge(2, 1)
+        assert undirected.num_edges == 4
+
+    def test_to_undirected_deduplicates(self):
+        graph = DiGraph(2, [0, 1], [1, 0])
+        assert graph.to_undirected().num_edges == 2
+
+    def test_remove_edges(self, triangle_graph):
+        smaller = triangle_graph.remove_edges([(0, 1)])
+        assert smaller.num_edges == 2
+        assert not smaller.has_edge(0, 1)
+        assert smaller.has_edge(1, 2)
+
+    def test_remove_edges_empty_set_returns_same_object(self, triangle_graph):
+        assert triangle_graph.remove_edges([]) is triangle_graph
+
+    def test_subgraph(self):
+        graph = DiGraph(5, [0, 1, 2, 3], [1, 2, 3, 4])
+        sub, mapping = graph.subgraph([1, 2, 3])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 2
+        assert sub.has_edge(mapping[1], mapping[2])
+
+    def test_subgraph_rejects_unknown_vertex(self, triangle_graph):
+        with pytest.raises(VertexNotFoundError):
+            triangle_graph.subgraph([0, 99])
+
+
+class TestSummaryAndEquality:
+    def test_summary_counts(self, triangle_graph):
+        summary = triangle_graph.summary()
+        assert summary.num_vertices == 3
+        assert summary.num_edges == 3
+        assert summary.max_out_degree == 1
+        assert summary.mean_out_degree == pytest.approx(1.0)
+        assert "|V|=3" in str(summary)
+
+    def test_summary_empty_graph(self):
+        summary = DiGraph(0, [], []).summary()
+        assert summary.max_out_degree == 0
+        assert summary.mean_out_degree == 0.0
+
+    def test_equality(self, triangle_graph):
+        same = DiGraph(3, [0, 1, 2], [1, 2, 0])
+        different = DiGraph(3, [0, 1, 2], [2, 0, 1])
+        assert triangle_graph == same
+        assert triangle_graph != different
+
+    def test_edges_iteration_matches_arrays(self, small_social_graph):
+        src, dst = small_social_graph.edge_arrays()
+        assert list(small_social_graph.edges()) == list(zip(src.tolist(), dst.tolist()))
+
+    def test_edge_arrays_read_only(self, triangle_graph):
+        src, _dst = triangle_graph.edge_arrays()
+        with pytest.raises(ValueError):
+            src[0] = 99

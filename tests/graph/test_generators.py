@@ -1,0 +1,169 @@
+"""Unit tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import generators
+from repro.graph.stats import average_clustering
+
+
+class TestErdosRenyi:
+    def test_zero_probability_gives_no_edges(self):
+        graph = generators.erdos_renyi(20, 0.0, seed=1)
+        assert graph.num_edges == 0
+
+    def test_full_probability_gives_complete_graph(self):
+        graph = generators.erdos_renyi(10, 1.0, seed=1)
+        assert graph.num_edges == 10 * 9
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(GraphError):
+            generators.erdos_renyi(10, 1.5)
+
+    def test_deterministic_given_seed(self):
+        first = generators.erdos_renyi(30, 0.1, seed=3)
+        second = generators.erdos_renyi(30, 0.1, seed=3)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        first = generators.erdos_renyi(30, 0.1, seed=3)
+        second = generators.erdos_renyi(30, 0.1, seed=4)
+        assert first != second
+
+
+class TestBarabasiAlbert:
+    def test_symmetric_edges(self):
+        graph = generators.barabasi_albert(100, 3, seed=0)
+        for u, v in graph.edges():
+            assert graph.has_edge(v, u)
+
+    def test_heavy_tail_hub_exists(self):
+        graph = generators.barabasi_albert(500, 3, seed=0)
+        degrees = graph.out_degrees()
+        assert degrees.max() > 5 * degrees.mean()
+
+    def test_parameter_validation(self):
+        with pytest.raises(GraphError):
+            generators.barabasi_albert(10, 0)
+        with pytest.raises(GraphError):
+            generators.barabasi_albert(5, 5)
+
+    def test_expected_edge_count_roughly_matches(self):
+        graph = generators.barabasi_albert(200, 4, seed=2)
+        expected = generators.expected_edges("barabasi_albert", (200, 4))
+        assert graph.num_edges == pytest.approx(expected, rel=0.2)
+
+
+class TestPowerlawCluster:
+    def test_symmetric_edges(self):
+        graph = generators.powerlaw_cluster(200, 3, 0.5, seed=1)
+        for u, v in graph.edges():
+            assert graph.has_edge(v, u)
+
+    def test_no_self_loops(self):
+        graph = generators.powerlaw_cluster(200, 3, 0.5, seed=1)
+        assert all(u != v for u, v in graph.edges())
+
+    def test_triangle_probability_raises_clustering(self):
+        low = generators.powerlaw_cluster(400, 3, 0.0, seed=5)
+        high = generators.powerlaw_cluster(400, 3, 0.9, seed=5)
+        assert (
+            average_clustering(high, sample_size=200, seed=1)
+            > average_clustering(low, sample_size=200, seed=1)
+        )
+
+    def test_parameter_validation(self):
+        with pytest.raises(GraphError):
+            generators.powerlaw_cluster(1, 1, 0.5)
+        with pytest.raises(GraphError):
+            generators.powerlaw_cluster(10, 0, 0.5)
+        with pytest.raises(GraphError):
+            generators.powerlaw_cluster(10, 3, 1.5)
+
+    def test_deterministic_given_seed(self):
+        assert generators.powerlaw_cluster(100, 3, 0.4, seed=9) == (
+            generators.powerlaw_cluster(100, 3, 0.4, seed=9)
+        )
+
+
+class TestWattsStrogatz:
+    def test_zero_rewire_is_ring_lattice(self):
+        graph = generators.watts_strogatz(20, 4, 0.0, seed=0)
+        assert graph.num_edges == 20 * 4
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(0, 19)
+
+    def test_rewiring_preserves_vertex_count(self):
+        graph = generators.watts_strogatz(50, 4, 0.3, seed=0)
+        assert graph.num_vertices == 50
+
+    def test_odd_neighbor_count_rejected(self):
+        with pytest.raises(GraphError):
+            generators.watts_strogatz(20, 3, 0.1)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(GraphError):
+            generators.watts_strogatz(20, 4, -0.1)
+
+
+class TestKroneckerLike:
+    def test_vertex_count_is_power_of_two(self):
+        graph = generators.kronecker_like(8, 4, seed=0)
+        assert graph.num_vertices == 256
+
+    def test_edge_count_close_to_target(self):
+        graph = generators.kronecker_like(8, 4, seed=0)
+        assert graph.num_edges <= 4 * 256
+        assert graph.num_edges >= 2 * 256
+
+    def test_skewed_degree_distribution(self):
+        graph = generators.kronecker_like(10, 8, seed=0)
+        degrees = graph.out_degrees()
+        assert degrees.max() > 10 * max(1.0, degrees.mean())
+
+    def test_scale_bounds_enforced(self):
+        with pytest.raises(GraphError):
+            generators.kronecker_like(0, 4)
+        with pytest.raises(GraphError):
+            generators.kronecker_like(27, 4)
+        with pytest.raises(GraphError):
+            generators.kronecker_like(5, 0)
+
+
+class TestSocialGraph:
+    def test_directed_fraction_zero_is_symmetric(self):
+        graph = generators.social_graph(200, 6, seed=1, directed_fraction=0.0)
+        for u, v in graph.edges():
+            assert graph.has_edge(v, u)
+
+    def test_directed_fraction_one_breaks_some_symmetry(self):
+        graph = generators.social_graph(200, 6, seed=1, directed_fraction=1.0)
+        asymmetric = sum(1 for u, v in graph.edges() if not graph.has_edge(v, u))
+        assert asymmetric > 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(GraphError):
+            generators.social_graph(3, 6)
+        with pytest.raises(GraphError):
+            generators.social_graph(100, 1)
+        with pytest.raises(GraphError):
+            generators.social_graph(100, 6, directed_fraction=2.0)
+
+    def test_mean_degree_in_plausible_range(self):
+        graph = generators.social_graph(500, 10, seed=2)
+        mean_degree = graph.num_edges / graph.num_vertices
+        assert 4 <= mean_degree <= 14
+
+
+class TestExpectedEdges:
+    def test_unknown_generator_rejected(self):
+        with pytest.raises(GraphError):
+            generators.expected_edges("nope", (1, 2))
+
+    def test_erdos_renyi_expected(self):
+        assert generators.expected_edges("erdos_renyi", (10, 0.5)) == 45
+
+    def test_kronecker_expected(self):
+        assert generators.expected_edges("kronecker_like", (8, 4)) == 1024

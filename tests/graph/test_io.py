@@ -1,0 +1,95 @@
+"""Unit tests for edge-list I/O."""
+
+from __future__ import annotations
+
+import gzip
+
+import pytest
+
+from repro.errors import GraphIOError
+from repro.graph.digraph import DiGraph
+from repro.graph.io import (
+    iter_edge_list,
+    load_graph,
+    read_edge_list,
+    save_graph,
+    write_edge_list,
+)
+
+
+class TestReading:
+    def test_read_basic_edge_list(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# a comment\n1 2\n2 3\n\n3 1\n")
+        graph = read_edge_list(path)
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 3
+
+    def test_read_tab_separated_and_percent_comments(self, tmp_path):
+        path = tmp_path / "graph.tsv"
+        path.write_text("% header\n10\t20\n20\t30\n")
+        graph = read_edge_list(path)
+        assert graph.num_edges == 2
+
+    def test_sparse_ids_remapped_densely(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("1000 2000\n2000 5\n")
+        graph = read_edge_list(path)
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 2
+
+    def test_undirected_duplicates_both_directions(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("1 2\n")
+        graph = read_edge_list(path, undirected=True)
+        assert graph.num_edges == 2
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(GraphIOError):
+            read_edge_list(tmp_path / "missing.txt")
+
+    def test_malformed_line_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("1 2\nonly-one-column\n")
+        with pytest.raises(GraphIOError, match=":2:"):
+            list(iter_edge_list(path))
+
+    def test_non_integer_vertex_raises(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphIOError):
+            list(iter_edge_list(path))
+
+    def test_gzip_round_trip(self, tmp_path):
+        path = tmp_path / "graph.txt.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write("1 2\n2 3\n")
+        graph = read_edge_list(path)
+        assert graph.num_edges == 2
+
+
+class TestWriting:
+    def test_write_and_read_round_trip(self, tmp_path, small_social_graph):
+        path = tmp_path / "round.txt"
+        count = save_graph(small_social_graph, path)
+        assert count == small_social_graph.num_edges
+        loaded = load_graph(path)
+        assert loaded.num_edges == small_social_graph.num_edges
+        assert loaded.num_vertices == small_social_graph.num_vertices
+
+    def test_header_written_as_comments(self, tmp_path):
+        path = tmp_path / "with_header.txt"
+        write_edge_list(path, [(0, 1)], header="generated\nfor tests")
+        content = path.read_text()
+        assert content.startswith("# generated\n# for tests\n")
+
+    def test_write_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "graph.txt"
+        write_edge_list(path, [(0, 1), (1, 2)])
+        assert path.exists()
+
+    def test_write_empty_graph(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        count = save_graph(DiGraph(3, [], []), path)
+        assert count == 0
+        assert load_graph(path).num_edges == 0

@@ -1,0 +1,99 @@
+"""Unit tests for neighborhood truncation."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.sampling import (
+    bernoulli_truncate,
+    expected_truncated_size,
+    reservoir_sample,
+    truncate_neighborhood,
+)
+
+
+class TestBernoulliTruncate:
+    def test_small_neighborhood_untouched(self):
+        rng = random.Random(0)
+        assert bernoulli_truncate([1, 2, 3], 10, rng=rng) == [1, 2, 3]
+
+    def test_infinite_threshold_keeps_everything(self):
+        rng = random.Random(0)
+        neighbors = list(range(100))
+        assert bernoulli_truncate(neighbors, math.inf, rng=rng) == neighbors
+
+    def test_empty_neighborhood(self):
+        assert bernoulli_truncate([], 5, rng=random.Random(0)) == []
+
+    def test_truncation_reduces_expected_size(self):
+        rng = random.Random(1)
+        neighbors = list(range(1000))
+        sizes = [len(bernoulli_truncate(neighbors, 50, rng=rng)) for _ in range(30)]
+        mean_size = sum(sizes) / len(sizes)
+        assert 30 <= mean_size <= 75
+
+    def test_result_is_subset(self):
+        rng = random.Random(2)
+        neighbors = list(range(200))
+        kept = bernoulli_truncate(neighbors, 20, rng=rng)
+        assert set(kept) <= set(neighbors)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(GraphError):
+            bernoulli_truncate([1, 2], -1, rng=random.Random(0))
+
+
+class TestReservoirSample:
+    def test_exact_size_guarantee(self):
+        rng = random.Random(0)
+        neighbors = list(range(500))
+        kept = reservoir_sample(neighbors, 32, rng=rng)
+        assert len(kept) == 32
+        assert set(kept) <= set(neighbors)
+
+    def test_small_input_returned_whole(self):
+        rng = random.Random(0)
+        assert reservoir_sample([7, 8], 10, rng=rng) == [7, 8]
+
+    def test_uniformity_rough_check(self):
+        counts = {i: 0 for i in range(20)}
+        for trial in range(400):
+            rng = random.Random(trial)
+            for value in reservoir_sample(list(range(20)), 5, rng=rng):
+                counts[value] += 1
+        # Every element should be picked a comparable number of times.
+        assert min(counts.values()) > 0.3 * max(counts.values())
+
+
+class TestTruncateNeighborhood:
+    def test_exact_mode_bounds_size(self):
+        rng = random.Random(0)
+        kept = truncate_neighborhood(list(range(100)), 10, rng=rng, exact=True)
+        assert len(kept) == 10
+
+    def test_default_mode_is_probabilistic(self):
+        rng = random.Random(0)
+        kept = truncate_neighborhood(list(range(100)), 10, rng=rng)
+        assert set(kept) <= set(range(100))
+
+
+class TestExpectedSize:
+    def test_below_threshold(self):
+        assert expected_truncated_size(5, 10) == 5.0
+
+    def test_above_threshold(self):
+        assert expected_truncated_size(100, 10) == 10.0
+
+    def test_zero_degree(self):
+        assert expected_truncated_size(0, 10) == 0.0
+
+    def test_infinite_threshold(self):
+        assert expected_truncated_size(100, math.inf) == 100.0
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(GraphError):
+            expected_truncated_size(10, -2)

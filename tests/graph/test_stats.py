@@ -1,0 +1,119 @@
+"""Unit tests for graph statistics (degree CDFs, clustering, etc.)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.stats import (
+    average_clustering,
+    clustering_coefficient,
+    coverage_threshold,
+    degree_assortativity,
+    degree_coverage,
+    in_degree_cdf,
+    out_degree_cdf,
+    reciprocity,
+)
+
+
+class TestDegreeCDF:
+    def test_empty_graph(self):
+        cdf = out_degree_cdf(DiGraph(0, [], []))
+        assert cdf.degrees == ()
+        assert cdf.fraction_at_most(10) == 1.0
+        assert cdf.quantile(0.5) == 0
+
+    def test_uniform_degrees(self, triangle_graph):
+        cdf = out_degree_cdf(triangle_graph)
+        assert cdf.degrees == (1,)
+        assert cdf.cumulative == (1.0,)
+        assert cdf.fraction_at_most(0) == 0.0
+        assert cdf.fraction_at_most(1) == 1.0
+
+    def test_star_graph_cdf(self, star_graph):
+        cdf = out_degree_cdf(star_graph)
+        # 10 leaves with degree 1, one hub with degree 10.
+        assert cdf.fraction_at_most(1) == pytest.approx(10 / 11)
+        assert cdf.fraction_at_most(10) == 1.0
+
+    def test_quantile_monotone(self, small_social_graph):
+        cdf = out_degree_cdf(small_social_graph)
+        assert cdf.quantile(0.5) <= cdf.quantile(0.8) <= cdf.quantile(0.99)
+
+    def test_quantile_rejects_bad_fraction(self, triangle_graph):
+        with pytest.raises(ValueError):
+            out_degree_cdf(triangle_graph).quantile(1.5)
+
+    def test_cumulative_is_nondecreasing_and_ends_at_one(self, small_social_graph):
+        cdf = out_degree_cdf(small_social_graph)
+        values = list(cdf.cumulative)
+        assert values == sorted(values)
+        assert values[-1] == pytest.approx(1.0)
+
+    def test_as_series_matches_components(self, small_social_graph):
+        cdf = in_degree_cdf(small_social_graph)
+        series = cdf.as_series()
+        assert [d for d, _ in series] == list(cdf.degrees)
+
+
+class TestCoverage:
+    def test_degree_coverage_matches_cdf(self, small_social_graph):
+        assert degree_coverage(small_social_graph, 5) == pytest.approx(
+            out_degree_cdf(small_social_graph).fraction_at_most(5)
+        )
+
+    def test_coverage_threshold_reaches_requested_fraction(self, small_social_graph):
+        threshold = coverage_threshold(small_social_graph, 0.8)
+        assert degree_coverage(small_social_graph, threshold) >= 0.8
+
+    def test_larger_threshold_covers_more(self, small_social_graph):
+        assert degree_coverage(small_social_graph, 20) >= degree_coverage(
+            small_social_graph, 5
+        )
+
+
+class TestClustering:
+    def test_triangle_is_fully_clustered(self):
+        graph = DiGraph(3, [0, 1, 2, 1, 2, 0], [1, 2, 0, 0, 1, 2])
+        assert clustering_coefficient(graph, 0) == pytest.approx(1.0)
+
+    def test_star_center_has_zero_clustering(self, star_graph):
+        assert clustering_coefficient(star_graph, 0) == 0.0
+
+    def test_low_degree_vertices_have_zero_clustering(self, triangle_graph):
+        # Each vertex of the directed triangle has only one neighbor when the
+        # graph is symmetrized per-vertex (out ∪ in gives two) — use a chain.
+        chain = DiGraph(3, [0, 1], [1, 2])
+        assert clustering_coefficient(chain, 0) == 0.0
+
+    def test_average_clustering_bounds(self, small_social_graph):
+        value = average_clustering(small_social_graph, sample_size=100, seed=0)
+        assert 0.0 <= value <= 1.0
+
+    def test_average_clustering_empty_graph(self):
+        assert average_clustering(DiGraph(0, [], [])) == 0.0
+
+    def test_sampled_clustering_close_to_full(self, small_social_graph):
+        full = average_clustering(small_social_graph)
+        sampled = average_clustering(small_social_graph, sample_size=200, seed=3)
+        assert sampled == pytest.approx(full, abs=0.15)
+
+
+class TestReciprocityAndAssortativity:
+    def test_reciprocity_of_symmetric_graph(self, star_graph):
+        assert reciprocity(star_graph) == pytest.approx(1.0)
+
+    def test_reciprocity_of_one_way_graph(self, triangle_graph):
+        assert reciprocity(triangle_graph) == 0.0
+
+    def test_reciprocity_empty_graph(self):
+        assert reciprocity(DiGraph(2, [], [])) == 0.0
+
+    def test_assortativity_in_valid_range(self, small_social_graph):
+        value = degree_assortativity(small_social_graph)
+        assert -1.0 <= value <= 1.0
+
+    def test_assortativity_degenerate_cases(self, triangle_graph):
+        assert degree_assortativity(DiGraph(2, [0], [1])) == 0.0
+        assert degree_assortativity(triangle_graph) == 0.0

@@ -1,0 +1,108 @@
+"""Unit tests for graph traversal utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.eval.protocol import remove_random_edges
+from repro.graph.digraph import DiGraph
+from repro.graph.traversal import (
+    bfs_distances,
+    effective_diameter,
+    largest_component_fraction,
+    two_hop_coverage,
+    weakly_connected_components,
+)
+
+
+class TestBfs:
+    def test_distances_on_a_chain(self):
+        chain = DiGraph(4, [0, 1, 2], [1, 2, 3])
+        assert bfs_distances(chain, 0) == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_unreachable_vertices_absent(self):
+        graph = DiGraph(4, [0], [1])
+        distances = bfs_distances(graph, 0)
+        assert 2 not in distances
+        assert 3 not in distances
+
+    def test_max_depth_bounds_exploration(self):
+        chain = DiGraph(5, [0, 1, 2, 3], [1, 2, 3, 4])
+        distances = bfs_distances(chain, 0, max_depth=2)
+        assert max(distances.values()) == 2
+
+    def test_negative_depth_rejected(self, triangle_graph):
+        with pytest.raises(GraphError):
+            bfs_distances(triangle_graph, 0, max_depth=-1)
+
+    def test_direction_is_respected(self):
+        graph = DiGraph(3, [1, 2], [0, 1])
+        assert bfs_distances(graph, 0) == {0: 0}
+
+
+class TestComponents:
+    def test_single_component(self, triangle_graph):
+        components = weakly_connected_components(triangle_graph)
+        assert len(components) == 1
+        assert components[0] == {0, 1, 2}
+
+    def test_isolated_vertices_are_singletons(self):
+        graph = DiGraph(4, [0], [1])
+        components = weakly_connected_components(graph)
+        assert len(components) == 3
+        assert components[0] == {0, 1}
+
+    def test_direction_ignored(self):
+        graph = DiGraph(3, [1, 2], [0, 0])
+        assert len(weakly_connected_components(graph)) == 1
+
+    def test_largest_component_fraction(self):
+        graph = DiGraph(4, [0], [1])
+        assert largest_component_fraction(graph) == pytest.approx(0.5)
+        assert largest_component_fraction(DiGraph(0, [], [])) == 0.0
+
+    def test_generated_social_graph_is_mostly_connected(self, small_social_graph):
+        assert largest_component_fraction(small_social_graph) > 0.9
+
+
+class TestTwoHopCoverage:
+    def test_no_edges_gives_zero(self, triangle_graph):
+        assert two_hop_coverage(triangle_graph, []) == 0.0
+
+    def test_full_coverage(self):
+        # 0 -> 1 -> 2; the held-out edge (0, 2) is exactly two hops away.
+        graph = DiGraph(3, [0, 1], [1, 2])
+        assert two_hop_coverage(graph, [(0, 2)]) == 1.0
+
+    def test_partial_coverage(self):
+        graph = DiGraph(4, [0, 1], [1, 2])
+        assert two_hop_coverage(graph, [(0, 2), (0, 3)]) == pytest.approx(0.5)
+
+    def test_clustered_graph_covers_most_removed_edges(self, medium_social_graph):
+        # The property that justifies the paper's K = 2 restriction.
+        split = remove_random_edges(medium_social_graph, seed=1)
+        coverage = two_hop_coverage(split.train_graph, split.removed_edges)
+        assert coverage > 0.5
+
+
+class TestEffectiveDiameter:
+    def test_chain_diameter(self):
+        chain = DiGraph(5, [0, 1, 2, 3], [1, 2, 3, 4])
+        stats = effective_diameter(chain, sample_size=5, percentile=1.0, seed=0)
+        assert stats.effective_diameter == 4
+        assert stats.sampled_sources == 5
+
+    def test_small_world_graph_has_small_diameter(self, medium_social_graph):
+        stats = effective_diameter(medium_social_graph, sample_size=30, seed=1)
+        assert 1 <= stats.effective_diameter <= 8
+        assert stats.mean_reachable > 0
+
+    def test_percentile_validation(self, triangle_graph):
+        with pytest.raises(GraphError):
+            effective_diameter(triangle_graph, percentile=0.0)
+
+    def test_empty_graph(self):
+        stats = effective_diameter(DiGraph(0, [], []))
+        assert stats.effective_diameter == 0
+        assert stats.sampled_sources == 0

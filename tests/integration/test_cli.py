@@ -1,0 +1,42 @@
+"""Integration tests for the ``snaple`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_experiment_choices_include_all_tables_and_figures(self):
+        parser = build_parser()
+        args = parser.parse_args(["table5"])
+        assert args.experiment == "table5"
+        assert args.scale == 1.0
+        assert args.seed == 42
+
+    def test_scale_and_seed_flags(self):
+        args = build_parser().parse_args(["figure9", "--scale", "0.5", "--seed", "7"])
+        assert args.scale == 0.5
+        assert args.seed == 7
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table99"])
+
+
+class TestMain:
+    def test_list_prints_experiments_and_datasets(self, capsys):
+        exit_code = main(["list"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "table5" in captured.out
+        assert "figure11" in captured.out
+        assert "twitter-rv" in captured.out
+
+    def test_running_a_small_figure_prints_series(self, capsys):
+        exit_code = main(["figure9", "--scale", "0.2", "--seed", "3"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Figure 9" in captured.out
+        assert "recall" in captured.out

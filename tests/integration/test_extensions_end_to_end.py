@@ -1,0 +1,107 @@
+"""End-to-end integration tests spanning the extension subsystems.
+
+These tests exercise the full pipeline a downstream user of the extensions
+would run — dataset analog, edge-removal protocol, predictor, metrics — and
+pin the cross-implementation guarantees the library documents: every
+execution path of the same configuration (local, GAS, BSP, K-hop at K = 2,
+content-aware at weight 0) returns identical predictions.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.eval.metrics import evaluate_predictions
+from repro.eval.protocol import remove_random_edges
+from repro.gas.cluster import TYPE_I, cluster_of
+from repro.gas.partition import HdrfVertexCut
+from repro.graph.attributes import generate_profiles
+from repro.graph.datasets import load_dataset
+from repro.snaple import (
+    ContentAwareLinkPredictor,
+    ContentConfig,
+    KHopLinkPredictor,
+    SnapleBspPredictor,
+    SnapleConfig,
+    SnapleLinkPredictor,
+)
+
+
+@pytest.fixture(scope="module")
+def split():
+    graph = load_dataset("pokec", scale=0.2, seed=21)
+    return remove_random_edges(graph, seed=21)
+
+
+@pytest.fixture(scope="module")
+def config():
+    # No truncation so every execution path is fully deterministic.
+    return SnapleConfig(
+        k=5, truncation_threshold=math.inf, k_local=10, seed=21
+    )
+
+
+class TestAllExecutionPathsAgree:
+    @pytest.fixture(scope="class")
+    def local_result(self, split, config):
+        return SnapleLinkPredictor(config).predict_local(split.train_graph)
+
+    def test_gas_with_hdrf_partitioning_matches_local(self, split, config, local_result):
+        gas = SnapleLinkPredictor(config).predict_gas(
+            split.train_graph,
+            cluster=cluster_of(TYPE_I, 4),
+            partitioner=HdrfVertexCut(),
+        )
+        assert gas.predictions == local_result.predictions
+
+    def test_bsp_matches_local(self, split, config, local_result):
+        bsp = SnapleBspPredictor(config).predict(
+            split.train_graph, cluster=cluster_of(TYPE_I, 4)
+        )
+        assert bsp.predictions == local_result.predictions
+
+    def test_two_hop_khop_matches_local(self, split, config, local_result):
+        khop = KHopLinkPredictor(config, num_hops=2).predict(split.train_graph)
+        assert khop.predictions == local_result.predictions
+
+    def test_content_with_zero_weight_matches_local(self, split, config, local_result):
+        profiles = generate_profiles(split.train_graph, seed=21)
+        content = ContentAwareLinkPredictor(
+            ContentConfig(snaple=config, content_weight=0.0)
+        ).predict(split.train_graph, profiles)
+        assert content.predictions == local_result.predictions
+
+    def test_shared_recall_is_non_trivial(self, split, local_result):
+        quality = evaluate_predictions(local_result.predictions, split)
+        assert quality.recall > 0.05
+        assert quality.hits > 0
+
+
+class TestExtensionInteroperability:
+    def test_content_and_khop_compose_with_the_protocol(self, split):
+        """A realistic extension workflow: content-aware scoring for the
+        2-hop candidates, with recall measured by the standard protocol."""
+        profiles = generate_profiles(
+            split.train_graph, homophily=0.9, tags_per_vertex=6, seed=22
+        )
+        snaple = SnapleConfig.paper_default("linearSum", k_local=10, seed=22)
+        content = ContentAwareLinkPredictor(
+            ContentConfig(snaple=snaple, content_weight=0.25)
+        ).predict(split.train_graph, profiles)
+        quality = evaluate_predictions(content.predictions, split)
+        assert 0.0 < quality.recall <= 1.0
+        assert quality.precision <= 1.0
+
+    def test_bsp_accounting_feeds_the_same_metrics_schema(self, split, config):
+        """BSP runs report through the same RunMetrics schema as GAS runs, so
+        the experiment runner and cost model treat both uniformly."""
+        bsp = SnapleBspPredictor(config).predict(
+            split.train_graph, cluster=cluster_of(TYPE_I, 4)
+        )
+        metrics = bsp.bsp_result.metrics
+        assert metrics.total_compute_units > 0
+        assert metrics.total_network_bytes > 0
+        assert metrics.simulated_seconds > 0
+        assert len(metrics.steps) == bsp.bsp_result.supersteps

@@ -1,0 +1,121 @@
+"""Hypothesis property tests for the graph substrate."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.digraph import DiGraph
+from repro.graph.sampling import reservoir_sample
+from repro.graph.stats import degree_coverage, out_degree_cdf
+
+
+@st.composite
+def edge_lists(draw, max_vertices: int = 30, max_edges: int = 120):
+    """Random (num_vertices, sources, targets) triples without self loops."""
+    num_vertices = draw(st.integers(min_value=2, max_value=max_vertices))
+    num_edges = draw(st.integers(min_value=0, max_value=max_edges))
+    pairs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=num_vertices - 1),
+                st.integers(min_value=0, max_value=num_vertices - 1),
+            ).filter(lambda pair: pair[0] != pair[1]),
+            min_size=num_edges,
+            max_size=num_edges,
+        )
+    )
+    unique = sorted(set(pairs))
+    sources = [s for s, _ in unique]
+    targets = [t for _, t in unique]
+    return num_vertices, sources, targets
+
+
+class TestGraphInvariants:
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_degree_sums_equal_edge_count(self, data):
+        num_vertices, sources, targets = data
+        graph = DiGraph(num_vertices, sources, targets)
+        assert int(graph.out_degrees().sum()) == graph.num_edges
+        assert int(graph.in_degrees().sum()) == graph.num_edges
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_out_and_in_adjacency_are_consistent(self, data):
+        num_vertices, sources, targets = data
+        graph = DiGraph(num_vertices, sources, targets)
+        for u in graph.vertices():
+            for v in graph.out_neighbors(u).tolist():
+                assert u in graph.in_neighbors(v).tolist()
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_reversed_twice_is_identity(self, data):
+        num_vertices, sources, targets = data
+        graph = DiGraph(num_vertices, sources, targets)
+        assert graph.reversed().reversed() == graph
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_to_undirected_is_symmetric_and_idempotent(self, data):
+        num_vertices, sources, targets = data
+        undirected = DiGraph(num_vertices, sources, targets).to_undirected()
+        for u, v in undirected.edges():
+            assert undirected.has_edge(v, u)
+        assert undirected.to_undirected().num_edges == undirected.num_edges
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_has_edge_matches_edge_list(self, data):
+        num_vertices, sources, targets = data
+        graph = DiGraph(num_vertices, sources, targets)
+        edge_set = set(zip(sources, targets))
+        for u in graph.vertices():
+            for v in graph.vertices():
+                assert graph.has_edge(u, v) == ((u, v) in edge_set)
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_two_hop_candidates_never_include_direct_neighbors(self, data):
+        num_vertices, sources, targets = data
+        graph = DiGraph(num_vertices, sources, targets)
+        for u in graph.vertices():
+            candidates = graph.two_hop_neighbors(u)
+            assert u not in candidates
+            assert not candidates & graph.neighbor_set(u)
+
+
+class TestStatsInvariants:
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_cdf_is_monotone_and_reaches_one(self, data):
+        num_vertices, sources, targets = data
+        graph = DiGraph(num_vertices, sources, targets)
+        cdf = out_degree_cdf(graph)
+        values = list(cdf.cumulative)
+        assert values == sorted(values)
+        if values:
+            assert values[-1] == 1.0
+
+    @given(edge_lists(), st.integers(min_value=0, max_value=200))
+    @settings(max_examples=60, deadline=None)
+    def test_degree_coverage_in_unit_interval(self, data, threshold):
+        num_vertices, sources, targets = data
+        graph = DiGraph(num_vertices, sources, targets)
+        assert 0.0 <= degree_coverage(graph, threshold) <= 1.0
+
+
+class TestSamplingInvariants:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1000), min_size=0, max_size=200),
+        st.integers(min_value=0, max_value=50),
+        st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_reservoir_sample_size_and_membership(self, neighbors, threshold, seed):
+        sample = reservoir_sample(neighbors, threshold, rng=random.Random(seed))
+        assert len(sample) == min(len(neighbors), threshold)
+        assert all(item in neighbors for item in sample)

@@ -1,0 +1,133 @@
+"""Hypothesis property tests for SNAPLE's scoring framework."""
+
+from __future__ import annotations
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.snaple.aggregators import AGGREGATORS
+from repro.snaple.combinators import COMBINATORS, LinearCombinator
+from repro.snaple.sampler import SAMPLERS
+from repro.snaple.similarity import jaccard
+
+similarity_values = st.floats(min_value=0.0, max_value=1.0,
+                              allow_nan=False, allow_infinity=False)
+
+
+class TestCombinatorProperties:
+    @given(similarity_values, similarity_values,
+           st.sampled_from(sorted(COMBINATORS)))
+    @settings(max_examples=200, deadline=None)
+    def test_non_negative_and_finite(self, a, b, name):
+        result = COMBINATORS[name].combine(a, b)
+        assert result >= 0.0
+        assert math.isfinite(result)
+
+    @given(similarity_values, similarity_values, similarity_values,
+           st.sampled_from(sorted(COMBINATORS)))
+    @settings(max_examples=200, deadline=None)
+    def test_monotone_in_first_argument(self, a, increment, b, name):
+        combinator = COMBINATORS[name]
+        assert combinator.combine(a + increment, b) >= combinator.combine(a, b) - 1e-12
+
+    @given(similarity_values, similarity_values,
+           st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    @settings(max_examples=200, deadline=None)
+    def test_linear_combination_bounded_by_inputs(self, a, b, alpha):
+        result = LinearCombinator(alpha=alpha).combine(a, b)
+        assert min(a, b) - 1e-12 <= result <= max(a, b) + 1e-12
+
+
+class TestAggregatorProperties:
+    @given(st.lists(similarity_values, min_size=1, max_size=20),
+           st.sampled_from(sorted(AGGREGATORS)))
+    @settings(max_examples=200, deadline=None)
+    def test_incremental_equals_batch(self, values, name):
+        # The ⊕pre / ⊕post decomposition (equation (10)) must agree with the
+        # one-shot reduction regardless of how many values arrive.
+        aggregator = AGGREGATORS[name]
+        accumulated = values[0]
+        for value in values[1:]:
+            accumulated = aggregator.pre(accumulated, value)
+        incremental = aggregator.post(accumulated, len(values))
+        assert incremental == pytest_approx(aggregator.aggregate(values))
+
+    @given(st.lists(similarity_values, min_size=1, max_size=20),
+           st.sampled_from(sorted(AGGREGATORS)),
+           st.randoms(use_true_random=False))
+    @settings(max_examples=200, deadline=None)
+    def test_order_invariance(self, values, name, rng):
+        aggregator = AGGREGATORS[name]
+        shuffled = list(values)
+        rng.shuffle(shuffled)
+        assert aggregator.aggregate(shuffled) == pytest_approx(
+            aggregator.aggregate(values)
+        )
+
+    @given(st.lists(similarity_values, min_size=1, max_size=20))
+    @settings(max_examples=200, deadline=None)
+    def test_mean_and_geom_bounded_by_extremes(self, values):
+        for name in ("Mean", "Geom"):
+            result = AGGREGATORS[name].aggregate(values)
+            assert result <= max(values) + 1e-9
+            assert result >= -1e-9
+
+
+class TestSimilarityProperties:
+    neighbor_sets = st.lists(st.integers(min_value=0, max_value=50),
+                             min_size=0, max_size=30)
+
+    @given(neighbor_sets, neighbor_sets)
+    @settings(max_examples=200, deadline=None)
+    def test_jaccard_bounded_and_symmetric(self, left, right):
+        value = jaccard(left, right)
+        assert 0.0 <= value <= 1.0
+        assert value == pytest_approx(jaccard(right, left))
+
+    @given(neighbor_sets)
+    @settings(max_examples=200, deadline=None)
+    def test_jaccard_identity(self, neighbors):
+        expected = 1.0 if set(neighbors) else 0.0
+        assert jaccard(neighbors, neighbors) == pytest_approx(expected)
+
+
+class TestSamplerProperties:
+    similarity_maps = st.dictionaries(
+        keys=st.integers(min_value=0, max_value=500),
+        values=similarity_values,
+        max_size=40,
+    )
+
+    @given(similarity_maps, st.integers(min_value=0, max_value=50),
+           st.integers(min_value=0, max_value=2**16),
+           st.sampled_from(sorted(SAMPLERS)))
+    @settings(max_examples=200, deadline=None)
+    def test_selection_is_bounded_subset(self, similarities, k_local, seed, name):
+        kept = SAMPLERS[name].select(similarities, k_local, rng=random.Random(seed))
+        assert len(kept) == min(len(similarities), k_local)
+        assert set(kept) <= set(similarities)
+        for vertex, value in kept.items():
+            assert value == similarities[vertex]
+
+    @given(similarity_maps, st.integers(min_value=1, max_value=50),
+           st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=200, deadline=None)
+    def test_max_policy_dominates_min_policy(self, similarities, k_local, seed):
+        # Dominance of every kept-by-Γmax value over every kept-by-Γmin value
+        # only holds when the two selections cannot overlap (2·klocal ≤ |Γ|);
+        # with a larger budget both policies share the middle of the ranking.
+        rng = random.Random(seed)
+        top = SAMPLERS["max"].select(similarities, k_local, rng=rng)
+        bottom = SAMPLERS["min"].select(similarities, k_local, rng=rng)
+        if top and bottom and 2 * k_local <= len(similarities):
+            assert min(top.values()) >= max(bottom.values()) - 1e-12
+
+
+def pytest_approx(value: float):
+    """Small helper so hypothesis tests read like pytest.approx comparisons."""
+    import pytest
+
+    return pytest.approx(value, rel=1e-9, abs=1e-9)

@@ -1,0 +1,111 @@
+"""Unit tests for the path aggregators (Table 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.snaple.aggregators import (
+    AGGREGATORS,
+    GeometricMeanAggregator,
+    MaxAggregator,
+    MeanAggregator,
+    SumAggregator,
+    get_aggregator,
+)
+
+
+class TestSum:
+    def test_aggregate(self):
+        assert SumAggregator().aggregate([0.1, 0.2, 0.3]) == pytest.approx(0.6)
+
+    def test_empty(self):
+        assert SumAggregator().aggregate([]) == 0.0
+
+    def test_single(self):
+        assert SumAggregator().aggregate([0.4]) == pytest.approx(0.4)
+
+    def test_rewards_path_multiplicity(self):
+        # Sum gives a candidate reached over many mediocre paths a higher
+        # score than one reached over a single good path — the paper's
+        # popularity effect.
+        many_paths = SumAggregator().aggregate([0.3, 0.3, 0.3])
+        one_path = SumAggregator().aggregate([0.6])
+        assert many_paths > one_path
+
+
+class TestMean:
+    def test_aggregate(self):
+        assert MeanAggregator().aggregate([0.2, 0.4]) == pytest.approx(0.3)
+
+    def test_ignores_path_multiplicity(self):
+        repeated = MeanAggregator().aggregate([0.3, 0.3, 0.3])
+        single = MeanAggregator().aggregate([0.3])
+        assert repeated == pytest.approx(single)
+
+    def test_post_zero_count(self):
+        assert MeanAggregator().post(1.0, 0) == 0.0
+
+
+class TestGeom:
+    def test_aggregate(self):
+        assert GeometricMeanAggregator().aggregate([4.0, 9.0]) == pytest.approx(6.0)
+
+    def test_zero_path_kills_score(self):
+        # The paper notes Geom penalizes candidates connected through any
+        # zero-similarity path (vertex e in Figure 3).
+        assert GeometricMeanAggregator().aggregate([0.0, 0.9, 0.9]) == 0.0
+
+    def test_identity_is_one(self):
+        assert GeometricMeanAggregator().identity() == 1.0
+
+    def test_post_zero_count(self):
+        assert GeometricMeanAggregator().post(1.0, 0) == 0.0
+
+
+class TestMax:
+    def test_aggregate(self):
+        assert MaxAggregator().aggregate([0.1, 0.7, 0.3]) == pytest.approx(0.7)
+
+    def test_single(self):
+        assert MaxAggregator().aggregate([0.2]) == pytest.approx(0.2)
+
+
+class TestDecomposition:
+    @pytest.mark.parametrize("name", ["Sum", "Mean", "Geom", "Max"])
+    def test_incremental_pre_post_matches_aggregate(self, name):
+        # ⊕ must decompose into an incremental ⊕pre and a final ⊕post
+        # (equation (10)); this is what lets the GAS sum compute it.
+        aggregator = get_aggregator(name)
+        values = [0.25, 0.5, 0.75, 0.1]
+        accumulated = values[0]
+        for value in values[1:]:
+            accumulated = aggregator.pre(accumulated, value)
+        assert aggregator.post(accumulated, len(values)) == pytest.approx(
+            aggregator.aggregate(values)
+        )
+
+    @pytest.mark.parametrize("name", ["Sum", "Mean", "Geom", "Max"])
+    def test_pre_is_commutative(self, name):
+        aggregator = get_aggregator(name)
+        assert aggregator.pre(0.3, 0.8) == pytest.approx(aggregator.pre(0.8, 0.3))
+
+    @pytest.mark.parametrize("name", ["Sum", "Mean", "Geom", "Max"])
+    def test_pre_is_associative(self, name):
+        aggregator = get_aggregator(name)
+        left = aggregator.pre(aggregator.pre(0.2, 0.5), 0.9)
+        right = aggregator.pre(0.2, aggregator.pre(0.5, 0.9))
+        assert left == pytest.approx(right)
+
+
+class TestRegistry:
+    def test_paper_aggregators_present(self):
+        assert {"Sum", "Mean", "Geom"} <= set(AGGREGATORS)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_aggregator("median")
+
+    def test_lookup_is_case_sensitive(self):
+        with pytest.raises(ConfigurationError):
+            get_aggregator("sum")

@@ -1,0 +1,152 @@
+"""Tests for SNAPLE expressed as a BSP/Pregel program."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bsp.partition import BlockVertexPartitioner
+from repro.eval.metrics import evaluate_predictions
+from repro.eval.protocol import remove_random_edges
+from repro.gas.cluster import TYPE_II, cluster_of
+from repro.gas.partition import GreedyVertexCut
+from repro.snaple.bsp_program import SnapleBspPredictor, SnapleBspProgram
+from repro.snaple.config import SnapleConfig
+from repro.snaple.predictor import SnapleLinkPredictor
+
+
+def _untruncated_config(**overrides) -> SnapleConfig:
+    """A deterministic configuration (no truncation randomness)."""
+    defaults = dict(
+        k=5,
+        truncation_threshold=math.inf,
+        k_local=math.inf,
+        seed=3,
+    )
+    defaults.update(overrides)
+    return SnapleConfig(**defaults)
+
+
+class TestSnapleBspEquivalence:
+    def test_matches_local_predictions_without_truncation(self, small_social_graph):
+        config = _untruncated_config()
+        local = SnapleLinkPredictor(config).predict_local(small_social_graph)
+        bsp = SnapleBspPredictor(config).predict(small_social_graph)
+        assert bsp.predictions == local.predictions
+
+    def test_matches_local_scores_without_truncation(self, small_social_graph):
+        config = _untruncated_config()
+        local = SnapleLinkPredictor(config).predict_local(small_social_graph)
+        bsp = SnapleBspPredictor(config).predict(small_social_graph)
+        for u in small_social_graph.vertices():
+            assert set(bsp.scores[u]) == set(local.scores[u])
+            for z, value in bsp.scores[u].items():
+                assert value == pytest.approx(local.scores[u][z])
+
+    def test_matches_gas_predictions_without_truncation(self, small_social_graph):
+        config = _untruncated_config()
+        gas = SnapleLinkPredictor(config).predict_gas(
+            small_social_graph, cluster=cluster_of(TYPE_II, 4)
+        )
+        bsp = SnapleBspPredictor(config).predict(
+            small_social_graph, cluster=cluster_of(TYPE_II, 4)
+        )
+        assert bsp.predictions == gas.predictions
+
+    @pytest.mark.parametrize("score_name", ["linearSum", "counter", "PPR", "geomMean"])
+    def test_equivalence_holds_across_score_configurations(
+        self, small_social_graph, score_name
+    ):
+        config = _untruncated_config().with_score(score_name)
+        local = SnapleLinkPredictor(config).predict_local(small_social_graph)
+        bsp = SnapleBspPredictor(config).predict(small_social_graph)
+        assert bsp.predictions == local.predictions
+
+    def test_klocal_sampling_is_respected(self, small_social_graph):
+        config = _untruncated_config(k_local=3)
+        bsp = SnapleBspPredictor(config).predict(small_social_graph)
+        for u in small_social_graph.vertices():
+            state = bsp.bsp_result.state_of(u)
+            assert len(state.get("sims", {})) <= 3
+
+    def test_distribution_does_not_change_predictions(self, small_social_graph):
+        config = _untruncated_config()
+        single = SnapleBspPredictor(config).predict(
+            small_social_graph, cluster=cluster_of(TYPE_II, 1)
+        )
+        distributed = SnapleBspPredictor(config).predict(
+            small_social_graph,
+            cluster=cluster_of(TYPE_II, 8),
+            partitioner=BlockVertexPartitioner(),
+        )
+        assert single.predictions == distributed.predictions
+
+
+class TestSnapleBspBehaviour:
+    def test_predictions_exclude_existing_neighbors(self, small_social_graph):
+        config = _untruncated_config()
+        result = SnapleBspPredictor(config).predict(small_social_graph)
+        for u, targets in result.predictions.items():
+            existing = small_social_graph.neighbor_set(u)
+            assert not (set(targets) & existing)
+            assert u not in targets
+
+    def test_recall_is_non_trivial_on_clustered_graph(self, medium_social_graph):
+        split = remove_random_edges(medium_social_graph, seed=1)
+        config = SnapleConfig.paper_default("linearSum", k_local=20, seed=1)
+        result = SnapleBspPredictor(config).predict(split.train_graph)
+        quality = evaluate_predictions(result.predictions, split)
+        assert quality.recall > 0.1
+
+    def test_runs_exactly_four_supersteps(self, small_social_graph):
+        result = SnapleBspPredictor(_untruncated_config()).predict(small_social_graph)
+        assert result.bsp_result.supersteps == 4
+        assert len(result.bsp_result.metrics.steps) == 4
+
+    def test_truncation_bounds_neighborhood_state(self, medium_social_graph):
+        config = SnapleConfig(
+            truncation_threshold=5, exact_truncation=True, k_local=math.inf, seed=2
+        )
+        result = SnapleBspPredictor(config).predict(medium_social_graph)
+        for u in medium_social_graph.vertices():
+            assert len(result.bsp_result.state_of(u).get("gamma", [])) <= 5
+
+    def test_predicted_edges_helper(self, small_social_graph):
+        result = SnapleBspPredictor(_untruncated_config()).predict(small_social_graph)
+        edges = result.predicted_edges()
+        assert all(isinstance(edge, tuple) and len(edge) == 2 for edge in edges)
+        assert len(edges) == sum(len(t) for t in result.predictions.values())
+
+
+class TestBspVersusGasDataFlow:
+    def test_greedy_vertex_cut_gas_beats_bsp_traffic(self, medium_social_graph):
+        """The data-flow comparison behind the engine ablation.
+
+        A message-passing (Pregel) port must ship every truncated
+        neighborhood along every cut edge; the vertex-cut GAS engine shares
+        vertex data through mirrors, so once the partitioner keeps the
+        replication factor low (greedy vertex-cut) its traffic drops below
+        the BSP port's.  With PowerGraph's random placement the two are of
+        comparable magnitude — the ablation benchmark reports both.
+        """
+        config = SnapleConfig.paper_default("linearSum", k_local=20, seed=5)
+        cluster = cluster_of(TYPE_II, 8)
+        gas_greedy = SnapleLinkPredictor(config).predict_gas(
+            medium_social_graph, cluster=cluster, partitioner=GreedyVertexCut()
+        )
+        gas_random = SnapleLinkPredictor(config).predict_gas(
+            medium_social_graph, cluster=cluster
+        )
+        bsp = SnapleBspPredictor(config).predict(medium_social_graph, cluster=cluster)
+        greedy_bytes = gas_greedy.gas_result.metrics.total_network_bytes
+        random_bytes = gas_random.gas_result.metrics.total_network_bytes
+        bsp_bytes = bsp.bsp_result.metrics.total_network_bytes
+        assert greedy_bytes < bsp_bytes
+        # Random vertex-cut and the BSP port carry the same order of traffic.
+        assert random_bytes / 5 < bsp_bytes < random_bytes * 5
+
+    def test_single_machine_bsp_has_no_network_cost(self, small_social_graph):
+        config = _untruncated_config()
+        result = SnapleBspPredictor(config).predict(small_social_graph)
+        assert result.bsp_result.metrics.total_network_bytes == 0

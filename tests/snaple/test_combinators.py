@@ -1,0 +1,107 @@
+"""Unit tests for the path combinators (Table 1)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.snaple.combinators import (
+    COMBINATORS,
+    CountCombinator,
+    EuclideanCombinator,
+    GeometricCombinator,
+    LinearCombinator,
+    SumCombinator,
+    get_combinator,
+)
+
+
+class TestLinear:
+    def test_paper_alpha_weighting(self):
+        linear = LinearCombinator(alpha=0.9)
+        assert linear.combine(1.0, 0.0) == pytest.approx(0.9)
+        assert linear.combine(0.0, 1.0) == pytest.approx(0.1)
+
+    def test_alpha_half_is_average(self):
+        linear = LinearCombinator(alpha=0.5)
+        assert linear.combine(0.2, 0.6) == pytest.approx(0.4)
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinearCombinator(alpha=1.5)
+        with pytest.raises(ConfigurationError):
+            LinearCombinator(alpha=-0.1)
+
+    def test_repr_shows_alpha(self):
+        assert "0.7" in repr(LinearCombinator(alpha=0.7))
+
+
+class TestOtherCombinators:
+    def test_euclidean_matches_table1(self):
+        eucl = EuclideanCombinator()
+        assert eucl.combine(3.0, 4.0) == pytest.approx(5.0)
+
+    def test_geometric_matches_table1(self):
+        geom = GeometricCombinator()
+        assert geom.combine(4.0, 9.0) == pytest.approx(6.0)
+
+    def test_geometric_zero_on_zero_input(self):
+        geom = GeometricCombinator()
+        assert geom.combine(0.0, 0.5) == 0.0
+
+    def test_sum(self):
+        assert SumCombinator().combine(0.2, 0.3) == pytest.approx(0.5)
+
+    def test_count_always_one(self):
+        count = CountCombinator()
+        assert count.combine(0.0, 0.0) == 1.0
+        assert count.combine(100.0, 5.0) == 1.0
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("name", ["linear", "eucl", "geom", "sum"])
+    def test_monotone_in_both_arguments(self, name):
+        # Table 1 requires the combinator to be monotonically increasing.
+        combinator = get_combinator(name)
+        base = combinator.combine(0.3, 0.4)
+        assert combinator.combine(0.5, 0.4) >= base
+        assert combinator.combine(0.3, 0.6) >= base
+
+
+class TestFoldAndRegistry:
+    def test_fold_empty(self):
+        assert get_combinator("sum").fold([]) == 0.0
+
+    def test_fold_single(self):
+        assert get_combinator("sum").fold([0.7]) == pytest.approx(0.7)
+
+    def test_fold_many(self):
+        assert get_combinator("sum").fold([0.1, 0.2, 0.3]) == pytest.approx(0.6)
+
+    def test_fold_linear_is_left_fold(self):
+        # fold([1, 0, 0]) = combine(combine(1, 0), 0) = combine(0.5, 0) = 0.25
+        linear = LinearCombinator(alpha=0.5)
+        assert linear.fold([1.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_registry_contains_all_table1_rows(self):
+        assert set(COMBINATORS) == {"linear", "eucl", "geom", "sum", "count"}
+
+    def test_callable_interface(self):
+        assert get_combinator("sum")(1.0, 2.0) == 3.0
+
+    def test_alpha_override_only_for_linear(self):
+        custom = get_combinator("linear", alpha=0.25)
+        assert isinstance(custom, LinearCombinator)
+        assert custom.alpha == 0.25
+        with pytest.raises(ConfigurationError):
+            get_combinator("geom", alpha=0.5)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_combinator("quadratic")
+
+    def test_outputs_are_finite(self):
+        for combinator in COMBINATORS.values():
+            assert math.isfinite(combinator.combine(0.9, 0.7))

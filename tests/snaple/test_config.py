@@ -1,0 +1,85 @@
+"""Unit tests for the SNAPLE predictor configuration."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.snaple.config import SnapleConfig
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        config = SnapleConfig()
+        assert config.k == 5
+        assert config.score.name == "linearSum"
+        assert config.truncation_threshold == 200.0
+        assert math.isinf(config.k_local)
+        assert config.sampler.name == "max"
+
+    def test_paper_default_constructor(self):
+        config = SnapleConfig.paper_default("counter", k_local=40)
+        assert config.score.name == "counter"
+        assert config.k_local == 40
+        assert config.truncation_threshold == 200
+
+    def test_paper_default_linear_alpha(self):
+        config = SnapleConfig.paper_default("linearSum", alpha=0.9)
+        assert config.score.combinator.alpha == pytest.approx(0.9)
+
+    def test_paper_default_custom_alpha(self):
+        config = SnapleConfig.paper_default("linearMean", alpha=0.4)
+        assert config.score.combinator.alpha == pytest.approx(0.4)
+
+
+class TestValidation:
+    def test_k_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            SnapleConfig(k=0)
+
+    def test_truncation_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            SnapleConfig(truncation_threshold=0.5)
+        SnapleConfig(truncation_threshold=math.inf)  # allowed
+
+    def test_k_local_validation(self):
+        with pytest.raises(ConfigurationError):
+            SnapleConfig(k_local=0)
+        SnapleConfig(k_local=math.inf)  # allowed
+
+
+class TestCopies:
+    def test_with_score(self):
+        config = SnapleConfig().with_score("counter")
+        assert config.score.name == "counter"
+
+    def test_with_k_local(self):
+        assert SnapleConfig().with_k_local(40).k_local == 40
+
+    def test_with_truncation(self):
+        assert SnapleConfig().with_truncation(20).truncation_threshold == 20
+
+    def test_with_sampler(self):
+        assert SnapleConfig().with_sampler("rnd").sampler.name == "rnd"
+
+    def test_with_k(self):
+        assert SnapleConfig().with_k(15).k == 15
+
+    def test_copies_do_not_mutate_original(self):
+        original = SnapleConfig()
+        original.with_k(20)
+        assert original.k == 5
+
+    def test_describe_mentions_parameters(self):
+        text = SnapleConfig.paper_default("PPR", k_local=20,
+                                          truncation_threshold=40).describe()
+        assert "PPR" in text
+        assert "thrΓ=40" in text
+        assert "klocal=20" in text
+        assert "Γmax" in text
+
+    def test_describe_infinite_values(self):
+        text = SnapleConfig().describe()
+        assert "klocal=inf" in text

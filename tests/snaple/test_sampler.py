@@ -1,0 +1,92 @@
+"""Unit tests for the klocal neighbor-sampling policies."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.snaple.sampler import (
+    SAMPLERS,
+    BottomSimilaritySampler,
+    RandomSampler,
+    TopSimilaritySampler,
+    get_sampler,
+)
+
+SIMILARITIES = {10: 0.9, 11: 0.5, 12: 0.7, 13: 0.1, 14: 0.3}
+
+
+class TestTopSampler:
+    def test_keeps_highest_similarities(self):
+        kept = TopSimilaritySampler().select(SIMILARITIES, 2, rng=random.Random(0))
+        assert set(kept) == {10, 12}
+
+    def test_values_preserved(self):
+        kept = TopSimilaritySampler().select(SIMILARITIES, 3, rng=random.Random(0))
+        for vertex, value in kept.items():
+            assert value == SIMILARITIES[vertex]
+
+    def test_large_budget_keeps_everything(self):
+        kept = TopSimilaritySampler().select(SIMILARITIES, 100, rng=random.Random(0))
+        assert kept == SIMILARITIES
+
+    def test_infinite_budget_keeps_everything(self):
+        kept = TopSimilaritySampler().select(SIMILARITIES, math.inf, rng=random.Random(0))
+        assert kept == SIMILARITIES
+
+    def test_zero_budget_keeps_nothing(self):
+        assert TopSimilaritySampler().select(SIMILARITIES, 0, rng=random.Random(0)) == {}
+
+    def test_deterministic_tie_break(self):
+        ties = {1: 0.5, 2: 0.5, 3: 0.5}
+        first = TopSimilaritySampler().select(ties, 2, rng=random.Random(0))
+        second = TopSimilaritySampler().select(ties, 2, rng=random.Random(99))
+        assert first == second
+
+
+class TestBottomSampler:
+    def test_keeps_lowest_similarities(self):
+        kept = BottomSimilaritySampler().select(SIMILARITIES, 2, rng=random.Random(0))
+        assert set(kept) == {13, 14}
+
+    def test_disjoint_from_top_when_budget_small(self):
+        top = TopSimilaritySampler().select(SIMILARITIES, 2, rng=random.Random(0))
+        bottom = BottomSimilaritySampler().select(SIMILARITIES, 2, rng=random.Random(0))
+        assert not set(top) & set(bottom)
+
+
+class TestRandomSampler:
+    def test_subset_of_input(self):
+        kept = RandomSampler().select(SIMILARITIES, 3, rng=random.Random(1))
+        assert set(kept) <= set(SIMILARITIES)
+        assert len(kept) == 3
+
+    def test_seed_controls_choice(self):
+        first = RandomSampler().select(SIMILARITIES, 2, rng=random.Random(1))
+        second = RandomSampler().select(SIMILARITIES, 2, rng=random.Random(1))
+        assert first == second
+
+    def test_small_input_kept_whole(self):
+        kept = RandomSampler().select({5: 0.5}, 10, rng=random.Random(0))
+        assert kept == {5: 0.5}
+
+
+class TestValidationAndRegistry:
+    @pytest.mark.parametrize("name", ["max", "min", "rnd"])
+    def test_negative_budget_rejected(self, name):
+        with pytest.raises(ConfigurationError):
+            get_sampler(name).select(SIMILARITIES, -1, rng=random.Random(0))
+
+    def test_registry_names(self):
+        assert set(SAMPLERS) == {"max", "min", "rnd"}
+
+    def test_unknown_sampler_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_sampler("top")
+
+    @pytest.mark.parametrize("name", ["max", "min", "rnd"])
+    def test_empty_input(self, name):
+        assert get_sampler(name).select({}, 5, rng=random.Random(0)) == {}

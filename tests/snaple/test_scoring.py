@@ -1,0 +1,95 @@
+"""Unit tests for the Table 3 scoring configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.snaple.scoring import (
+    GEOM_FAMILY,
+    MEAN_FAMILY,
+    PAPER_SCORES,
+    SUM_FAMILY,
+    paper_score_names,
+    score_config,
+)
+
+
+class TestTable3Registry:
+    def test_eleven_configurations(self):
+        # Nine Jaccard combinations plus PPR and counter (Table 3).
+        assert len(PAPER_SCORES) == 11
+
+    def test_all_names_present(self):
+        expected = {
+            "linearSum", "euclSum", "geomSum", "PPR", "counter",
+            "linearMean", "euclMean", "geomMean",
+            "linearGeom", "euclGeom", "geomGeom",
+        }
+        assert set(PAPER_SCORES) == expected
+
+    def test_families_partition_the_names(self):
+        families = set(SUM_FAMILY) | set(MEAN_FAMILY) | set(GEOM_FAMILY)
+        assert families == set(PAPER_SCORES)
+        assert not set(SUM_FAMILY) & set(MEAN_FAMILY)
+        assert not set(MEAN_FAMILY) & set(GEOM_FAMILY)
+
+    def test_paper_score_names_order(self):
+        names = paper_score_names()
+        assert names[: len(SUM_FAMILY)] == list(SUM_FAMILY)
+        assert len(names) == 11
+
+    def test_jaccard_rows_use_jaccard(self):
+        for name in ("linearSum", "euclMean", "geomGeom"):
+            assert score_config(name).similarity_name == "jaccard"
+
+    def test_ppr_row_matches_table3(self):
+        ppr = score_config("PPR")
+        assert ppr.similarity_name == "inverse_degree"
+        assert ppr.combinator.name == "sum"
+        assert ppr.aggregator.name == "Sum"
+
+    def test_counter_row_matches_table3(self):
+        counter = score_config("counter")
+        assert counter.similarity_name == "one"
+        assert counter.combinator.name == "count"
+        assert counter.aggregator.name == "Sum"
+
+    def test_name_encodes_combinator_and_aggregator(self):
+        config = score_config("euclMean")
+        assert config.combinator.name == "eucl"
+        assert config.aggregator.name == "Mean"
+
+
+class TestConfigBehaviour:
+    def test_unknown_score_raises(self):
+        with pytest.raises(ConfigurationError):
+            score_config("magic")
+
+    def test_alpha_override(self):
+        config = score_config("linearSum", alpha=0.5)
+        assert config.combinator.alpha == 0.5
+
+    def test_alpha_override_rejected_for_non_linear(self):
+        with pytest.raises(ConfigurationError):
+            score_config("euclSum", alpha=0.5)
+
+    def test_with_alpha_copy(self):
+        original = score_config("linearMean")
+        copy = original.with_alpha(0.3)
+        assert copy.combinator.alpha == 0.3
+        assert original.combinator.alpha == 0.9
+
+    def test_with_alpha_rejected_for_non_linear(self):
+        with pytest.raises(ConfigurationError):
+            score_config("counter").with_alpha(0.5)
+
+    def test_describe_mentions_components(self):
+        text = score_config("geomSum").describe()
+        assert "geom" in text
+        assert "Sum" in text
+        assert "jaccard" in text
+
+    def test_similarity_function_resolved(self):
+        config = score_config("linearSum")
+        assert config.similarity([1, 2], [1, 2]) == pytest.approx(1.0)

@@ -1,0 +1,88 @@
+"""Unit tests for the raw similarity metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.snaple.similarity import (
+    SIMILARITIES,
+    adamic_adar_weight,
+    common_neighbors,
+    constant_one,
+    cosine,
+    dice,
+    get_similarity,
+    inverse_degree,
+    jaccard,
+    overlap_coefficient,
+)
+
+
+class TestJaccard:
+    def test_identical_sets(self):
+        assert jaccard([1, 2, 3], [1, 2, 3]) == pytest.approx(1.0)
+
+    def test_disjoint_sets(self):
+        assert jaccard([1, 2], [3, 4]) == 0.0
+
+    def test_partial_overlap(self):
+        assert jaccard([1, 2, 3], [2, 3, 4]) == pytest.approx(2 / 4)
+
+    def test_both_empty(self):
+        assert jaccard([], []) == 0.0
+
+    def test_one_empty(self):
+        assert jaccard([1, 2], []) == 0.0
+
+    def test_duplicates_treated_as_sets(self):
+        assert jaccard([1, 1, 2], [2, 2, 1]) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        assert jaccard([1, 2, 3], [3, 4]) == jaccard([3, 4], [1, 2, 3])
+
+
+class TestOtherSimilarities:
+    def test_common_neighbors(self):
+        assert common_neighbors([1, 2, 3], [2, 3, 4]) == 2.0
+
+    def test_cosine(self):
+        assert cosine([1, 2], [2, 3]) == pytest.approx(1 / 2)
+        assert cosine([], [1]) == 0.0
+
+    def test_dice(self):
+        assert dice([1, 2, 3], [2, 3, 4]) == pytest.approx(4 / 6)
+        assert dice([], []) == 0.0
+
+    def test_overlap_coefficient(self):
+        assert overlap_coefficient([1, 2], [1, 2, 3, 4]) == pytest.approx(1.0)
+        assert overlap_coefficient([], [1]) == 0.0
+
+    def test_adamic_adar_weight(self):
+        assert adamic_adar_weight([1, 2], [3, 4]) == 0.0
+        assert adamic_adar_weight([1, 2, 3], [2, 3, 4]) > 0.0
+
+    def test_constant_one(self):
+        assert constant_one([], []) == 1.0
+        assert constant_one([1, 2], [9]) == 1.0
+
+    def test_inverse_degree(self):
+        assert inverse_degree([1, 2], [1, 2, 3, 4]) == pytest.approx(0.25)
+        assert inverse_degree([1], []) == 0.0
+
+
+class TestBoundsAndRegistry:
+    @pytest.mark.parametrize("name", ["jaccard", "cosine", "dice", "overlap"])
+    def test_normalized_metrics_bounded_by_one(self, name):
+        sim = get_similarity(name)
+        assert 0.0 <= sim([1, 2, 3, 4], [3, 4, 5]) <= 1.0
+
+    def test_registry_contains_paper_metrics(self):
+        assert {"jaccard", "one", "inverse_degree"} <= set(SIMILARITIES)
+
+    def test_lookup_by_name(self):
+        assert get_similarity("jaccard") is jaccard
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_similarity("does-not-exist")
