@@ -23,10 +23,10 @@ from repro.snaple import SnapleConfig, SnapleLinkPredictor
 
 
 def snaple_time(graph, config, cluster) -> float:
-    result = SnapleLinkPredictor(config).predict_gas(
-        graph, cluster=cluster, enforce_memory=False
+    report = SnapleLinkPredictor(config).predict(
+        graph, backend="gas", cluster=cluster, enforce_memory=False
     )
-    return result.simulated_seconds
+    return report.simulated_seconds
 
 
 def main() -> None:
@@ -63,9 +63,9 @@ def main() -> None:
     baseline_peak = GasBaselinePredictor().predict_gas(
         train, cluster=relaxed, enforce_memory=False
     ).gas_result.metrics.peak_machine_memory_bytes
-    snaple_peak = SnapleLinkPredictor(config).predict_gas(
-        train, cluster=relaxed, enforce_memory=False
-    ).gas_result.metrics.peak_machine_memory_bytes
+    snaple_peak = SnapleLinkPredictor(config).predict(
+        train, backend="gas", cluster=relaxed, enforce_memory=False
+    ).peak_memory_bytes
     print(f"  peak per-machine memory: BASELINE {baseline_peak / 1024**2:.2f} MiB, "
           f"SNAPLE {snaple_peak / 1024**2:.2f} MiB")
     capacity = (baseline_peak + snaple_peak) / 2
@@ -76,7 +76,8 @@ def main() -> None:
         print("  BASELINE fits (unexpected at this capacity)")
     except ResourceExhaustedError as exc:
         print(f"  BASELINE fails: {exc}")
-    snaple_run = SnapleLinkPredictor(config).predict_gas(train, cluster=constrained)
+    snaple_run = SnapleLinkPredictor(config).predict(train, backend="gas",
+                                                     cluster=constrained)
     print(f"  SNAPLE completes in {snaple_run.simulated_seconds:.2f}s "
           "on the same constrained cluster")
 

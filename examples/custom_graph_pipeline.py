@@ -45,7 +45,7 @@ def main() -> None:
 
     snaple = SnapleLinkPredictor(
         SnapleConfig.paper_default("linearSum", k_local=20, seed=3)
-    ).predict_local(split.train_graph)
+    ).predict(split.train_graph, backend="local")
     quality = evaluate_predictions(snaple.predictions, split)
     print(f"{'SNAPLE linearSum (klocal=20)':32s} {quality.recall:8.3f} "
           f"{snaple.wall_clock_seconds:8.2f}")

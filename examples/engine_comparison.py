@@ -2,14 +2,18 @@
 
 The paper implements SNAPLE on GraphLab's gather-apply-scatter model and
 names porting it to BSP engines (Giraph, Bagel) as future work.  This example
-runs the identical configuration through three execution paths on the same
-simulated 8-machine cluster and compares what each one costs:
+runs the identical configuration through three execution backends from the
+:mod:`repro.runtime` registry on the same simulated 8-machine cluster and
+compares what each one costs:
 
-* the GAS engine with PowerGraph's random vertex-cut,
-* the GAS engine with the greedy (replication-minimizing) vertex-cut,
-* the BSP/Pregel engine (hash edge-cut, explicit messages).
+* the ``gas`` backend with PowerGraph's random vertex-cut,
+* the ``gas`` backend with the greedy (replication-minimizing) vertex-cut,
+* the ``bsp`` backend (hash edge-cut, explicit messages).
 
 All three produce exactly the same predictions — only the data flow differs.
+The normalized :class:`~repro.runtime.report.RunReport` makes the comparison
+one loop: every backend reports network bytes and simulated seconds under
+the same names.
 
 Run it with::
 
@@ -23,7 +27,7 @@ from repro.eval.protocol import remove_random_edges
 from repro.gas.cluster import TYPE_I, cluster_of
 from repro.gas.partition import GreedyVertexCut
 from repro.graph.datasets import load_dataset
-from repro.snaple import SnapleBspPredictor, SnapleConfig, SnapleLinkPredictor
+from repro.snaple import SnapleConfig, SnapleLinkPredictor
 
 
 def main() -> None:
@@ -31,41 +35,38 @@ def main() -> None:
     split = remove_random_edges(graph, seed=7)
     config = SnapleConfig.paper_default("linearSum", k_local=20, seed=7)
     cluster = cluster_of(TYPE_I, 8)
+    predictor = SnapleLinkPredictor(config)
     print(f"graph: {graph.summary()}")
     print(f"cluster: {cluster.describe()}")
     print(f"configuration: {config.describe()}\n")
 
-    gas_random = SnapleLinkPredictor(config).predict_gas(
-        split.train_graph, cluster=cluster
-    )
-    gas_greedy = SnapleLinkPredictor(config).predict_gas(
-        split.train_graph, cluster=cluster, partitioner=GreedyVertexCut()
-    )
-    bsp = SnapleBspPredictor(config).predict(split.train_graph, cluster=cluster)
-
-    rows = [
-        ("GAS, random vertex-cut", gas_random.predictions,
-         gas_random.gas_result.metrics, gas_random.simulated_seconds),
-        ("GAS, greedy vertex-cut", gas_greedy.predictions,
-         gas_greedy.gas_result.metrics, gas_greedy.simulated_seconds),
-        ("BSP (Pregel), hash edge-cut", bsp.predictions,
-         bsp.bsp_result.metrics, bsp.simulated_seconds),
+    runs = [
+        ("GAS, random vertex-cut",
+         predictor.predict(split.train_graph, backend="gas", cluster=cluster)),
+        ("GAS, greedy vertex-cut",
+         predictor.predict(split.train_graph, backend="gas", cluster=cluster,
+                           partitioner=GreedyVertexCut())),
+        ("BSP (Pregel), hash edge-cut",
+         predictor.predict(split.train_graph, backend="bsp", cluster=cluster)),
     ]
-    print(f"{'execution path':<30} {'recall':>7} {'network MiB':>12} {'sim time':>9}")
-    for name, predictions, metrics, simulated in rows:
-        recall = evaluate_predictions(predictions, split).recall
-        network = metrics.total_network_bytes / 1024**2
-        print(f"{name:<30} {recall:>7.3f} {network:>12.2f} {simulated:>8.3f}s")
 
+    print(f"{'execution path':<30} {'recall':>7} {'network MiB':>12} {'sim time':>9}")
+    for name, report in runs:
+        recall = evaluate_predictions(report.predictions, split).recall
+        network = report.network_bytes / 1024**2
+        print(f"{name:<30} {recall:>7.3f} {network:>12.2f} "
+              f"{report.simulated_seconds:>8.3f}s")
+
+    gas_random, gas_greedy, bsp = (report for _, report in runs)
     assert gas_random.predictions == gas_greedy.predictions == bsp.predictions
-    print("\nall three paths return identical predictions; only the data flow "
-          "(and therefore the simulated cost) differs.")
+    print("\nall three backends return identical predictions; only the data "
+          "flow (and therefore the simulated cost) differs.")
     print("replication factor (random cut): "
-          f"{gas_random.gas_result.partition.replication_factor():.2f}")
+          f"{gas_random.native.partition.replication_factor():.2f}")
     print("replication factor (greedy cut): "
-          f"{gas_greedy.gas_result.partition.replication_factor():.2f}")
+          f"{gas_greedy.native.partition.replication_factor():.2f}")
     print("cut edge fraction (BSP hash):    "
-          f"{bsp.bsp_result.partition.cut_fraction(split.train_graph):.2f}")
+          f"{bsp.native.partition.cut_fraction(split.train_graph):.2f}")
 
 
 if __name__ == "__main__":

@@ -37,7 +37,7 @@ def main() -> None:
     #    (α = 0.9) + Sum aggregator, thrΓ = 200, klocal = 20, k = 5.
     config = SnapleConfig.paper_default("linearSum", k_local=20)
     predictor = SnapleLinkPredictor(config)
-    result = predictor.predict_local(split.train_graph)
+    result = predictor.predict(split.train_graph, backend="local")
     print(f"configuration: {config.describe()}")
     print(f"prediction time: {result.wall_clock_seconds:.2f}s")
 

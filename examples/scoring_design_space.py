@@ -32,7 +32,8 @@ def main() -> None:
     for score_name in paper_score_names():
         for k_local in (5, 40):
             config = SnapleConfig.paper_default(score_name, k_local=k_local, seed=42)
-            result = SnapleLinkPredictor(config).predict_local(split.train_graph)
+            result = SnapleLinkPredictor(config).predict(split.train_graph,
+                                                         backend="local")
             quality = evaluate_predictions(result.predictions, split)
             rows.append((score_name, k_local, quality.recall,
                          result.wall_clock_seconds))

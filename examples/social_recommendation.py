@@ -56,23 +56,22 @@ def main() -> None:
                  baseline.simulated_seconds, metrics.total_network_bytes,
                  metrics.peak_machine_memory_bytes)
 
-    snaple_cluster = SnapleLinkPredictor(config).predict_gas(
-        split.train_graph, cluster=cluster, enforce_memory=False
+    snaple_cluster = SnapleLinkPredictor(config).predict(
+        split.train_graph, backend="gas", cluster=cluster, enforce_memory=False
     )
     cluster_quality = evaluate_predictions(snaple_cluster.predictions, split)
-    metrics = snaple_cluster.gas_result.metrics
     describe_run("SNAPLE (4 × type-II)", cluster_quality.recall,
-                 snaple_cluster.simulated_seconds, metrics.total_network_bytes,
-                 metrics.peak_machine_memory_bytes)
+                 snaple_cluster.simulated_seconds, snaple_cluster.network_bytes,
+                 snaple_cluster.peak_memory_bytes)
 
-    snaple_single = SnapleLinkPredictor(config).predict_gas(
-        split.train_graph, cluster=single_machine, enforce_memory=False
+    snaple_single = SnapleLinkPredictor(config).predict(
+        split.train_graph, backend="gas", cluster=single_machine,
+        enforce_memory=False
     )
     single_quality = evaluate_predictions(snaple_single.predictions, split)
-    metrics = snaple_single.gas_result.metrics
     describe_run("SNAPLE (1 × type-II)", single_quality.recall,
-                 snaple_single.simulated_seconds, metrics.total_network_bytes,
-                 metrics.peak_machine_memory_bytes)
+                 snaple_single.simulated_seconds, snaple_single.network_bytes,
+                 snaple_single.peak_memory_bytes)
 
     speedup = baseline.simulated_seconds / snaple_cluster.simulated_seconds
     gain = cluster_quality.recall / max(baseline_quality.recall, 1e-9)

@@ -10,7 +10,11 @@ Run the klocal sensitivity figure at a smaller scale with a custom seed::
 
     snaple figure8 --scale 0.5 --seed 7
 
-List the available experiments and dataset analogs::
+Run only the GAS leg of the engine ablation and emit machine-readable JSON::
+
+    snaple ablation-engines --engine gas --json
+
+List the available experiments, dataset analogs and execution backends::
 
     snaple list
 """
@@ -18,13 +22,30 @@ List the available experiments and dataset analogs::
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import inspect
+import json
 import sys
 from collections.abc import Sequence
+from typing import Any
 
 from repro.eval.experiments import EXPERIMENTS
+from repro.eval.experiments.ablation_engines import ENGINE_SPECS
 from repro.graph.datasets import dataset_names, dataset_spec
+from repro.runtime import available_backends, backend_capabilities
 
 __all__ = ["main", "build_parser"]
+
+
+def _experiment_argument(value: str) -> str:
+    """Normalize an experiment name (``_`` and ``-`` are interchangeable)."""
+    key = value.replace("_", "-")
+    if key == "list" or key in EXPERIMENTS:
+        return key
+    known = ", ".join(sorted(EXPERIMENTS) + ["list"])
+    raise argparse.ArgumentTypeError(
+        f"unknown experiment {value!r} (choose from: {known})"
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -35,8 +56,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["list"],
-        help="experiment to run (table/figure id) or 'list' to enumerate them",
+        type=_experiment_argument,
+        metavar="experiment",
+        help=(
+            "experiment to run (table/figure id, e.g. "
+            f"{', '.join(sorted(EXPERIMENTS))}) or 'list' to enumerate them"
+        ),
     )
     parser.add_argument(
         "--scale",
@@ -50,15 +75,33 @@ def build_parser() -> argparse.ArgumentParser:
         default=42,
         help="random seed shared by dataset generation and the protocol",
     )
+    parser.add_argument(
+        "--engine",
+        choices=sorted(ENGINE_SPECS),
+        default=None,
+        help=(
+            "restrict an engine-comparison experiment to one execution "
+            "engine (only experiments taking an 'engines' parameter)"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the result as machine-readable JSON instead of a table",
+    )
     return parser
+
+
+def _experiment_summary(name: str) -> str:
+    """First docstring line of an experiment's entry point."""
+    doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()
+    return doc[0] if doc else ""
 
 
 def _render_listing() -> str:
     lines = ["Available experiments:"]
     for name in sorted(EXPERIMENTS):
-        doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()
-        summary = doc[0] if doc else ""
-        lines.append(f"  {name:10s} {summary}")
+        lines.append(f"  {name:10s} {_experiment_summary(name)}")
     lines.append("")
     lines.append("Dataset analogs:")
     for name in dataset_names():
@@ -67,7 +110,51 @@ def _render_listing() -> str:
             f"  {name:12s} {spec.domain:16s} "
             f"paper |E|={spec.paper_edges:,} ({spec.description})"
         )
+    lines.append("")
+    lines.append("Execution backends:")
+    for name in available_backends():
+        capabilities = backend_capabilities(name)
+        lines.append(f"  {name:16s} {capabilities.description}")
     return "\n".join(lines)
+
+
+def _listing_payload() -> dict[str, Any]:
+    """JSON payload for ``snaple list --json``."""
+    return {
+        "experiments": {
+            name: _experiment_summary(name) for name in sorted(EXPERIMENTS)
+        },
+        "datasets": {
+            name: {
+                "domain": dataset_spec(name).domain,
+                "paper_edges": dataset_spec(name).paper_edges,
+                "description": dataset_spec(name).description,
+            }
+            for name in dataset_names()
+        },
+        "backends": {
+            name: dataclasses.asdict(backend_capabilities(name))
+            for name in available_backends()
+        },
+    }
+
+
+def _json_default(value: Any) -> Any:
+    """Last-resort JSON conversion for result payloads."""
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    if hasattr(value, "item"):  # numpy scalars
+        return value.item()
+    return str(value)
+
+
+def _result_payload(result: Any) -> Any:
+    """Machine-readable view of an experiment result."""
+    if hasattr(result, "to_dict"):
+        return result.to_dict()
+    if dataclasses.is_dataclass(result) and not isinstance(result, type):
+        return dataclasses.asdict(result)
+    return {"rendered": result.render()}
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -75,11 +162,31 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.experiment == "list":
-        print(_render_listing())
+        if args.json:
+            print(json.dumps(_listing_payload(), indent=2))
+        else:
+            print(_render_listing())
         return 0
     experiment = EXPERIMENTS[args.experiment]
-    result = experiment(scale=args.scale, seed=args.seed)
-    print(result.render())
+    kwargs: dict[str, Any] = {"scale": args.scale, "seed": args.seed}
+    if args.engine is not None:
+        parameters = inspect.signature(experiment).parameters
+        if "engines" not in parameters:
+            parser.error(
+                f"--engine is not supported by experiment {args.experiment!r}"
+            )
+        kwargs["engines"] = (args.engine,)
+    result = experiment(**kwargs)
+    if args.json:
+        payload = {
+            "experiment": args.experiment,
+            "scale": args.scale,
+            "seed": args.seed,
+            "result": _result_payload(result),
+        }
+        print(json.dumps(payload, indent=2, default=_json_default))
+    else:
+        print(result.render())
     return 0
 
 

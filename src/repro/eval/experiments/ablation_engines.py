@@ -2,11 +2,14 @@
 
 Section 7 of the paper lists porting SNAPLE to BSP engines (Giraph, Bagel) as
 future work.  This ablation runs the identical SNAPLE configuration through
-three execution paths on the same cluster and graph:
+three execution paths on the same cluster and graph, all resolved through the
+:mod:`repro.runtime` backend registry:
 
-* the simulated GAS engine with PowerGraph's random vertex-cut,
-* the simulated GAS engine with the oblivious greedy vertex-cut,
-* the simulated BSP/Pregel engine (hash edge-cut, explicit messages),
+* ``gas`` — the simulated GAS engine with PowerGraph's random vertex-cut,
+* ``gas-greedy`` — the simulated GAS engine with the oblivious greedy
+  vertex-cut,
+* ``bsp`` — the simulated BSP/Pregel engine (hash edge-cut, explicit
+  messages),
 
 and reports network traffic, simulated time and recall for each.  The shape
 to check: all three produce the same recall (the algorithm is unchanged), the
@@ -17,18 +20,39 @@ formulation's advantage materializes through the partitioner, not for free.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections.abc import Callable
+from dataclasses import asdict, dataclass, field
+from typing import Any
 
+from repro.errors import ConfigurationError
 from repro.eval.metrics import evaluate_predictions
 from repro.eval.report import TextTable
 from repro.eval.runner import ExperimentRunner
 from repro.gas.cluster import TYPE_I, cluster_of
 from repro.gas.partition import GreedyVertexCut
-from repro.snaple.bsp_program import SnapleBspPredictor
 from repro.snaple.config import SnapleConfig
 from repro.snaple.predictor import SnapleLinkPredictor
 
-__all__ = ["EngineRow", "AblationEnginesResult", "run_ablation_engines"]
+__all__ = [
+    "ENGINE_SPECS",
+    "EngineRow",
+    "AblationEnginesResult",
+    "run_ablation_engines",
+]
+
+
+def _greedy_partitioner_options() -> dict[str, Any]:
+    return {"partitioner": GreedyVertexCut()}
+
+
+#: Engine specs selectable through ``engines=`` / the CLI ``--engine`` flag:
+#: key -> (display name, backend registry name, factory producing extra
+#: backend options — a factory so each run gets a fresh partitioner).
+ENGINE_SPECS: dict[str, tuple[str, str, Callable[[], dict[str, Any]]]] = {
+    "gas": ("GAS (random cut)", "gas", dict),
+    "gas-greedy": ("GAS (greedy cut)", "gas", _greedy_partitioner_options),
+    "bsp": ("BSP (hash cut)", "bsp", dict),
+}
 
 
 @dataclass
@@ -56,6 +80,13 @@ class AblationEnginesResult:
             if row.dataset == dataset and row.engine == engine:
                 return row
         raise KeyError((dataset, engine))
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable view of the ablation."""
+        return {
+            "num_machines": self.num_machines,
+            "rows": [asdict(row) for row in self.rows],
+        }
 
     def render(self) -> str:
         table = TextTable(
@@ -87,60 +118,44 @@ def run_ablation_engines(
     datasets: tuple[str, ...] = ("livejournal",),
     num_machines: int = 8,
     k_local: float = 20,
+    engines: tuple[str, ...] = ("gas", "gas-greedy", "bsp"),
 ) -> AblationEnginesResult:
-    """Run the same SNAPLE configuration on the GAS and BSP substrates."""
+    """Run the same SNAPLE configuration on the selected execution engines.
+
+    ``engines`` selects from :data:`ENGINE_SPECS` (all three by default);
+    unknown names raise :class:`~repro.errors.ConfigurationError`.
+    """
+    for engine in engines:
+        if engine not in ENGINE_SPECS:
+            raise ConfigurationError(
+                f"unknown engine {engine!r}; available engines: "
+                f"{', '.join(sorted(ENGINE_SPECS))}"
+            )
     runner = ExperimentRunner(scale=scale, seed=seed)
     cluster = cluster_of(TYPE_I, num_machines)
     result = AblationEnginesResult(num_machines=num_machines)
     for dataset in datasets:
         split = runner.split(dataset)
         config = SnapleConfig.paper_default("linearSum", k_local=k_local, seed=seed)
-
-        gas_random = SnapleLinkPredictor(config).predict_gas(
-            split.train_graph, cluster=cluster, enforce_memory=False
-        )
-        gas_greedy = SnapleLinkPredictor(config).predict_gas(
-            split.train_graph,
-            cluster=cluster,
-            partitioner=GreedyVertexCut(),
-            enforce_memory=False,
-        )
-        bsp = SnapleBspPredictor(config).predict(
-            split.train_graph, cluster=cluster, enforce_memory=False
-        )
-
-        for name, predictions, metrics, simulated, steps in (
-            (
-                "GAS (random cut)",
-                gas_random.predictions,
-                gas_random.gas_result.metrics,
-                gas_random.simulated_seconds,
-                len(gas_random.gas_result.metrics.steps),
-            ),
-            (
-                "GAS (greedy cut)",
-                gas_greedy.predictions,
-                gas_greedy.gas_result.metrics,
-                gas_greedy.simulated_seconds,
-                len(gas_greedy.gas_result.metrics.steps),
-            ),
-            (
-                "BSP (hash cut)",
-                bsp.predictions,
-                bsp.bsp_result.metrics,
-                bsp.simulated_seconds,
-                bsp.bsp_result.supersteps,
-            ),
-        ):
-            quality = evaluate_predictions(predictions, split)
+        predictor = SnapleLinkPredictor(config)
+        for engine in engines:
+            display_name, backend, make_options = ENGINE_SPECS[engine]
+            report = predictor.predict(
+                split.train_graph,
+                backend=backend,
+                cluster=cluster,
+                enforce_memory=False,
+                **make_options(),
+            )
+            quality = evaluate_predictions(report.predictions, split)
             result.rows.append(
                 EngineRow(
                     dataset=dataset,
-                    engine=name,
-                    network_mebibytes=metrics.total_network_bytes / 1024**2,
-                    simulated_seconds=simulated or 0.0,
+                    engine=display_name,
+                    network_mebibytes=(report.network_bytes or 0) / 1024**2,
+                    simulated_seconds=report.simulated_seconds or 0.0,
                     recall=quality.recall,
-                    supersteps=steps,
+                    supersteps=report.supersteps or 0,
                 )
             )
     return result

@@ -118,22 +118,22 @@ def run_ablation_partitioning(
             partition = partition_graph(
                 split.train_graph, num_machines, partitioner=partitioner, seed=seed
             )
-            prediction = SnapleLinkPredictor(config).predict_gas(
+            report = SnapleLinkPredictor(config).predict(
                 split.train_graph,
+                backend="gas",
                 cluster=cluster,
                 partitioner=partitioner,
                 enforce_memory=False,
             )
-            metrics = prediction.gas_result.metrics
-            quality = evaluate_predictions(prediction.predictions, split)
+            quality = evaluate_predictions(report.predictions, split)
             result.rows.append(
                 PartitioningRow(
                     dataset=dataset,
                     partitioner=name,
                     replication_factor=partition.replication_factor(),
                     load_imbalance=partition.load_imbalance(),
-                    network_mebibytes=metrics.total_network_bytes / 1024**2,
-                    simulated_seconds=prediction.simulated_seconds or 0.0,
+                    network_mebibytes=(report.network_bytes or 0) / 1024**2,
+                    simulated_seconds=report.simulated_seconds or 0.0,
                     recall=quality.recall,
                 )
             )

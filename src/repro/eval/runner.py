@@ -13,13 +13,14 @@ import math
 from dataclasses import dataclass, field
 
 from repro.baselines.gas_baseline import GasBaselinePredictor
-from repro.baselines.random_walk_ppr import RandomWalkConfig, RandomWalkPPRPredictor
+from repro.baselines.random_walk_ppr import RandomWalkConfig
 from repro.errors import ResourceExhaustedError
 from repro.eval.metrics import QualityReport, evaluate_predictions
 from repro.eval.protocol import EdgeRemovalSplit, remove_random_edges
-from repro.gas.cluster import TYPE_II, ClusterConfig
+from repro.gas.cluster import ClusterConfig
 from repro.graph.datasets import load_dataset
 from repro.graph.digraph import DiGraph
+from repro.runtime.report import RunReport
 from repro.snaple.config import SnapleConfig
 from repro.snaple.predictor import SnapleLinkPredictor
 
@@ -111,53 +112,80 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
     # Predictor runs
     # ------------------------------------------------------------------
+    def run_backend(self, dataset_name: str, *, backend: str,
+                    config: SnapleConfig | None = None,
+                    label: str | None = None,
+                    removed_edges_per_vertex: int | None = None,
+                    **options) -> ExperimentRun:
+        """Run any registered execution backend against a dataset split.
+
+        This is the generic path every specialised ``run_*`` method builds
+        on: resolve the backend from the :mod:`repro.runtime` registry, run
+        it on the training graph, and normalize the
+        :class:`~repro.runtime.report.RunReport` accounting into an
+        :class:`ExperimentRun`.
+        """
+        split = self.split(dataset_name,
+                           removed_edges_per_vertex=removed_edges_per_vertex)
+        config = config if config is not None else SnapleConfig()
+        predictor_label = label if label is not None else f"{config.describe()} [{backend}]"
+        predictor = SnapleLinkPredictor(config)
+        try:
+            report = predictor.predict(split.train_graph, backend=backend,
+                                       **options)
+        except ResourceExhaustedError as exc:
+            return ExperimentRun(
+                dataset=dataset_name,
+                predictor=predictor_label,
+                quality=None,
+                wall_clock_seconds=0.0,
+                failed=True,
+                failure_reason=str(exc),
+            )
+        quality = evaluate_predictions(report.predictions, split)
+        run = ExperimentRun(
+            dataset=dataset_name,
+            predictor=predictor_label,
+            quality=quality,
+            wall_clock_seconds=report.wall_clock_seconds,
+            simulated_seconds=report.simulated_seconds,
+        )
+        self._merge_report_extra(run, report)
+        return run
+
+    @staticmethod
+    def _merge_report_extra(run: ExperimentRun, report: RunReport) -> None:
+        """Copy the report's normalized counters into ``run.extra``."""
+        if report.network_bytes is not None:
+            run.extra["network_bytes"] = float(report.network_bytes)
+        if report.peak_memory_bytes is not None:
+            run.extra["peak_memory_bytes"] = float(report.peak_memory_bytes)
+        for key, value in report.extra.items():
+            run.extra[key] = float(value)
+
     def run_snaple_local(self, dataset_name: str, config: SnapleConfig,
                          *, removed_edges_per_vertex: int | None = None) -> ExperimentRun:
         """SNAPLE in local (single-process) mode; recall-focused experiments."""
-        split = self.split(dataset_name,
-                           removed_edges_per_vertex=removed_edges_per_vertex)
-        predictor = SnapleLinkPredictor(config)
-        result = predictor.predict_local(split.train_graph)
-        quality = evaluate_predictions(result.predictions, split)
-        return ExperimentRun(
-            dataset=dataset_name,
-            predictor=config.describe(),
-            quality=quality,
-            wall_clock_seconds=result.wall_clock_seconds,
+        return self.run_backend(
+            dataset_name,
+            backend="local",
+            config=config,
+            label=config.describe(),
+            removed_edges_per_vertex=removed_edges_per_vertex,
         )
 
     def run_snaple_gas(self, dataset_name: str, config: SnapleConfig,
                        cluster: ClusterConfig,
                        *, enforce_memory: bool = True) -> ExperimentRun:
         """SNAPLE on the simulated distributed GAS engine."""
-        split = self.split(dataset_name)
-        predictor = SnapleLinkPredictor(config)
-        try:
-            result = predictor.predict_gas(
-                split.train_graph, cluster=cluster, enforce_memory=enforce_memory
-            )
-        except ResourceExhaustedError as exc:
-            return ExperimentRun(
-                dataset=dataset_name,
-                predictor=f"SNAPLE {config.describe()} on {cluster.name}",
-                quality=None,
-                wall_clock_seconds=0.0,
-                failed=True,
-                failure_reason=str(exc),
-            )
-        quality = evaluate_predictions(result.predictions, split)
-        run = ExperimentRun(
-            dataset=dataset_name,
-            predictor=f"SNAPLE {config.describe()} on {cluster.name}",
-            quality=quality,
-            wall_clock_seconds=result.wall_clock_seconds,
-            simulated_seconds=result.simulated_seconds,
+        return self.run_backend(
+            dataset_name,
+            backend="gas",
+            config=config,
+            label=f"SNAPLE {config.describe()} on {cluster.name}",
+            cluster=cluster,
+            enforce_memory=enforce_memory,
         )
-        if result.gas_result is not None:
-            metrics = result.gas_result.metrics
-            run.extra["network_bytes"] = float(metrics.total_network_bytes)
-            run.extra["peak_memory_bytes"] = float(metrics.peak_machine_memory_bytes)
-        return run
 
     def run_baseline_gas(self, dataset_name: str, cluster: ClusterConfig,
                          *, k: int = 5,
@@ -195,25 +223,21 @@ class ExperimentRunner:
                         config: RandomWalkConfig) -> ExperimentRun:
         """The Cassovary-style random-walk PPR baseline.
 
-        The simulated time charges one work unit per walk step on a single
-        type-II machine, using the same (scaled) per-core throughput as the
-        GAS cost model.  This keeps the Figure 11 / Table 6 time axis in the
-        same simulated currency as the SNAPLE runs instead of mixing Python
-        wall-clock with simulated cluster seconds.
+        Runs the ``cassovary`` backend, whose simulated time charges one work
+        unit per walk step on a single type-II machine, using the same
+        (scaled) per-core throughput as the GAS cost model.  This keeps the
+        Figure 11 / Table 6 time axis in the same simulated currency as the
+        SNAPLE runs instead of mixing Python wall-clock with simulated
+        cluster seconds.
         """
-        split = self.split(dataset_name)
-        predictor = RandomWalkPPRPredictor(config)
-        result = predictor.predict(split.train_graph)
-        quality = evaluate_predictions(result.predictions, split)
-        single_machine_throughput = TYPE_II.cores * TYPE_II.core_ops_per_second
-        simulated = result.total_walk_steps / single_machine_throughput
-        return ExperimentRun(
-            dataset=dataset_name,
-            predictor=config.describe(),
-            quality=quality,
-            wall_clock_seconds=result.wall_clock_seconds,
-            simulated_seconds=simulated,
-            extra={"walk_steps": float(result.total_walk_steps)},
+        return self.run_backend(
+            dataset_name,
+            backend="cassovary",
+            label=config.describe(),
+            num_walks=config.num_walks,
+            depth=config.depth,
+            k=config.k,
+            seed=config.seed,
         )
 
     # ------------------------------------------------------------------

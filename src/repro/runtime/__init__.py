@@ -1,0 +1,75 @@
+"""Unified execution-backend API for the SNAPLE reproduction.
+
+One scoring framework, many engines: this package defines the
+:class:`~repro.runtime.backend.ExecutionBackend` protocol, the string-keyed
+backend registry, and the normalized :class:`~repro.runtime.report.RunReport`
+accounting shared by every engine.  Importing the package registers the six
+built-in backends:
+
+========================  =====================================================
+``local``                 single-process reference implementation
+``gas``                   simulated distributed GAS engine (vertex-cut)
+``bsp``                   simulated BSP/Pregel engine (edge-cut, messages)
+``cassovary``             random-walk PPR competitor, simulated-time accounting
+``random_walk_ppr``       random-walk PPR, wall-clock accounting
+``topological``           classic 2-hop topological scores
+========================  =====================================================
+
+Typical use goes through :meth:`repro.snaple.predictor.SnapleLinkPredictor.predict`::
+
+    report = SnapleLinkPredictor(config).predict(graph, backend="gas")
+
+but backends can also be driven directly::
+
+    backend = get_backend("bsp", cluster=cluster_of(TYPE_I, 8))
+    report = backend.predict(graph, config)
+"""
+
+from repro.runtime.backend import BackendCapabilities, ExecutionBackend
+from repro.runtime.baselines import (
+    CassovaryBackend,
+    RandomWalkPprBackend,
+    TopologicalBackend,
+)
+from repro.runtime.engines import BspBackend, GasBackend, LocalBackend
+from repro.runtime.registry import (
+    available_backends,
+    backend_capabilities,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.runtime.report import RunReport, VertexPrediction
+
+__all__ = [
+    "ExecutionBackend",
+    "BackendCapabilities",
+    "RunReport",
+    "VertexPrediction",
+    "register_backend",
+    "unregister_backend",
+    "get_backend",
+    "backend_capabilities",
+    "available_backends",
+    "LocalBackend",
+    "GasBackend",
+    "BspBackend",
+    "CassovaryBackend",
+    "RandomWalkPprBackend",
+    "TopologicalBackend",
+]
+
+#: The built-in backends, registered on package import.
+_BUILTIN_BACKENDS = (
+    LocalBackend,
+    GasBackend,
+    BspBackend,
+    CassovaryBackend,
+    RandomWalkPprBackend,
+    TopologicalBackend,
+)
+
+for _backend_cls in _BUILTIN_BACKENDS:
+    if _backend_cls.name not in available_backends():
+        register_backend(_backend_cls.name, _backend_cls)
+del _backend_cls

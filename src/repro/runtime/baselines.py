@@ -1,0 +1,144 @@
+"""Backend adapters for the paper's single-machine competitors.
+
+Three baselines plug into the same registry as the SNAPLE engines:
+
+* ``cassovary`` — the Section 5.9 competitor: random-walk personalized
+  PageRank on a Cassovary-like in-memory graph, with its walk steps converted
+  to simulated seconds on one type-II machine (the same currency as the GAS
+  cost model, so Figure 11 / Table 6 comparisons stay apples-to-apples);
+* ``random_walk_ppr`` — the same predictor reported in raw wall-clock time,
+  for callers who want the untranslated measurement;
+* ``topological`` — the classic Liben-Nowell & Kleinberg 2-hop scores
+  (Jaccard, Adamic/Adar, ...), the quality reference of Algorithm 1.
+
+Where an option is not given, the baselines inherit ``k`` and ``seed`` from
+the :class:`~repro.snaple.config.SnapleConfig` passed to ``prepare`` so that
+a cross-backend sweep keeps one source of truth for those knobs.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.random_walk_ppr import RandomWalkConfig, RandomWalkPPRPredictor
+from repro.baselines.topological import TopologicalPredictor
+from repro.gas.cluster import TYPE_II
+from repro.runtime.backend import BackendCapabilities, ExecutionBackend
+from repro.runtime.report import RunReport
+
+__all__ = ["CassovaryBackend", "RandomWalkPprBackend", "TopologicalBackend"]
+
+
+class _WalkBackendBase(ExecutionBackend):
+    """Shared machinery of the two random-walk backends."""
+
+    #: Whether walk steps are converted into simulated cluster seconds.
+    simulate_time = False
+
+    def __init__(self, num_walks: int = 100, depth: int = 3,
+                 k: int | None = None, seed: int | None = None) -> None:
+        super().__init__()
+        self._num_walks = num_walks
+        self._depth = depth
+        self._k = k
+        self._seed = seed
+
+    def run(self, vertices: list[int] | None = None) -> RunReport:
+        graph, config = self._require_prepared()
+        targets = self._target_vertices(vertices)
+        walk_config = RandomWalkConfig(
+            num_walks=self._num_walks,
+            depth=self._depth,
+            k=self._k if self._k is not None else config.k,
+            seed=self._seed if self._seed is not None else config.seed,
+        )
+        result = RandomWalkPPRPredictor(walk_config).predict(
+            graph, vertices=targets
+        )
+        simulated = None
+        if self.simulate_time:
+            throughput = TYPE_II.cores * TYPE_II.core_ops_per_second
+            simulated = result.total_walk_steps / throughput
+        return RunReport(
+            backend=self.name,
+            predictions=result.predictions,
+            scores={
+                u: {z: float(count) for z, count in visits.items()}
+                for u, visits in result.visit_counts.items()
+            },
+            wall_clock_seconds=result.wall_clock_seconds,
+            simulated_seconds=simulated,
+            extra={"walk_steps": float(result.total_walk_steps)},
+            native=result,
+        )
+
+
+class CassovaryBackend(_WalkBackendBase):
+    """The paper's Cassovary competitor with simulated-time accounting."""
+
+    name = "cassovary"
+    simulate_time = True
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            name=self.name,
+            description="random-walk PPR on an in-memory graph, simulated-time accounting",
+            simulated=True,
+            distributed=False,
+            vertex_subset=True,
+            incremental=False,
+            options=("num_walks", "depth", "k", "seed"),
+        )
+
+
+class RandomWalkPprBackend(_WalkBackendBase):
+    """Random-walk PPR reported in raw wall-clock time."""
+
+    name = "random_walk_ppr"
+    simulate_time = False
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            name=self.name,
+            description="random-walk personalized PageRank, wall-clock accounting",
+            simulated=False,
+            distributed=False,
+            vertex_subset=True,
+            incremental=False,
+            options=("num_walks", "depth", "k", "seed"),
+        )
+
+
+class TopologicalBackend(ExecutionBackend):
+    """Classic closed-form topological scores over 2-hop candidates."""
+
+    name = "topological"
+
+    def __init__(self, score: str = "jaccard", k: int | None = None) -> None:
+        super().__init__()
+        self._score = score
+        self._k = k
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            name=self.name,
+            description="closed-form topological scores (Jaccard, Adamic/Adar, ...)",
+            simulated=False,
+            distributed=False,
+            vertex_subset=True,
+            incremental=False,
+            options=("score", "k"),
+        )
+
+    def run(self, vertices: list[int] | None = None) -> RunReport:
+        graph, config = self._require_prepared()
+        targets = self._target_vertices(vertices)
+        predictor = TopologicalPredictor(
+            self._score, k=self._k if self._k is not None else config.k
+        )
+        result = predictor.predict(graph, vertices=targets)
+        return RunReport(
+            backend=self.name,
+            predictions=result.predictions,
+            scores=result.scores,
+            wall_clock_seconds=result.wall_clock_seconds,
+            native=result,
+        )

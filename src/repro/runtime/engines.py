@@ -1,0 +1,272 @@
+"""Backend adapters for the three SNAPLE execution paths (local, GAS, BSP).
+
+The local backend owns the single-process reference implementation of
+Algorithm 2 (it used to live inside ``SnapleLinkPredictor.predict_local``);
+the GAS and BSP backends drive the simulated distributed engines.  All three
+produce identical predictions for the same configuration and seed whenever no
+probabilistic truncation is involved — the cross-backend parity tests rely on
+this.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+
+from repro.gas.cluster import ClusterConfig, TYPE_II, cluster_of
+from repro.gas.engine import GasEngine
+from repro.gas.partition import Partitioner
+from repro.graph.digraph import DiGraph
+from repro.graph.sampling import truncate_neighborhood
+from repro.runtime.backend import BackendCapabilities, ExecutionBackend
+from repro.runtime.report import RunReport
+from repro.snaple.bsp_program import SnapleBspPredictor
+from repro.snaple.config import SnapleConfig
+from repro.snaple.program import build_snaple_steps, top_k_predictions
+
+__all__ = ["LocalBackend", "GasBackend", "BspBackend"]
+
+
+class LocalBackend(ExecutionBackend):
+    """Single-process SNAPLE scoring without engine book-keeping.
+
+    ``prepare`` runs the graph-global phases once (truncated neighborhoods
+    and ``klocal`` selection for every vertex); ``run`` only performs the
+    per-vertex path combination, so streaming over vertex batches costs no
+    repeated global work.
+    """
+
+    name = "local"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._gamma: list[list[int]] = []
+        self._sims: list[dict[int, float]] = []
+        self._prepare_seconds = 0.0
+        self._prepare_billed = False
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            name=self.name,
+            description="single-process reference implementation of Algorithm 2",
+            simulated=False,
+            distributed=False,
+            vertex_subset=True,
+            incremental=True,
+            options=(),
+        )
+
+    def prepare(self, graph: DiGraph,
+                config: SnapleConfig | None = None) -> "LocalBackend":
+        super().prepare(graph, config)
+        config = self._config
+        assert config is not None
+        start = time.perf_counter()
+        rng_truncate = random.Random(config.seed)
+        rng_sample = random.Random(config.seed + 1)
+
+        # Phase 1: truncated neighborhoods for every vertex (targets need the
+        # neighborhoods of their neighbors too, so compute them globally).
+        gamma: list[list[int]] = []
+        for u in graph.vertices():
+            neighbors = graph.out_neighbors(u).tolist()
+            if (
+                not math.isinf(config.truncation_threshold)
+                and len(neighbors) > config.truncation_threshold
+            ):
+                neighbors = truncate_neighborhood(
+                    neighbors,
+                    config.truncation_threshold,
+                    rng=rng_truncate,
+                    exact=config.exact_truncation,
+                )
+            gamma.append(sorted(neighbors))
+
+        # Phase 2: raw similarities and klocal selection for every vertex.
+        # The selection ranks neighbors by the set similarity of equation
+        # (11) (Jaccard by default), while the kept values are the score's
+        # own raw similarity, which phase 3 combines along paths.
+        similarity = config.score.similarity
+        selection_similarity = config.score.selection_similarity
+        sampler = config.sampler
+        sims: list[dict[int, float]] = []
+        for u in graph.vertices():
+            neighbors = graph.out_neighbors(u).tolist()
+            selection = {
+                v: selection_similarity(gamma[u], gamma[v]) for v in neighbors
+            }
+            kept = sampler.select(selection, config.k_local, rng=rng_sample)
+            if selection_similarity is similarity:
+                sims.append(kept)
+            else:
+                sims.append({v: similarity(gamma[u], gamma[v]) for v in kept})
+
+        self._gamma = gamma
+        self._sims = sims
+        self._prepare_seconds = time.perf_counter() - start
+        self._prepare_billed = False
+        return self
+
+    def run(self, vertices: list[int] | None = None) -> RunReport:
+        """Score ``vertices`` and report timings.
+
+        The preparation time is billed into ``wall_clock_seconds`` only on
+        the first run after a ``prepare`` (so a single-shot ``predict``
+        matches the historical accounting while summing per-batch reports
+        from ``predict_iter`` never double-counts it); every report carries
+        it separately as ``extra["prepare_seconds"]``.
+        """
+        _, config = self._require_prepared()
+        targets = self._target_vertices(vertices)
+        gamma, sims = self._gamma, self._sims
+
+        # Phase 3: path combination + aggregation + top-k per target vertex.
+        combinator = config.score.combinator
+        aggregator = config.score.aggregator
+        start = time.perf_counter()
+        predictions: dict[int, list[int]] = {}
+        scores: dict[int, dict[int, float]] = {}
+        for u in targets:
+            gamma_u = set(gamma[u])
+            accumulated: dict[int, tuple[float, int]] = {}
+            for v, sim_uv in sims[u].items():
+                for z, sim_vz in sims[v].items():
+                    if z == u or z in gamma_u:
+                        continue
+                    path_similarity = combinator.combine(sim_uv, sim_vz)
+                    if z in accumulated:
+                        value, count = accumulated[z]
+                        accumulated[z] = (aggregator.pre(value, path_similarity),
+                                          count + 1)
+                    else:
+                        accumulated[z] = (path_similarity, 1)
+            final = {
+                z: aggregator.post(value, count)
+                for z, (value, count) in accumulated.items()
+            }
+            scores[u] = final
+            predictions[u] = top_k_predictions(final, config.k)
+        wall = time.perf_counter() - start
+        if not self._prepare_billed:
+            wall += self._prepare_seconds
+            self._prepare_billed = True
+        return RunReport(
+            backend=self.name,
+            predictions=predictions,
+            scores=scores,
+            wall_clock_seconds=wall,
+            extra={"prepare_seconds": self._prepare_seconds},
+        )
+
+
+class GasBackend(ExecutionBackend):
+    """Algorithm 2 on the simulated gather-apply-scatter engine."""
+
+    name = "gas"
+
+    def __init__(self, cluster: ClusterConfig | None = None,
+                 partitioner: Partitioner | None = None,
+                 enforce_memory: bool = True) -> None:
+        super().__init__()
+        self._cluster = cluster
+        self._partitioner = partitioner
+        self._enforce_memory = enforce_memory
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            name=self.name,
+            description="simulated distributed GAS engine (vertex-cut)",
+            simulated=True,
+            distributed=True,
+            vertex_subset=True,
+            incremental=False,
+            options=("cluster", "partitioner", "enforce_memory"),
+        )
+
+    def run(self, vertices: list[int] | None = None) -> RunReport:
+        graph, config = self._require_prepared()
+        targets = self._target_vertices(vertices)
+        cluster = self._cluster if self._cluster is not None else cluster_of(TYPE_II, 1)
+        engine = GasEngine(
+            graph=graph,
+            cluster=cluster,
+            partitioner=self._partitioner,
+            enforce_memory=self._enforce_memory,
+            seed=config.seed,
+        )
+        steps = build_snaple_steps(config, graph)
+        recommendation_step = steps[-1]
+        start = time.perf_counter()
+        run = engine.run(steps, vertices=vertices)
+        wall = time.perf_counter() - start
+        predictions: dict[int, list[int]] = {}
+        scores: dict[int, dict[int, float]] = {}
+        for u in targets:
+            data = run.data_of(u)
+            predictions[u] = list(data.get("predicted", []))
+            scores[u] = dict(recommendation_step.collected_scores.get(u, {}))
+        metrics = run.metrics
+        return RunReport(
+            backend=self.name,
+            predictions=predictions,
+            scores=scores,
+            wall_clock_seconds=wall,
+            simulated_seconds=run.simulated_seconds,
+            network_bytes=metrics.total_network_bytes,
+            peak_memory_bytes=metrics.peak_machine_memory_bytes,
+            supersteps=len(metrics.steps),
+            native=run,
+        )
+
+
+class BspBackend(ExecutionBackend):
+    """Algorithm 2 ported to the simulated BSP/Pregel engine.
+
+    The BSP program always computes every vertex (message passing needs all
+    neighborhoods in flight); a ``vertices`` restriction only filters the
+    returned predictions.
+    """
+
+    name = "bsp"
+
+    def __init__(self, cluster: ClusterConfig | None = None,
+                 partitioner=None, enforce_memory: bool = True) -> None:
+        super().__init__()
+        self._cluster = cluster
+        self._partitioner = partitioner
+        self._enforce_memory = enforce_memory
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            name=self.name,
+            description="simulated BSP/Pregel engine (edge-cut, explicit messages)",
+            simulated=True,
+            distributed=True,
+            vertex_subset=False,
+            incremental=False,
+            options=("cluster", "partitioner", "enforce_memory"),
+        )
+
+    def run(self, vertices: list[int] | None = None) -> RunReport:
+        graph, config = self._require_prepared()
+        targets = self._target_vertices(vertices)
+        predictor = SnapleBspPredictor(config)
+        result = predictor.predict(
+            graph,
+            cluster=self._cluster,
+            partitioner=self._partitioner,
+            enforce_memory=self._enforce_memory,
+        )
+        metrics = result.bsp_result.metrics
+        return RunReport(
+            backend=self.name,
+            predictions={u: result.predictions.get(u, []) for u in targets},
+            scores={u: result.scores.get(u, {}) for u in targets},
+            wall_clock_seconds=result.wall_clock_seconds,
+            simulated_seconds=result.simulated_seconds,
+            network_bytes=metrics.total_network_bytes,
+            peak_memory_bytes=metrics.peak_machine_memory_bytes,
+            supersteps=result.bsp_result.supersteps,
+            native=result.bsp_result,
+        )

@@ -1,0 +1,123 @@
+"""String-keyed registry of execution backends.
+
+Backends register a *factory* (usually the adapter class itself) under a
+short name; callers obtain configured instances through :func:`get_backend`.
+Option validation happens here, up front: passing an option the factory does
+not accept raises a :class:`~repro.errors.ConfigurationError` naming the
+backend and the offending option instead of a bare ``TypeError`` from deep
+inside the engine.
+
+The built-in backends (``local``, ``gas``, ``bsp``, ``cassovary``,
+``random_walk_ppr``, ``topological``) are registered when
+:mod:`repro.runtime` is imported; third-party engines can plug in with::
+
+    from repro.runtime import ExecutionBackend, register_backend
+
+    class ShardedBackend(ExecutionBackend):
+        name = "sharded"
+        ...
+
+    register_backend("sharded", ShardedBackend)
+"""
+
+from __future__ import annotations
+
+import inspect
+from collections.abc import Callable
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.backend import BackendCapabilities, ExecutionBackend
+
+__all__ = [
+    "available_backends",
+    "backend_capabilities",
+    "get_backend",
+    "register_backend",
+    "unregister_backend",
+]
+
+#: Backend factories by name.  A factory is any callable whose keyword
+#: parameters are the backend's options and which returns an
+#: :class:`~repro.runtime.backend.ExecutionBackend`.
+_REGISTRY: dict[str, Callable[..., "ExecutionBackend"]] = {}
+
+
+def register_backend(name: str, factory: Callable[..., "ExecutionBackend"],
+                     *, replace: bool = False) -> None:
+    """Register ``factory`` under ``name``.
+
+    Re-registering an existing name raises unless ``replace=True`` (so a
+    typo cannot silently shadow a built-in engine).
+    """
+    if not name:
+        raise ConfigurationError("backend name must be a non-empty string")
+    if name in _REGISTRY and not replace:
+        raise ConfigurationError(
+            f"execution backend {name!r} is already registered; pass "
+            "replace=True to override it"
+        )
+    _REGISTRY[name] = factory
+
+
+def unregister_backend(name: str) -> None:
+    """Remove ``name`` from the registry (no-op names raise)."""
+    if name not in _REGISTRY:
+        raise ConfigurationError(f"execution backend {name!r} is not registered")
+    del _REGISTRY[name]
+
+
+def available_backends() -> tuple[str, ...]:
+    """Sorted names of every registered backend."""
+    return tuple(sorted(_REGISTRY))
+
+
+def _supported_options(factory: Callable[..., "ExecutionBackend"]) -> set[str] | None:
+    """Keyword options ``factory`` accepts (``None`` means "anything")."""
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):  # builtins without introspectable signatures
+        return None
+    options: set[str] = set()
+    for parameter in signature.parameters.values():
+        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+            return None
+        if parameter.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                              inspect.Parameter.KEYWORD_ONLY):
+            options.add(parameter.name)
+    return options
+
+
+def get_backend(name: str, **options) -> "ExecutionBackend":
+    """A configured backend instance for ``name``.
+
+    Raises
+    ------
+    ConfigurationError
+        When ``name`` is not registered, or when an option is not accepted
+        by the backend (the message names both).
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(available_backends()) or "none registered"
+        raise ConfigurationError(
+            f"unknown execution backend {name!r}; available backends: {known}"
+        ) from None
+    supported = _supported_options(factory)
+    if supported is not None:
+        for option in options:
+            if option not in supported:
+                accepted = ", ".join(sorted(supported)) or "no options"
+                raise ConfigurationError(
+                    f"backend {name!r} does not support option {option!r}; "
+                    f"it accepts: {accepted}"
+                )
+    return factory(**options)
+
+
+def backend_capabilities(name: str) -> "BackendCapabilities":
+    """The :class:`BackendCapabilities` of backend ``name`` (no options)."""
+    return get_backend(name).capabilities()

@@ -1,0 +1,109 @@
+"""Unified run accounting shared by every execution backend.
+
+Each engine in this reproduction historically returned its own result type
+(:class:`~repro.snaple.predictor.PredictionResult`,
+:class:`~repro.snaple.bsp_program.BspPredictionResult`,
+:class:`~repro.baselines.random_walk_ppr.RandomWalkPredictionResult`, ...)
+with subtly different accounting fields.  :class:`RunReport` normalizes them:
+every backend reports predictions, candidate scores, wall-clock time, and —
+when the backend simulates a cluster — simulated seconds, network traffic,
+peak memory, and the number of (super)steps, all under the same names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["RunReport", "VertexPrediction"]
+
+
+@dataclass(frozen=True)
+class VertexPrediction:
+    """Per-vertex slice of a run, yielded by streamed prediction."""
+
+    vertex: int
+    predicted: list[int]
+    scores: dict[int, float]
+
+    @property
+    def top(self) -> int | None:
+        """Best-scored prediction (``None`` when the vertex has none)."""
+        return self.predicted[0] if self.predicted else None
+
+
+@dataclass
+class RunReport:
+    """Predictions plus normalized accounting for one backend run.
+
+    ``simulated_seconds``, ``network_bytes``, ``peak_memory_bytes`` and
+    ``supersteps`` are ``None`` for backends that do not simulate a cluster
+    (e.g. ``local``); ``extra`` carries backend-specific counters (such as
+    the random-walk backends' ``walk_steps``) and ``native`` keeps the
+    backend's own result object for callers that need engine internals.
+    """
+
+    backend: str
+    predictions: dict[int, list[int]]
+    scores: dict[int, dict[int, float]]
+    wall_clock_seconds: float = 0.0
+    simulated_seconds: float | None = None
+    network_bytes: int | None = None
+    peak_memory_bytes: int | None = None
+    supersteps: int | None = None
+    extra: dict[str, float] = field(default_factory=dict)
+    native: Any = field(default=None, repr=False)
+
+    @property
+    def time_seconds(self) -> float:
+        """Simulated cluster time when available, wall clock otherwise."""
+        if self.simulated_seconds is not None:
+            return self.simulated_seconds
+        return self.wall_clock_seconds
+
+    def predicted_edges(self) -> set[tuple[int, int]]:
+        """All predicted edges as ``(source, predicted target)`` pairs."""
+        return {
+            (u, z) for u, targets in self.predictions.items() for z in targets
+        }
+
+    def top_prediction(self, vertex: int) -> int | None:
+        """Best-scored prediction for ``vertex`` (``None`` when empty)."""
+        targets = self.predictions.get(vertex, [])
+        return targets[0] if targets else None
+
+    def vertex_predictions(self, vertices: list[int] | None = None):
+        """Iterate :class:`VertexPrediction` slices of this report."""
+        targets = self.predictions.keys() if vertices is None else vertices
+        for u in targets:
+            yield VertexPrediction(
+                vertex=u,
+                predicted=list(self.predictions.get(u, [])),
+                scores=dict(self.scores.get(u, {})),
+            )
+
+    def to_dict(self, *, include_scores: bool = False) -> dict[str, Any]:
+        """JSON-serializable view of the report (``native`` is omitted)."""
+        payload: dict[str, Any] = {
+            "backend": self.backend,
+            "num_vertices": len(self.predictions),
+            "num_predicted_edges": sum(
+                len(targets) for targets in self.predictions.values()
+            ),
+            "wall_clock_seconds": self.wall_clock_seconds,
+            "simulated_seconds": self.simulated_seconds,
+            "network_bytes": self.network_bytes,
+            "peak_memory_bytes": self.peak_memory_bytes,
+            "supersteps": self.supersteps,
+            "extra": dict(self.extra),
+            "predictions": {
+                int(u): [int(z) for z in targets]
+                for u, targets in self.predictions.items()
+            },
+        }
+        if include_scores:
+            payload["scores"] = {
+                int(u): {int(z): float(s) for z, s in by_candidate.items()}
+                for u, by_candidate in self.scores.items()
+            }
+        return payload

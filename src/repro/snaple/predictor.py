@@ -1,39 +1,44 @@
 """High-level SNAPLE link-prediction API.
 
-Two execution modes are offered:
+:meth:`SnapleLinkPredictor.predict` is the single entry point: it dispatches
+to any engine registered in the :mod:`repro.runtime` backend registry
+(``local``, ``gas``, ``bsp``, the baselines, and any third-party backend) and
+returns a normalized :class:`~repro.runtime.report.RunReport`::
 
-* :meth:`SnapleLinkPredictor.predict_gas` — runs Algorithm 2 through the
-  simulated distributed GAS engine, returning predictions plus the engine's
-  accounting (simulated cluster time, traffic, memory).  This is the mode the
-  paper's performance evaluation is about.
-* :meth:`SnapleLinkPredictor.predict_local` — an equivalent single-process
-  implementation without GAS book-keeping.  It produces the same predictions
-  (given the same seed) and is used for fast recall-focused experiments and
-  as a cross-check oracle in the test suite.
+    report = SnapleLinkPredictor(config).predict(graph, backend="gas",
+                                                 cluster=cluster_of(TYPE_I, 8))
+
+:meth:`SnapleLinkPredictor.predict_iter` streams per-vertex results for large
+vertex sets.  The historical :meth:`predict_local` / :meth:`predict_gas`
+methods remain as thin deprecation shims returning the legacy
+:class:`PredictionResult`.
 """
 
 from __future__ import annotations
 
-import math
-import random
-import time
+import warnings
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
-from repro.gas.cluster import ClusterConfig, TYPE_II, cluster_of
-from repro.gas.engine import GasEngine, GasRunResult
+from repro.gas.cluster import ClusterConfig
+from repro.gas.engine import GasRunResult
 from repro.gas.partition import Partitioner
 from repro.graph.digraph import DiGraph
-from repro.graph.sampling import truncate_neighborhood
 from repro.snaple.config import SnapleConfig
-from repro.snaple.program import build_snaple_steps, top_k_predictions
 
 __all__ = ["PredictionResult", "SnapleLinkPredictor"]
 
 
 @dataclass
 class PredictionResult:
-    """Predictions for every vertex plus execution accounting."""
+    """Predictions for every vertex plus execution accounting.
+
+    Legacy result type kept for the :meth:`SnapleLinkPredictor.predict_local`
+    and :meth:`SnapleLinkPredictor.predict_gas` shims; new code should use
+    :class:`~repro.runtime.report.RunReport` via
+    :meth:`SnapleLinkPredictor.predict`.
+    """
 
     predictions: dict[int, list[int]]
     scores: dict[int, dict[int, float]]
@@ -72,7 +77,92 @@ class SnapleLinkPredictor:
         return self._config
 
     # ------------------------------------------------------------------
-    # GAS (distributed simulation) execution
+    # Unified backend dispatch
+    # ------------------------------------------------------------------
+    def predict(self, graph: DiGraph, *, backend: str | None = None,
+                mode: str | None = None, vertices: list[int] | None = None,
+                **options):
+        """Run SNAPLE scoring on the named execution backend.
+
+        Parameters
+        ----------
+        backend:
+            Name of a backend registered in :mod:`repro.runtime`
+            (``"local"`` by default; see
+            :func:`repro.runtime.available_backends`).
+        mode:
+            Deprecated alias of ``backend``.  For backwards compatibility
+            calls using ``mode`` still receive the legacy
+            :class:`PredictionResult`, matching the 1.0 return type.
+        vertices:
+            Restrict prediction to these vertices (all by default).
+        **options:
+            Backend-specific options (e.g. ``cluster=`` / ``partitioner=`` /
+            ``enforce_memory=`` for the simulated engines).  Unknown backends
+            and unsupported options raise
+            :class:`~repro.errors.ConfigurationError` up front.
+
+        Returns
+        -------
+        repro.runtime.report.RunReport
+            Predictions, candidate scores, and normalized accounting.
+        """
+        from repro.runtime import get_backend
+
+        if mode is not None and backend is None:
+            warnings.warn(
+                "predict(mode=...) is deprecated; use predict(backend=...), "
+                "which returns a RunReport instead of a PredictionResult",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            report = self.predict(graph, backend=mode, vertices=vertices,
+                                  **options)
+            return PredictionResult(
+                predictions=report.predictions,
+                scores=report.scores,
+                config=self._config,
+                wall_clock_seconds=report.wall_clock_seconds,
+                simulated_seconds=report.simulated_seconds,
+                gas_result=report.native if mode == "gas" else None,
+            )
+        if backend is None:
+            backend = "local"
+        engine = get_backend(backend, **options)
+        engine.prepare(graph, self._config)
+        return engine.run(vertices=vertices)
+
+    def predict_iter(self, graph: DiGraph, *, backend: str = "local",
+                     vertices: list[int] | None = None, batch_size: int = 256,
+                     **options) -> Iterator:
+        """Stream per-vertex predictions for large vertex sets.
+
+        Yields :class:`~repro.runtime.report.VertexPrediction` records in
+        ``vertices`` order (all vertices by default).  On incremental
+        backends (``local``) the graph-global phases run once and the
+        per-vertex phase is executed in batches of ``batch_size``, bounding
+        the score memory held at any time; other backends run once and the
+        results are streamed from the finished report.
+        """
+        from repro.runtime import get_backend
+
+        if batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
+        engine = get_backend(backend, **options)
+        engine.prepare(graph, self._config)
+        capabilities = engine.capabilities()
+        targets = list(graph.vertices()) if vertices is None else list(vertices)
+        if capabilities.incremental and capabilities.vertex_subset:
+            for start in range(0, len(targets), batch_size):
+                batch = targets[start:start + batch_size]
+                report = engine.run(vertices=batch)
+                yield from report.vertex_predictions(batch)
+        else:
+            report = engine.run(vertices=targets)
+            yield from report.vertex_predictions(targets)
+
+    # ------------------------------------------------------------------
+    # Deprecation shims for the pre-registry calling conventions
     # ------------------------------------------------------------------
     def predict_gas(
         self,
@@ -83,138 +173,52 @@ class SnapleLinkPredictor:
         enforce_memory: bool = True,
         vertices: list[int] | None = None,
     ) -> PredictionResult:
-        """Run Algorithm 2 on the simulated GAS engine.
+        """Deprecated: use ``predict(graph, backend="gas", ...)``.
 
         Raises :class:`~repro.errors.ResourceExhaustedError` when the chosen
         cluster cannot hold the program's vertex data (only relevant for the
         naive baseline or deliberately tiny clusters).
         """
-        if cluster is None:
-            cluster = cluster_of(TYPE_II, 1)
-        engine = GasEngine(
-            graph=graph,
+        warnings.warn(
+            "predict_gas is deprecated; use predict(graph, backend='gas', ...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        report = self.predict(
+            graph,
+            backend="gas",
+            vertices=vertices,
             cluster=cluster,
             partitioner=partitioner,
             enforce_memory=enforce_memory,
-            seed=self._config.seed,
         )
-        steps = build_snaple_steps(self._config, graph)
-        recommendation_step = steps[-1]
-        start = time.perf_counter()
-        run = engine.run(steps, vertices=vertices)
-        wall = time.perf_counter() - start
-        predictions: dict[int, list[int]] = {}
-        scores: dict[int, dict[int, float]] = {}
-        for u in (vertices if vertices is not None else graph.vertices()):
-            data = run.data_of(u)
-            predictions[u] = list(data.get("predicted", []))
-            scores[u] = dict(recommendation_step.collected_scores.get(u, {}))
         return PredictionResult(
-            predictions=predictions,
-            scores=scores,
+            predictions=report.predictions,
+            scores=report.scores,
             config=self._config,
-            wall_clock_seconds=wall,
-            simulated_seconds=run.simulated_seconds,
-            gas_result=run,
+            wall_clock_seconds=report.wall_clock_seconds,
+            simulated_seconds=report.simulated_seconds,
+            gas_result=report.native,
         )
 
-    # ------------------------------------------------------------------
-    # Local (single-process) execution
-    # ------------------------------------------------------------------
     def predict_local(
         self,
         graph: DiGraph,
         *,
         vertices: list[int] | None = None,
     ) -> PredictionResult:
-        """Run SNAPLE scoring without the GAS engine book-keeping.
-
-        Semantically equivalent to :meth:`predict_gas`; used for recall
-        experiments where only prediction quality matters.
-        """
-        config = self._config
-        start = time.perf_counter()
-        rng_truncate = random.Random(config.seed)
-        rng_sample = random.Random(config.seed + 1)
-        target_vertices = list(graph.vertices()) if vertices is None else list(vertices)
-
-        # Step 1: truncated neighborhoods for every vertex (targets need the
-        # neighborhoods of their neighbors too, so compute them globally).
-        gamma: list[list[int]] = []
-        for u in graph.vertices():
-            neighbors = graph.out_neighbors(u).tolist()
-            if (
-                not math.isinf(config.truncation_threshold)
-                and len(neighbors) > config.truncation_threshold
-            ):
-                neighbors = truncate_neighborhood(
-                    neighbors,
-                    config.truncation_threshold,
-                    rng=rng_truncate,
-                    exact=config.exact_truncation,
-                )
-            gamma.append(sorted(neighbors))
-
-        # Step 2: raw similarities and klocal selection for every vertex.
-        # The selection ranks neighbors by the set similarity of equation
-        # (11) (Jaccard by default), while the kept values are the score's
-        # own raw similarity, which step 3 combines along paths.
-        similarity = config.score.similarity
-        selection_similarity = config.score.selection_similarity
-        sampler = config.sampler
-        sims: list[dict[int, float]] = []
-        for u in graph.vertices():
-            neighbors = graph.out_neighbors(u).tolist()
-            selection = {
-                v: selection_similarity(gamma[u], gamma[v]) for v in neighbors
-            }
-            kept = sampler.select(selection, config.k_local, rng=rng_sample)
-            if selection_similarity is similarity:
-                sims.append(kept)
-            else:
-                sims.append({v: similarity(gamma[u], gamma[v]) for v in kept})
-
-        # Step 3: path combination + aggregation + top-k.
-        combinator = config.score.combinator
-        aggregator = config.score.aggregator
-        predictions: dict[int, list[int]] = {}
-        scores: dict[int, dict[int, float]] = {}
-        for u in target_vertices:
-            gamma_u = set(gamma[u])
-            accumulated: dict[int, tuple[float, int]] = {}
-            for v, sim_uv in sims[u].items():
-                for z, sim_vz in sims[v].items():
-                    if z == u or z in gamma_u:
-                        continue
-                    path_similarity = combinator.combine(sim_uv, sim_vz)
-                    if z in accumulated:
-                        value, count = accumulated[z]
-                        accumulated[z] = (aggregator.pre(value, path_similarity),
-                                          count + 1)
-                    else:
-                        accumulated[z] = (path_similarity, 1)
-            final = {
-                z: aggregator.post(value, count)
-                for z, (value, count) in accumulated.items()
-            }
-            scores[u] = final
-            predictions[u] = top_k_predictions(final, config.k)
-        wall = time.perf_counter() - start
+        """Deprecated: use ``predict(graph, backend="local", ...)``."""
+        warnings.warn(
+            "predict_local is deprecated; use predict(graph, backend='local', ...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        report = self.predict(graph, backend="local", vertices=vertices)
         return PredictionResult(
-            predictions=predictions,
-            scores=scores,
-            config=config,
-            wall_clock_seconds=wall,
+            predictions=report.predictions,
+            scores=report.scores,
+            config=self._config,
+            wall_clock_seconds=report.wall_clock_seconds,
             simulated_seconds=None,
             gas_result=None,
         )
-
-    # ------------------------------------------------------------------
-    def predict(self, graph: DiGraph, *, mode: str = "local",
-                **kwargs) -> PredictionResult:
-        """Dispatch to :meth:`predict_local` or :meth:`predict_gas` by name."""
-        if mode == "local":
-            return self.predict_local(graph, **kwargs)
-        if mode == "gas":
-            return self.predict_gas(graph, **kwargs)
-        raise ConfigurationError(f"unknown prediction mode {mode!r}")

@@ -33,7 +33,8 @@ from repro.errors import ConfigurationError
 from repro.eval.protocol import remove_random_edges
 from repro.graph.digraph import DiGraph
 from repro.snaple.config import SnapleConfig
-from repro.snaple.predictor import PredictionResult, SnapleLinkPredictor
+from repro.runtime.report import RunReport
+from repro.snaple.predictor import SnapleLinkPredictor
 from repro.snaple.program import top_k_predictions
 
 __all__ = ["LogisticRegressionModel", "SupervisedConfig", "SupervisedSnaplePredictor"]
@@ -153,9 +154,9 @@ class SupervisedSnaplePredictor:
         return self._config
 
     # ------------------------------------------------------------------
-    def _score_candidates(self, graph: DiGraph) -> dict[str, PredictionResult]:
+    def _score_candidates(self, graph: DiGraph) -> dict[str, RunReport]:
         """Run every feature scoring configuration once over the graph."""
-        results: dict[str, PredictionResult] = {}
+        results: dict[str, RunReport] = {}
         for score_name in self._config.feature_scores:
             snaple_config = SnapleConfig.paper_default(
                 score_name,
@@ -164,10 +165,12 @@ class SupervisedSnaplePredictor:
                 truncation_threshold=self._config.truncation_threshold,
                 seed=self._config.seed,
             )
-            results[score_name] = SnapleLinkPredictor(snaple_config).predict_local(graph)
+            results[score_name] = SnapleLinkPredictor(snaple_config).predict(
+                graph, backend="local"
+            )
         return results
 
-    def _feature_vector(self, results: dict[str, PredictionResult],
+    def _feature_vector(self, results: dict[str, RunReport],
                         source: int, candidate: int) -> list[float]:
         return [
             results[name].scores.get(source, {}).get(candidate, 0.0)

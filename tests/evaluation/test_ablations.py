@@ -111,6 +111,24 @@ class TestAblationEngines:
         assert "GAS (greedy cut)" in rendered
         assert "BSP (hash cut)" in rendered
 
+    def test_engines_parameter_restricts_rows(self):
+        result = run_ablation_engines(scale=SCALE, seed=SEED,
+                                      engines=("gas",))
+        assert {row.engine for row in result.rows} == {"GAS (random cut)"}
+
+    def test_unknown_engine_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="unknown engine"):
+            run_ablation_engines(scale=SCALE, seed=SEED, engines=("spark",))
+
+    def test_to_dict_round_trips_through_json(self, result):
+        import json
+
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["num_machines"] == result.num_machines
+        assert len(payload["rows"]) == len(result.rows)
+
 
 class TestAblationKHop:
     @pytest.fixture(scope="class")

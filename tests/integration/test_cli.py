@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -40,3 +42,55 @@ class TestMain:
         assert exit_code == 0
         assert "Figure 9" in captured.out
         assert "recall" in captured.out
+
+    def test_list_mentions_execution_backends(self, capsys):
+        main(["list"])
+        captured = capsys.readouterr()
+        for backend in ("local", "gas", "bsp", "cassovary",
+                        "random_walk_ppr", "topological"):
+            assert backend in captured.out
+
+
+class TestEngineAndJsonFlags:
+    def test_underscore_experiment_names_are_normalized(self):
+        args = build_parser().parse_args(["ablation_engines"])
+        assert args.experiment == "ablation-engines"
+
+    def test_engine_flag_restricts_the_ablation(self, capsys):
+        exit_code = main(["ablation_engines", "--engine", "gas",
+                          "--scale", "0.2"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "GAS (random cut)" in captured.out
+        assert "BSP (hash cut)" not in captured.out
+
+    def test_engine_flag_rejected_for_other_experiments(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["figure9", "--engine", "gas", "--scale", "0.2"])
+
+    def test_json_output_is_machine_readable(self, capsys):
+        exit_code = main(["ablation_engines", "--engine", "gas",
+                          "--json", "--scale", "0.2"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        payload = json.loads(captured.out)
+        assert payload["experiment"] == "ablation-engines"
+        rows = payload["result"]["rows"]
+        assert rows and all(row["engine"] == "GAS (random cut)" for row in rows)
+
+    def test_json_listing(self, capsys):
+        exit_code = main(["list", "--json"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        payload = json.loads(captured.out)
+        assert "ablation-engines" in payload["experiments"]
+        assert "gas" in payload["backends"]
+        assert payload["backends"]["gas"]["simulated"] is True
+
+    def test_json_output_for_dataclass_results(self, capsys):
+        exit_code = main(["figure9", "--json", "--scale", "0.2"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        payload = json.loads(captured.out)
+        assert payload["experiment"] == "figure9"
+        assert "result" in payload

@@ -1,0 +1,135 @@
+"""The unified ``predict``/``predict_iter`` surface and the deprecation shims."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gas.cluster import TYPE_I, cluster_of
+from repro.runtime.report import VertexPrediction
+from repro.snaple.config import SnapleConfig
+from repro.snaple.predictor import PredictionResult, SnapleLinkPredictor
+
+
+@pytest.fixture
+def parity_config() -> SnapleConfig:
+    return SnapleConfig(k_local=10, truncation_threshold=math.inf, seed=5)
+
+
+class TestPredictDispatch:
+    def test_default_backend_is_local(self, small_social_graph):
+        report = SnapleLinkPredictor().predict(small_social_graph)
+        assert report.backend == "local"
+
+    def test_unknown_backend_raises_configuration_error(self, small_social_graph):
+        with pytest.raises(ConfigurationError, match="unknown execution backend"):
+            SnapleLinkPredictor().predict(small_social_graph, backend="spark")
+
+    def test_unsupported_option_raises_configuration_error(self,
+                                                           small_social_graph):
+        # The historical failure mode: cluster= with the local backend used
+        # to surface as a bare TypeError from the call machinery.
+        with pytest.raises(ConfigurationError) as excinfo:
+            SnapleLinkPredictor().predict(small_social_graph, backend="local",
+                                          cluster=object())
+        message = str(excinfo.value)
+        assert "'local'" in message
+        assert "'cluster'" in message
+
+    def test_mode_alias_is_deprecated_and_keeps_legacy_return_type(
+            self, small_social_graph):
+        predictor = SnapleLinkPredictor(SnapleConfig(k_local=5))
+        with pytest.warns(DeprecationWarning, match="mode"):
+            result = predictor.predict(small_social_graph, mode="local")
+        assert isinstance(result, PredictionResult)
+        assert result.predictions
+        with pytest.warns(DeprecationWarning):
+            gas = predictor.predict(small_social_graph, mode="gas")
+        assert isinstance(gas, PredictionResult)
+        assert gas.gas_result is not None
+
+    def test_mode_alias_unknown_backend(self, small_social_graph):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigurationError):
+                SnapleLinkPredictor().predict(small_social_graph, mode="spark")
+
+
+class TestPredictIter:
+    def test_streams_every_vertex_in_order(self, small_social_graph,
+                                           parity_config):
+        predictor = SnapleLinkPredictor(parity_config)
+        full = predictor.predict(small_social_graph, backend="local")
+        streamed = list(predictor.predict_iter(small_social_graph,
+                                               batch_size=17))
+        assert [record.vertex for record in streamed] == \
+            list(small_social_graph.vertices())
+        assert all(isinstance(record, VertexPrediction) for record in streamed)
+        assert {record.vertex: record.predicted for record in streamed} == \
+            full.predictions
+
+    def test_respects_vertex_selection(self, small_social_graph, parity_config):
+        predictor = SnapleLinkPredictor(parity_config)
+        subset = [5, 2, 9]
+        streamed = list(predictor.predict_iter(small_social_graph,
+                                               vertices=subset))
+        assert [record.vertex for record in streamed] == subset
+
+    def test_works_on_non_incremental_backends(self, small_social_graph,
+                                               parity_config):
+        predictor = SnapleLinkPredictor(parity_config)
+        local = predictor.predict(small_social_graph, backend="local")
+        streamed = list(predictor.predict_iter(small_social_graph,
+                                               backend="gas", batch_size=16))
+        assert {record.vertex: record.predicted for record in streamed} == \
+            local.predictions
+
+    def test_rejects_bad_batch_size(self, small_social_graph):
+        with pytest.raises(ConfigurationError, match="batch_size"):
+            list(SnapleLinkPredictor().predict_iter(small_social_graph,
+                                                    batch_size=0))
+
+    def test_top_helper(self, small_social_graph, parity_config):
+        record = next(SnapleLinkPredictor(parity_config).predict_iter(
+            small_social_graph
+        ))
+        expected = record.predicted[0] if record.predicted else None
+        assert record.top == expected
+
+
+class TestDeprecationShims:
+    def test_predict_local_warns_and_matches_new_api(self, small_social_graph,
+                                                     parity_config):
+        predictor = SnapleLinkPredictor(parity_config)
+        with pytest.warns(DeprecationWarning, match="predict_local"):
+            legacy = predictor.predict_local(small_social_graph)
+        assert isinstance(legacy, PredictionResult)
+        report = predictor.predict(small_social_graph, backend="local")
+        assert legacy.predictions == report.predictions
+        assert legacy.scores == report.scores
+        assert legacy.simulated_seconds is None
+        assert legacy.gas_result is None
+
+    def test_predict_gas_warns_and_keeps_accounting(self, small_social_graph,
+                                                    parity_config):
+        predictor = SnapleLinkPredictor(parity_config)
+        cluster = cluster_of(TYPE_I, 4)
+        with pytest.warns(DeprecationWarning, match="predict_gas"):
+            legacy = predictor.predict_gas(small_social_graph, cluster=cluster)
+        assert isinstance(legacy, PredictionResult)
+        assert legacy.simulated_seconds > 0
+        assert legacy.gas_result is not None
+        assert legacy.gas_result.metrics.total_network_bytes > 0
+        report = predictor.predict(small_social_graph, backend="gas",
+                                   cluster=cluster)
+        assert legacy.predictions == report.predictions
+
+    def test_shim_results_keep_helper_methods(self, small_social_graph,
+                                              parity_config):
+        with pytest.warns(DeprecationWarning):
+            legacy = SnapleLinkPredictor(parity_config).predict_local(
+                small_social_graph
+            )
+        edges = legacy.predicted_edges()
+        assert all(isinstance(edge, tuple) for edge in edges)

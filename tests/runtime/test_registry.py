@@ -1,0 +1,109 @@
+"""Registry registration, lookup and error paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, EngineError
+from repro.runtime import (
+    BackendCapabilities,
+    ExecutionBackend,
+    RunReport,
+    available_backends,
+    backend_capabilities,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+
+
+class _DummyBackend(ExecutionBackend):
+    name = "dummy"
+
+    def __init__(self, flavour: str = "plain") -> None:
+        super().__init__()
+        self.flavour = flavour
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(name=self.name, options=("flavour",))
+
+    def run(self, vertices=None) -> RunReport:
+        graph, _ = self._require_prepared()
+        targets = self._target_vertices(vertices)
+        return RunReport(
+            backend=self.name,
+            predictions={u: [] for u in targets},
+            scores={u: {} for u in targets},
+        )
+
+
+class TestBuiltinRegistry:
+    def test_builtin_backends_are_registered(self):
+        names = available_backends()
+        for expected in ("local", "gas", "bsp",
+                         "cassovary", "random_walk_ppr", "topological"):
+            assert expected in names
+
+    def test_available_backends_is_sorted(self):
+        names = available_backends()
+        assert list(names) == sorted(names)
+
+    def test_capabilities_lookup(self):
+        capabilities = backend_capabilities("gas")
+        assert capabilities.name == "gas"
+        assert capabilities.simulated
+        assert capabilities.distributed
+        local = backend_capabilities("local")
+        assert not local.simulated
+        assert local.incremental
+
+
+class TestRegistration:
+    def test_register_lookup_and_unregister(self):
+        register_backend("dummy", _DummyBackend)
+        try:
+            assert "dummy" in available_backends()
+            backend = get_backend("dummy", flavour="spicy")
+            assert isinstance(backend, _DummyBackend)
+            assert backend.flavour == "spicy"
+        finally:
+            unregister_backend("dummy")
+        assert "dummy" not in available_backends()
+
+    def test_duplicate_registration_rejected(self):
+        register_backend("dummy", _DummyBackend)
+        try:
+            with pytest.raises(ConfigurationError, match="already registered"):
+                register_backend("dummy", _DummyBackend)
+            register_backend("dummy", _DummyBackend, replace=True)
+        finally:
+            unregister_backend("dummy")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_backend("", _DummyBackend)
+
+    def test_unregister_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            unregister_backend("never-registered")
+
+
+class TestErrorPaths:
+    def test_unknown_backend_names_available_ones(self):
+        with pytest.raises(ConfigurationError, match="unknown execution backend"):
+            get_backend("spark")
+        with pytest.raises(ConfigurationError, match="local"):
+            get_backend("spark")
+
+    def test_unsupported_option_names_backend_and_option(self):
+        with pytest.raises(ConfigurationError, match="'local'.*'cluster'"):
+            get_backend("local", cluster=object())
+
+    def test_unsupported_option_lists_accepted_options(self):
+        with pytest.raises(ConfigurationError, match="cluster"):
+            get_backend("gas", warp_speed=9)
+
+    def test_run_before_prepare_raises(self, triangle_graph):
+        backend = get_backend("local")
+        with pytest.raises(EngineError, match="prepared"):
+            backend.run()
