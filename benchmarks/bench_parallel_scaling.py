@@ -1,0 +1,114 @@
+"""Benchmark: serial vs shared-nothing parallel wall clock, recorded to JSON.
+
+Runs the same SNAPLE configuration on the ``gas`` backend serially and with
+1, 2 and 4 worker processes, verifies the runs are prediction-identical (a
+benchmark that silently changed the answer would be worthless), and writes
+the wall-clock trajectory to ``results/BENCH_parallel.json`` so the repo has
+a recorded perf baseline to diff future sessions against.
+
+Caveat recorded in the payload: on a small graph (and on single-core CI
+runners) process startup and inter-partition state shipping dominate, so
+parallel runs are routinely *slower* than serial — the point of the record
+is the trajectory and the overhead split (compute vs sync), not a speedup
+claim.  Environment knobs for CI:
+
+* ``SNAPLE_BENCH_ITERATIONS`` — timing iterations per configuration
+  (default 3; CI smoke uses 1);
+* ``SNAPLE_BENCH_VERTICES`` — graph size (default 1000).
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import time
+
+from repro.graph.generators import powerlaw_cluster
+from repro.snaple.config import SnapleConfig
+from repro.snaple.predictor import SnapleLinkPredictor
+
+from conftest import BENCH_SEED
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _timed_predict(predictor, graph, iterations: int, **options):
+    """Best-of-``iterations`` wall clock plus the last run's report."""
+    best = float("inf")
+    report = None
+    for _ in range(iterations):
+        start = time.perf_counter()
+        report = predictor.predict(graph, backend="gas", **options)
+        best = min(best, time.perf_counter() - start)
+    return best, report
+
+
+def test_bench_parallel_scaling(save_json, save_result):
+    iterations = int(os.environ.get("SNAPLE_BENCH_ITERATIONS", "3"))
+    num_vertices = int(os.environ.get("SNAPLE_BENCH_VERTICES", "1000"))
+    graph = powerlaw_cluster(num_vertices, 3, 0.2, seed=BENCH_SEED)
+    config = SnapleConfig.paper_default(seed=BENCH_SEED, k_local=10)
+    predictor = SnapleLinkPredictor(config)
+
+    serial_seconds, serial_report = _timed_predict(predictor, graph, iterations)
+    assert serial_report is not None
+
+    baseline_report = None
+    runs = []
+    for workers in WORKER_COUNTS:
+        seconds, report = _timed_predict(
+            predictor, graph, iterations, workers=workers
+        )
+        # Parity guard: every worker count measures the same computation.
+        # The baseline is the workers=1 run, not the serial one — serial
+        # draws truncation randomness from a sequential stream, so the two
+        # only coincide when no vertex exceeds the truncation threshold.
+        if baseline_report is None:
+            baseline_report = report
+        assert report.predictions == baseline_report.predictions
+        assert report.supersteps == baseline_report.supersteps
+        runs.append({
+            "workers": workers,
+            "wall_clock_seconds": seconds,
+            "per_partition_seconds": report.per_partition_seconds,
+            "sync_overhead_seconds": report.sync_overhead_seconds,
+            "exchanged_bytes": report.network_bytes,
+            "speedup_vs_serial": serial_seconds / seconds if seconds else None,
+        })
+
+    payload = {
+        "benchmark": "parallel_scaling",
+        "backend": "gas",
+        "graph": {
+            "generator": "powerlaw_cluster",
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+            "seed": BENCH_SEED,
+        },
+        "config": config.describe(),
+        "iterations": iterations,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "serial_wall_clock_seconds": serial_seconds,
+        "parallel_runs": runs,
+        "caveat": (
+            "small graphs and few cores make process startup and boundary "
+            "shipping dominate; compare trajectories, not absolute speedup"
+        ),
+    }
+    path = save_json("BENCH_parallel", payload)
+    assert path.exists()
+
+    lines = [
+        "Parallel scaling (gas backend, "
+        f"{graph.num_vertices} vertices / {graph.num_edges} edges, "
+        f"best of {iterations})",
+        f"  serial      {serial_seconds * 1000:8.1f} ms",
+    ]
+    for run in runs:
+        lines.append(
+            f"  workers={run['workers']}   {run['wall_clock_seconds'] * 1000:8.1f} ms"
+            f"  (speedup x{run['speedup_vs_serial']:.2f}, "
+            f"sync {run['sync_overhead_seconds'] * 1000:.1f} ms)"
+        )
+    save_result("BENCH_parallel", "\n".join(lines))

@@ -8,6 +8,7 @@ can be copied into EXPERIMENTS.md and compared against the paper.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -37,6 +38,24 @@ def save_result(results_dir):
     def _save(name: str, rendered: str) -> Path:
         path = results_dir / f"{name}.txt"
         path.write_text(rendered + "\n", encoding="utf-8")
+        return path
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def save_json(results_dir):
+    """Callable that persists a machine-readable payload to ``results/<name>.json``.
+
+    This is how the repo records its perf trajectory: benchmarks write a
+    JSON record (e.g. ``BENCH_parallel.json``) that later sessions can diff
+    against instead of eyeballing rendered tables.
+    """
+
+    def _save(name: str, payload) -> Path:
+        path = results_dir / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
         return path
 
     return _save

@@ -29,10 +29,12 @@ import sys
 from collections.abc import Sequence
 from typing import Any
 
+from repro.errors import ConfigurationError
 from repro.eval.experiments import EXPERIMENTS
 from repro.eval.experiments.ablation_engines import ENGINE_SPECS
 from repro.graph.datasets import dataset_names, dataset_spec
 from repro.runtime import available_backends, backend_capabilities
+from repro.runtime.parallel import validate_workers
 
 __all__ = ["main", "build_parser"]
 
@@ -85,6 +87,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "execute graph partitions in N shared-nothing worker processes "
+            "instead of the simulated cluster (only experiments taking a "
+            "'workers' parameter, e.g. ablation-engines)"
+        ),
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         help="emit the result as machine-readable JSON instead of a table",
@@ -126,11 +139,12 @@ def _listing_payload() -> dict[str, Any]:
         },
         "datasets": {
             name: {
-                "domain": dataset_spec(name).domain,
-                "paper_edges": dataset_spec(name).paper_edges,
-                "description": dataset_spec(name).description,
+                "domain": spec.domain,
+                "paper_edges": spec.paper_edges,
+                "description": spec.description,
             }
             for name in dataset_names()
+            for spec in (dataset_spec(name),)
         },
         "backends": {
             name: dataclasses.asdict(backend_capabilities(name))
@@ -169,13 +183,22 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     experiment = EXPERIMENTS[args.experiment]
     kwargs: dict[str, Any] = {"scale": args.scale, "seed": args.seed}
+    parameters = inspect.signature(experiment).parameters
     if args.engine is not None:
-        parameters = inspect.signature(experiment).parameters
         if "engines" not in parameters:
             parser.error(
                 f"--engine is not supported by experiment {args.experiment!r}"
             )
         kwargs["engines"] = (args.engine,)
+    if args.workers is not None:
+        if "workers" not in parameters:
+            parser.error(
+                f"--workers is not supported by experiment {args.experiment!r}"
+            )
+        try:
+            kwargs["workers"] = validate_workers(args.workers)
+        except ConfigurationError as error:
+            parser.error(f"--workers: {error}")
     result = experiment(**kwargs)
     if args.json:
         payload = {

@@ -116,6 +116,7 @@ class ExperimentRunner:
                     config: SnapleConfig | None = None,
                     label: str | None = None,
                     removed_edges_per_vertex: int | None = None,
+                    workers: int | None = None,
                     **options) -> ExperimentRun:
         """Run any registered execution backend against a dataset split.
 
@@ -123,12 +124,18 @@ class ExperimentRunner:
         on: resolve the backend from the :mod:`repro.runtime` registry, run
         it on the training graph, and normalize the
         :class:`~repro.runtime.report.RunReport` accounting into an
-        :class:`ExperimentRun`.
+        :class:`ExperimentRun`.  ``workers`` executes partitions in
+        shared-nothing worker processes on backends that support it (the
+        per-partition accounting lands in ``extra``).
         """
         split = self.split(dataset_name,
                            removed_edges_per_vertex=removed_edges_per_vertex)
         config = config if config is not None else SnapleConfig()
         predictor_label = label if label is not None else f"{config.describe()} [{backend}]"
+        if workers is not None:
+            options["workers"] = workers
+            if label is None:
+                predictor_label += f" x{workers} workers"
         predictor = SnapleLinkPredictor(config)
         try:
             report = predictor.predict(split.train_graph, backend=backend,
@@ -160,6 +167,14 @@ class ExperimentRunner:
             run.extra["network_bytes"] = float(report.network_bytes)
         if report.peak_memory_bytes is not None:
             run.extra["peak_memory_bytes"] = float(report.peak_memory_bytes)
+        if report.workers is not None:
+            run.extra["workers"] = float(report.workers)
+        if report.sync_overhead_seconds is not None:
+            run.extra["sync_overhead_seconds"] = float(report.sync_overhead_seconds)
+        if report.per_partition_seconds:
+            run.extra["max_partition_seconds"] = float(
+                max(report.per_partition_seconds)
+            )
         for key, value in report.extra.items():
             run.extra[key] = float(value)
 

@@ -32,6 +32,13 @@ from repro.runtime.baselines import (
     TopologicalBackend,
 )
 from repro.runtime.engines import BspBackend, GasBackend, LocalBackend
+from repro.runtime.parallel import (
+    ParallelExecutor,
+    ParallelRunOutcome,
+    PartitionReport,
+    run_parallel_bsp,
+    run_parallel_gas,
+)
 from repro.runtime.registry import (
     available_backends,
     backend_capabilities,
@@ -57,6 +64,11 @@ __all__ = [
     "CassovaryBackend",
     "RandomWalkPprBackend",
     "TopologicalBackend",
+    "ParallelExecutor",
+    "ParallelRunOutcome",
+    "PartitionReport",
+    "run_parallel_gas",
+    "run_parallel_bsp",
 ]
 
 #: The built-in backends, registered on package import.

@@ -47,6 +47,12 @@ class BackendCapabilities:
         ``True`` when ``prepare`` caches all graph-global state so repeated
         ``run`` calls on vertex batches cost only the per-vertex work.  The
         streamed ``predict_iter`` path batches only on such backends.
+    parallel:
+        ``True`` when the backend accepts a ``workers=N`` option and executes
+        graph partitions in separate worker processes through
+        :mod:`repro.runtime.parallel`.  Backends without this capability
+        reject ``workers`` with a
+        :class:`~repro.errors.ConfigurationError`.
     options:
         Keyword options accepted when constructing the backend through
         :func:`~repro.runtime.registry.get_backend`.
@@ -58,6 +64,7 @@ class BackendCapabilities:
     distributed: bool = False
     vertex_subset: bool = True
     incremental: bool = False
+    parallel: bool = False
     options: tuple[str, ...] = ()
 
 

@@ -14,18 +14,81 @@ import math
 import random
 import time
 
+from repro.errors import ConfigurationError
 from repro.gas.cluster import ClusterConfig, TYPE_II, cluster_of
 from repro.gas.engine import GasEngine
 from repro.gas.partition import Partitioner
 from repro.graph.digraph import DiGraph
 from repro.graph.sampling import truncate_neighborhood
 from repro.runtime.backend import BackendCapabilities, ExecutionBackend
+from repro.runtime.parallel import (
+    ParallelRunOutcome,
+    PartitionReport,
+    run_parallel_bsp,
+    run_parallel_gas,
+    validate_workers,
+)
 from repro.runtime.report import RunReport
 from repro.snaple.bsp_program import SnapleBspPredictor
 from repro.snaple.config import SnapleConfig
 from repro.snaple.program import build_snaple_steps, top_k_predictions
 
 __all__ = ["LocalBackend", "GasBackend", "BspBackend"]
+
+
+def _reject_cluster_with_workers(cluster: ClusterConfig | None,
+                                 workers: int | None) -> None:
+    """A simulated cluster and real worker processes cannot be combined."""
+    if cluster is not None and workers is not None:
+        raise ConfigurationError(
+            "the 'workers' option runs partitions in real worker processes "
+            "and cannot be combined with a simulated 'cluster'; drop one of "
+            "the two options"
+        )
+
+
+def _serial_partition_report(predictions: dict[int, list[int]],
+                             gather_invocations: int, apply_invocations: int,
+                             wall: float) -> PartitionReport:
+    """A serial run is one partition covering the whole graph.
+
+    Emitting the same per-partition record for serial runs keeps the
+    accounting invariant (report totals == sum over partitions) uniform
+    across serial and parallel execution.
+    """
+    return PartitionReport(
+        partition=0,
+        num_vertices=len(predictions),
+        num_predictions=len(predictions),
+        num_predicted_edges=sum(len(v) for v in predictions.values()),
+        gather_invocations=gather_invocations,
+        apply_invocations=apply_invocations,
+        compute_seconds=wall,
+        shipped_bytes=0,
+    )
+
+
+def _parallel_report(backend_name: str,
+                     outcome: ParallelRunOutcome) -> RunReport:
+    """Normalize a parallel outcome into the shared report type.
+
+    Simulated-cluster fields stay ``None``: a parallel run measures real
+    wall-clock parallelism, not the analytical cluster model.  The totals
+    are derived from the per-partition reports so they cannot drift.
+    """
+    return RunReport(
+        backend=backend_name,
+        predictions=outcome.predictions,
+        scores=outcome.scores,
+        wall_clock_seconds=outcome.wall_clock_seconds,
+        network_bytes=outcome.exchanged_bytes,
+        supersteps=outcome.supersteps,
+        workers=outcome.workers,
+        per_partition_seconds=outcome.per_partition_seconds,
+        sync_overhead_seconds=outcome.sync_overhead_seconds,
+        partition_reports=list(outcome.partitions),
+        native=outcome,
+    )
 
 
 class LocalBackend(ExecutionBackend):
@@ -161,17 +224,27 @@ class LocalBackend(ExecutionBackend):
 
 
 class GasBackend(ExecutionBackend):
-    """Algorithm 2 on the simulated gather-apply-scatter engine."""
+    """Algorithm 2 on the simulated gather-apply-scatter engine.
+
+    With ``workers=N`` the simulated cluster is replaced by real
+    shared-nothing parallelism: the vertex-cut's masters are mapped onto
+    ``N`` worker processes through :mod:`repro.runtime.parallel`, and the
+    report carries per-partition accounting instead of simulated cluster
+    time.  Predictions are identical for every worker count.
+    """
 
     name = "gas"
 
     def __init__(self, cluster: ClusterConfig | None = None,
                  partitioner: Partitioner | None = None,
-                 enforce_memory: bool = True) -> None:
+                 enforce_memory: bool = True,
+                 workers: int | None = None) -> None:
         super().__init__()
+        _reject_cluster_with_workers(cluster, workers)
         self._cluster = cluster
         self._partitioner = partitioner
         self._enforce_memory = enforce_memory
+        self._workers = None if workers is None else validate_workers(workers)
 
     def capabilities(self) -> BackendCapabilities:
         return BackendCapabilities(
@@ -181,12 +254,22 @@ class GasBackend(ExecutionBackend):
             distributed=True,
             vertex_subset=True,
             incremental=False,
-            options=("cluster", "partitioner", "enforce_memory"),
+            parallel=True,
+            options=("cluster", "partitioner", "enforce_memory", "workers"),
         )
 
     def run(self, vertices: list[int] | None = None) -> RunReport:
         graph, config = self._require_prepared()
         targets = self._target_vertices(vertices)
+        if self._workers is not None:
+            outcome = run_parallel_gas(
+                graph,
+                config,
+                workers=self._workers,
+                partitioner=self._partitioner,
+                vertices=vertices,
+            )
+            return _parallel_report(self.name, outcome)
         cluster = self._cluster if self._cluster is not None else cluster_of(TYPE_II, 1)
         engine = GasEngine(
             graph=graph,
@@ -216,6 +299,11 @@ class GasBackend(ExecutionBackend):
             network_bytes=metrics.total_network_bytes,
             peak_memory_bytes=metrics.peak_machine_memory_bytes,
             supersteps=len(metrics.steps),
+            per_partition_seconds=[wall],
+            partition_reports=[_serial_partition_report(
+                predictions, metrics.total_gather_invocations,
+                sum(step.apply_invocations for step in metrics.steps), wall,
+            )],
             native=run,
         )
 
@@ -226,16 +314,23 @@ class BspBackend(ExecutionBackend):
     The BSP program always computes every vertex (message passing needs all
     neighborhoods in flight); a ``vertices`` restriction only filters the
     returned predictions.
+
+    With ``workers=N`` the four supersteps execute shared-nothing across
+    ``N`` worker processes (edge-cut vertex ownership), with messages routed
+    between partitions at every superstep barrier.
     """
 
     name = "bsp"
 
     def __init__(self, cluster: ClusterConfig | None = None,
-                 partitioner=None, enforce_memory: bool = True) -> None:
+                 partitioner=None, enforce_memory: bool = True,
+                 workers: int | None = None) -> None:
         super().__init__()
+        _reject_cluster_with_workers(cluster, workers)
         self._cluster = cluster
         self._partitioner = partitioner
         self._enforce_memory = enforce_memory
+        self._workers = None if workers is None else validate_workers(workers)
 
     def capabilities(self) -> BackendCapabilities:
         return BackendCapabilities(
@@ -245,12 +340,25 @@ class BspBackend(ExecutionBackend):
             distributed=True,
             vertex_subset=False,
             incremental=False,
-            options=("cluster", "partitioner", "enforce_memory"),
+            parallel=True,
+            options=("cluster", "partitioner", "enforce_memory", "workers"),
         )
 
     def run(self, vertices: list[int] | None = None) -> RunReport:
         graph, config = self._require_prepared()
         targets = self._target_vertices(vertices)
+        if self._workers is not None:
+            # The BSP program needs every vertex in flight; compute all,
+            # restrict only the reported targets, as the serial path does.
+            outcome = run_parallel_bsp(
+                graph,
+                config,
+                workers=self._workers,
+                partitioner=self._partitioner,
+                vertices=None,
+                targets=targets,
+            )
+            return _parallel_report(self.name, outcome)
         predictor = SnapleBspPredictor(config)
         result = predictor.predict(
             graph,
@@ -259,14 +367,21 @@ class BspBackend(ExecutionBackend):
             enforce_memory=self._enforce_memory,
         )
         metrics = result.bsp_result.metrics
+        predictions = {u: result.predictions.get(u, []) for u in targets}
         return RunReport(
             backend=self.name,
-            predictions={u: result.predictions.get(u, []) for u in targets},
+            predictions=predictions,
             scores={u: result.scores.get(u, {}) for u in targets},
             wall_clock_seconds=result.wall_clock_seconds,
             simulated_seconds=result.simulated_seconds,
             network_bytes=metrics.total_network_bytes,
             peak_memory_bytes=metrics.peak_machine_memory_bytes,
             supersteps=result.bsp_result.supersteps,
+            per_partition_seconds=[result.wall_clock_seconds],
+            partition_reports=[_serial_partition_report(
+                predictions, metrics.total_gather_invocations,
+                sum(step.apply_invocations for step in metrics.steps),
+                result.wall_clock_seconds,
+            )],
             native=result.bsp_result,
         )

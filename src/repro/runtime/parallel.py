@@ -1,0 +1,591 @@
+"""Shared-nothing parallel execution of SNAPLE across graph partitions.
+
+Every engine in :mod:`repro.runtime` historically executed its supersteps in
+a single Python process — the GAS/BSP cluster model only *simulated*
+distribution.  This module makes the partitions real: the graph is split
+into ``workers`` partitions, each partition is mapped to a worker process of
+a :mod:`multiprocessing` pool, and the coordinator exchanges gather/scatter
+state (GAS) or vertex messages (BSP) between supersteps, merging the
+per-partition vertex state and accounting back into one
+:class:`~repro.runtime.report.RunReport`.
+
+Execution model
+---------------
+Workers are stateless between supersteps: for every superstep the
+coordinator ships each partition the snapshot slice it needs (its own
+vertices plus the boundary vertices its gathers read, or its inbox
+messages), the worker runs the vertex program over its owned vertices, and
+the coordinator merges the returned updates.  This gives *superstep-snapshot*
+semantics: a vertex program must not read vertex-data fields written during
+the same superstep.  SNAPLE's Algorithm 2 satisfies this by construction
+(each step only reads keys written by earlier steps), which is why serial
+and parallel runs produce identical predictions.
+
+Determinism
+-----------
+Results are bit-identical for any worker count and any partitioner because
+
+* every vertex draws randomness from its own stream derived from
+  ``(seed, step, vertex)`` (see :func:`repro.snaple.program.vertex_rng`),
+  never from a shared sequential stream;
+* gathers combine in edge (CSR) order per vertex, exactly as the serial
+  engine does on a single simulated machine;
+* BSP inboxes are sorted by sender id before delivery, so floating-point
+  accumulation order does not depend on which partition a sender lives on.
+
+Ownership comes from the same partitioners the simulated engines use: the
+GAS path masters vertices through :func:`repro.gas.partition.partition_graph`
+(a vertex-cut ``GraphPartition``; each partition's masters go to one worker
+process) and the BSP path through
+:func:`repro.bsp.partition.partition_vertices` (an edge-cut).  A locality
+aware partitioner (e.g. :class:`~repro.gas.partition.GreedyVertexCut`)
+therefore reduces the boundary state shipped between supersteps.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ConfigurationError, EngineError
+from repro.gas.vertex_program import EdgeDirection, VertexProgram, payload_size_bytes
+from repro.graph.digraph import DiGraph
+from repro.snaple.config import SnapleConfig
+
+__all__ = [
+    "PartitionReport",
+    "ParallelRunOutcome",
+    "ParallelExecutor",
+    "run_parallel_gas",
+    "run_parallel_bsp",
+    "validate_workers",
+]
+
+#: Upper bound on worker processes; far above any sensible laptop value but
+#: low enough that a typo (``workers=400``) fails fast instead of forking
+#: hundreds of interpreters.
+MAX_WORKERS = 64
+
+
+def validate_workers(workers: Any) -> int:
+    """Validate a ``workers=`` option value, returning it as an ``int``."""
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise ConfigurationError(
+            f"workers must be an integer, got {workers!r}"
+        )
+    if not 1 <= workers <= MAX_WORKERS:
+        raise ConfigurationError(
+            f"workers must be between 1 and {MAX_WORKERS}, got {workers}"
+        )
+    return workers
+
+
+# ----------------------------------------------------------------------
+# Accounting
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PartitionReport:
+    """Per-partition slice of a run's results and accounting.
+
+    The merged :class:`~repro.runtime.report.RunReport` derives its totals
+    from these records (every target vertex is owned by exactly one
+    partition), so the sum of the per-partition counters always equals the
+    report's totals — the accounting invariant the parity suite asserts.
+    """
+
+    partition: int
+    num_vertices: int
+    num_predictions: int
+    num_predicted_edges: int
+    gather_invocations: int
+    apply_invocations: int
+    compute_seconds: float
+    shipped_bytes: int
+
+
+@dataclass
+class ParallelRunOutcome:
+    """Merged result of one shared-nothing parallel run."""
+
+    predictions: dict[int, list[int]]
+    scores: dict[int, dict[int, float]]
+    workers: int
+    supersteps: int
+    partitions: list[PartitionReport]
+    wall_clock_seconds: float
+    sync_overhead_seconds: float
+    exchanged_bytes: int
+    vertex_data: dict[int, dict[str, Any]] = field(default_factory=dict, repr=False)
+
+    @property
+    def per_partition_seconds(self) -> list[float]:
+        return [partition.compute_seconds for partition in self.partitions]
+
+
+# ----------------------------------------------------------------------
+# Worker-process side.  Everything here must be module level (picklable by
+# reference) and must only touch the state installed by the initializer.
+# ----------------------------------------------------------------------
+_WORKER_GRAPH: DiGraph | None = None
+_WORKER_CONFIG: SnapleConfig | None = None
+
+
+def _init_worker(graph: DiGraph, config: SnapleConfig) -> None:
+    """Pool initializer: install the graph and config once per process."""
+    global _WORKER_GRAPH, _WORKER_CONFIG
+    _WORKER_GRAPH = graph
+    _WORKER_CONFIG = config
+
+
+def _worker_state() -> tuple[DiGraph, SnapleConfig]:
+    if _WORKER_GRAPH is None or _WORKER_CONFIG is None:
+        raise EngineError("parallel worker used before initialization")
+    return _WORKER_GRAPH, _WORKER_CONFIG
+
+
+def _gather_neighbors(graph: DiGraph, vertex: int,
+                      direction: EdgeDirection) -> list[int]:
+    """Incident neighbors in the order the serial engine gathers them."""
+    if direction is EdgeDirection.OUT:
+        return graph.out_neighbors(vertex).tolist()
+    if direction is EdgeDirection.IN:
+        return graph.in_neighbors(vertex).tolist()
+    if direction is EdgeDirection.BOTH:
+        return (graph.out_neighbors(vertex).tolist()
+                + graph.in_neighbors(vertex).tolist())
+    return []
+
+
+def _run_gas_step(step: VertexProgram, graph: DiGraph, active: list[int],
+                  data: dict[int, dict[str, Any]]) -> tuple[int, int]:
+    """Run one GAS superstep over ``active`` against the snapshot ``data``."""
+    if step.scatter_direction is not EdgeDirection.NONE:
+        raise EngineError(
+            "the shared-nothing parallel executor does not support scatter "
+            f"phases (step {step.name!r})"
+        )
+    gathers = 0
+    empty: dict[str, Any] = {}
+    for u in active:
+        u_data = data[u]
+        gathered: Any = None
+        has_value = False
+        for v in _gather_neighbors(graph, u, step.gather_direction):
+            value = step.gather(u, v, u_data, data.get(v, empty))
+            gathers += 1
+            if value is None:
+                continue
+            if has_value:
+                gathered = step.sum(gathered, value)
+            else:
+                gathered = value
+                has_value = True
+        step.apply(u, u_data, gathered if has_value else None)
+    return gathers, len(active)
+
+
+def _gas_step_task(task: tuple[int, list[int], dict[int, dict[str, Any]]]):
+    """One (partition, superstep) unit of GAS work, run in a worker process.
+
+    ``task`` is ``(step_index, active owned vertices, snapshot slice)``; the
+    result carries the updated owned vertex data, the step's side-channel
+    scores (if any), invocation counts, and the compute time.
+    """
+    from repro.snaple.program import build_snaple_steps
+
+    step_index, active, data = task
+    graph, config = _worker_state()
+    start = time.perf_counter()
+    # Steps are rebuilt per task: with per-vertex RNG they carry no state
+    # across vertices, so a fresh instance keeps workers stateless and the
+    # outcome independent of which tasks land on which OS process.
+    step = build_snaple_steps(config, graph, per_vertex_rng=True)[step_index]
+    gathers, applies = _run_gas_step(step, graph, active, data)
+    updates = {u: data[u] for u in active}
+    scores = getattr(step, "collected_scores", None)
+    kept_scores = (
+        {u: scores[u] for u in active if u in scores} if scores else None
+    )
+    return updates, kept_scores, gathers, applies, time.perf_counter() - start
+
+
+def _bsp_step_task(task):
+    """One (partition, superstep) unit of BSP work, run in a worker process.
+
+    ``task`` is ``(superstep, owned states, vertices to compute, inboxes,
+    aggregated values)``.  Messages are returned as ``(sender, target,
+    value)`` triples so the coordinator can deliver them in a globally
+    deterministic (sender-sorted) order.
+    """
+    from repro.snaple.bsp_program import SnapleBspProgram
+
+    superstep, states, compute_list, inboxes, aggregated = task
+    graph, config = _worker_state()
+    start = time.perf_counter()
+    program = SnapleBspProgram(config, per_vertex_rng=True)
+    aggregator_fns = program.aggregators()
+    sent: list[tuple[int, int, Any]] = []
+    halted: list[int] = []
+    contributions: dict[str, Any] = {}
+    messages_processed = 0
+
+    def contribute(name: str, value: Any) -> None:
+        if name not in aggregator_fns:
+            raise EngineError(
+                f"program {program.name!r} aggregated to undeclared "
+                f"aggregator {name!r}"
+            )
+        if name in contributions:
+            contributions[name] = aggregator_fns[name](contributions[name], value)
+        else:
+            contributions[name] = value
+
+    from repro.bsp.vertex import ComputeContext
+
+    def send(source: int, target: int, value: Any) -> None:
+        if not 0 <= target < graph.num_vertices:
+            raise EngineError(f"message sent to non-existent vertex {target}")
+        sent.append((source, target, value))
+
+    def halt(vertex: int) -> None:
+        halted.append(vertex)
+
+    for u in compute_list:
+        messages = inboxes.get(u, [])
+        messages_processed += len(messages)
+        context = ComputeContext(
+            superstep=superstep,
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+            vertex=u,
+            out_neighbors=graph.out_neighbors(u).tolist(),
+            send=send,
+            halt=halt,
+            aggregate=contribute,
+            aggregated_values=aggregated,
+        )
+        program.compute(states[u], messages, context)
+
+    updates = {u: states[u] for u in compute_list}
+    kept_scores = {
+        u: program.collected_scores[u]
+        for u in compute_list
+        if u in program.collected_scores
+    }
+    elapsed = time.perf_counter() - start
+    return (updates, sent, halted, kept_scores or None, contributions,
+            messages_processed, len(compute_list), elapsed)
+
+
+# ----------------------------------------------------------------------
+# Coordinator
+# ----------------------------------------------------------------------
+def _pool_context():
+    """Prefer ``fork`` (cheap, shares the imported modules) when available."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+class ParallelExecutor:
+    """Coordinates one shared-nothing parallel run over a worker pool.
+
+    Parameters
+    ----------
+    graph, config:
+        The input graph and SNAPLE configuration.
+    workers:
+        Number of partitions / worker processes (1..``MAX_WORKERS``).
+    kind:
+        ``"gas"`` to execute Algorithm 2's three GAS steps, ``"bsp"`` for
+        the four-superstep BSP port.
+    partitioner:
+        Optional placement strategy: a
+        :class:`~repro.gas.partition.Partitioner` (vertex-cut; masters
+        become owners) for ``kind="gas"`` or a
+        :class:`~repro.bsp.partition.VertexPartitioner` (edge-cut) for
+        ``kind="bsp"``.  Placement only affects how much boundary state is
+        shipped, never the predictions.
+    seed:
+        Partitioner seed; defaults to the configuration's seed.
+    """
+
+    def __init__(self, graph: DiGraph, config: SnapleConfig | None = None, *,
+                 workers: int, kind: str, partitioner: Any = None,
+                 seed: int | None = None) -> None:
+        if kind not in ("gas", "bsp"):
+            raise ConfigurationError(f"unknown parallel execution kind {kind!r}")
+        self._graph = graph
+        self._config = config if config is not None else SnapleConfig()
+        self._workers = validate_workers(workers)
+        self._kind = kind
+        self._owner = self._assign_owners(partitioner,
+                                          self._config.seed if seed is None else seed)
+        self._owned: list[list[int]] = [[] for _ in range(self._workers)]
+        for u in range(graph.num_vertices):
+            self._owned[self._owner[u]].append(u)
+
+    def _assign_owners(self, partitioner: Any, seed: int) -> list[int]:
+        """One owning partition per vertex, from the engine's own partitioner."""
+        if self._kind == "gas":
+            from repro.gas.partition import partition_graph
+
+            placement = partition_graph(
+                self._graph, self._workers, partitioner=partitioner, seed=seed
+            )
+            return [int(m) for m in placement.vertex_master]
+        from repro.bsp.partition import partition_vertices
+
+        placement = partition_vertices(
+            self._graph, self._workers, partitioner=partitioner, seed=seed
+        )
+        return [int(m) for m in placement.vertex_machine]
+
+    # ------------------------------------------------------------------
+    def run(self, vertices: list[int] | None = None, *,
+            targets: list[int] | None = None) -> ParallelRunOutcome:
+        """Execute the program and merge per-partition results.
+
+        ``vertices`` restricts the computation's active set (all by
+        default); ``targets`` restricts which vertices appear in the merged
+        predictions/scores (defaults to ``vertices``).  The BSP path uses a
+        full active set with restricted targets because message passing
+        needs every neighborhood in flight.
+        """
+        start = time.perf_counter()
+        ctx = _pool_context()
+        with ctx.Pool(
+            processes=self._workers,
+            initializer=_init_worker,
+            initargs=(self._graph, self._config),
+        ) as pool:
+            if self._kind == "gas":
+                outcome = self._run_gas(pool, vertices, targets)
+            else:
+                outcome = self._run_bsp(pool, vertices, targets)
+        outcome.wall_clock_seconds = time.perf_counter() - start
+        return outcome
+
+    # ------------------------------------------------------------------
+    # GAS coordination
+    # ------------------------------------------------------------------
+    def _run_gas(self, pool, vertices: list[int] | None,
+                 targets: list[int] | None) -> ParallelRunOutcome:
+        from repro.snaple.program import build_snaple_steps
+
+        graph, config = self._graph, self._config
+        active = list(graph.vertices()) if vertices is None else list(vertices)
+        if targets is None:
+            targets = active
+        active_set = set(active)
+        active_owned = [
+            [u for u in owned if u in active_set] for owned in self._owned
+        ]
+        data: dict[int, dict[str, Any]] = {u: {} for u in range(graph.num_vertices)}
+        scores: dict[int, dict[int, float]] = {}
+        # A coordinator-side copy of the steps provides the metadata (gather
+        # directions, step count); the computation itself runs in workers.
+        steps = build_snaple_steps(config, graph, per_vertex_rng=True)
+
+        compute_seconds = [0.0] * self._workers
+        gathers = [0] * self._workers
+        applies = [0] * self._workers
+        shipped = [0] * self._workers
+        sync_overhead = 0.0
+
+        for step_index, step in enumerate(steps):
+            step_start = time.perf_counter()
+            tasks = []
+            for w in range(self._workers):
+                needed = self._boundary(w, active_owned[w], step.gather_direction)
+                data_slice = {u: data[u] for u in active_owned[w]}
+                boundary_bytes = 0
+                for v in needed:
+                    data_slice[v] = data[v]
+                    boundary_bytes += payload_size_bytes(data[v])
+                shipped[w] += boundary_bytes
+                tasks.append((step_index, active_owned[w], data_slice))
+            results = pool.map(_gas_step_task, tasks)
+            slowest = 0.0
+            for w, (updates, step_scores, n_gather, n_apply, elapsed) in enumerate(results):
+                data.update(updates)
+                if step_scores:
+                    scores.update(step_scores)
+                gathers[w] += n_gather
+                applies[w] += n_apply
+                compute_seconds[w] += elapsed
+                slowest = max(slowest, elapsed)
+            sync_overhead += max(0.0, (time.perf_counter() - step_start) - slowest)
+
+        predictions = {u: list(data[u].get("predicted", [])) for u in targets}
+        scores = {u: dict(scores.get(u, {})) for u in targets}
+        return self._merge_outcome(
+            predictions, scores, len(steps), compute_seconds, gathers, applies,
+            shipped, sync_overhead, data,
+        )
+
+    def _boundary(self, worker: int, active: list[int],
+                  direction: EdgeDirection) -> list[int]:
+        """Vertices whose data partition ``worker`` reads but does not own."""
+        needed: set[int] = set()
+        for u in active:
+            for v in _gather_neighbors(self._graph, u, direction):
+                if self._owner[v] != worker:
+                    needed.add(v)
+        return sorted(needed)
+
+    # ------------------------------------------------------------------
+    # BSP coordination
+    # ------------------------------------------------------------------
+    def _run_bsp(self, pool, vertices: list[int] | None,
+                 targets: list[int] | None) -> ParallelRunOutcome:
+        from repro.snaple.bsp_program import SnapleBspProgram
+
+        graph, config = self._graph, self._config
+        program = SnapleBspProgram(config, per_vertex_rng=True)
+        aggregator_fns = program.aggregators()
+        num_vertices = graph.num_vertices
+        state: dict[int, dict[str, Any]] = {
+            u: program.initial_state(u) for u in range(num_vertices)
+        }
+        active = [False] * num_vertices
+        for u in (range(num_vertices) if vertices is None else vertices):
+            active[u] = True
+        inbox: dict[int, list[Any]] = {}
+        aggregated: dict[str, Any] = {}
+        scores: dict[int, dict[int, float]] = {}
+
+        compute_seconds = [0.0] * self._workers
+        gathers = [0] * self._workers
+        applies = [0] * self._workers
+        shipped = [0] * self._workers
+        sync_overhead = 0.0
+        superstep = 0
+
+        while superstep < program.max_supersteps:
+            if not any(active) and not inbox:
+                break
+            step_start = time.perf_counter()
+            tasks = []
+            compute_lists = []
+            for w in range(self._workers):
+                compute_list = [
+                    u for u in self._owned[w] if active[u] or inbox.get(u)
+                ]
+                compute_lists.append(compute_list)
+                tasks.append((
+                    superstep,
+                    {u: state[u] for u in compute_list},
+                    compute_list,
+                    {u: inbox[u] for u in compute_list if u in inbox},
+                    aggregated,
+                ))
+            results = pool.map(_bsp_step_task, tasks)
+            slowest = 0.0
+            all_messages: list[tuple[int, int, Any]] = []
+            contributions: dict[str, Any] = {}
+            for w, result in enumerate(results):
+                (updates, sent, halted, step_scores, worker_contrib,
+                 n_messages, n_computed, elapsed) = result
+                state.update(updates)
+                if step_scores:
+                    scores.update(step_scores)
+                for u in compute_lists[w]:
+                    active[u] = True
+                for u in halted:
+                    active[u] = False
+                all_messages.extend(sent)
+                for name, value in worker_contrib.items():
+                    if name in contributions:
+                        contributions[name] = aggregator_fns[name](
+                            contributions[name], value
+                        )
+                    else:
+                        contributions[name] = value
+                gathers[w] += n_messages
+                applies[w] += n_computed
+                compute_seconds[w] += elapsed
+                slowest = max(slowest, elapsed)
+            # Deliver sender-sorted so floating-point accumulation order in
+            # the receivers is independent of the partitioning (the sort is
+            # stable, preserving each sender's emission order).
+            all_messages.sort(key=lambda message: message[0])
+            inbox = {}
+            for sender, target, value in all_messages:
+                inbox.setdefault(target, []).append(value)
+                if self._owner[sender] != self._owner[target]:
+                    shipped[self._owner[target]] += payload_size_bytes(value)
+            for target in inbox:
+                active[target] = True
+            aggregated = contributions
+            superstep += 1
+            sync_overhead += max(0.0, (time.perf_counter() - step_start) - slowest)
+
+        if targets is None:
+            targets = list(graph.vertices()) if vertices is None else list(vertices)
+        predictions = {u: list(state[u].get("predicted", [])) for u in targets}
+        scores = {u: dict(scores.get(u, {})) for u in targets}
+        return self._merge_outcome(
+            predictions, scores, superstep, compute_seconds, gathers, applies,
+            shipped, sync_overhead, state,
+        )
+
+    # ------------------------------------------------------------------
+    def _merge_outcome(self, predictions, scores, supersteps, compute_seconds,
+                       gathers, applies, shipped, sync_overhead,
+                       vertex_data) -> ParallelRunOutcome:
+        """Build per-partition reports and derive the merged totals from them."""
+        partitions = []
+        for w in range(self._workers):
+            owned_predictions = [
+                u for u in self._owned[w] if u in predictions
+            ]
+            partitions.append(PartitionReport(
+                partition=w,
+                num_vertices=len(self._owned[w]),
+                num_predictions=len(owned_predictions),
+                num_predicted_edges=sum(
+                    len(predictions[u]) for u in owned_predictions
+                ),
+                gather_invocations=gathers[w],
+                apply_invocations=applies[w],
+                compute_seconds=compute_seconds[w],
+                shipped_bytes=shipped[w],
+            ))
+        return ParallelRunOutcome(
+            predictions=predictions,
+            scores=scores,
+            workers=self._workers,
+            supersteps=supersteps,
+            partitions=partitions,
+            wall_clock_seconds=0.0,  # stamped by run()
+            sync_overhead_seconds=sync_overhead,
+            exchanged_bytes=sum(shipped),
+            vertex_data=vertex_data,
+        )
+
+
+# ----------------------------------------------------------------------
+# Convenience entry points used by the backends
+# ----------------------------------------------------------------------
+def run_parallel_gas(graph: DiGraph, config: SnapleConfig | None = None, *,
+                     workers: int, partitioner: Any = None,
+                     vertices: list[int] | None = None,
+                     targets: list[int] | None = None,
+                     seed: int | None = None) -> ParallelRunOutcome:
+    """Run Algorithm 2's GAS steps with partitions in parallel processes."""
+    executor = ParallelExecutor(graph, config, workers=workers, kind="gas",
+                                partitioner=partitioner, seed=seed)
+    return executor.run(vertices=vertices, targets=targets)
+
+
+def run_parallel_bsp(graph: DiGraph, config: SnapleConfig | None = None, *,
+                     workers: int, partitioner: Any = None,
+                     vertices: list[int] | None = None,
+                     targets: list[int] | None = None,
+                     seed: int | None = None) -> ParallelRunOutcome:
+    """Run the four-superstep BSP port with partitions in parallel processes."""
+    executor = ParallelExecutor(graph, config, workers=workers, kind="bsp",
+                                partitioner=partitioner, seed=seed)
+    return executor.run(vertices=vertices, targets=targets)

@@ -41,6 +41,17 @@ class RunReport:
     (e.g. ``local``); ``extra`` carries backend-specific counters (such as
     the random-walk backends' ``walk_steps``) and ``native`` keeps the
     backend's own result object for callers that need engine internals.
+
+    Partition accounting: ``workers`` is the worker-process count of a
+    shared-nothing parallel run (``None`` for serial runs),
+    ``per_partition_seconds`` holds each partition's compute time (one entry
+    for a serial run), ``sync_overhead_seconds`` is the coordination time not
+    spent inside the slowest partition (``None`` when no synchronization
+    happened), and ``partition_reports`` carries one
+    :class:`~repro.runtime.parallel.PartitionReport` per partition.  Whenever
+    ``partition_reports`` is populated, the report's totals (prediction and
+    predicted-edge counts, ``per_partition_seconds``) must equal the sums of
+    the per-partition entries — the parity test suite asserts this.
     """
 
     backend: str
@@ -51,6 +62,10 @@ class RunReport:
     network_bytes: int | None = None
     peak_memory_bytes: int | None = None
     supersteps: int | None = None
+    workers: int | None = None
+    per_partition_seconds: list[float] = field(default_factory=list)
+    sync_overhead_seconds: float | None = None
+    partition_reports: list[Any] = field(default_factory=list, repr=False)
     extra: dict[str, float] = field(default_factory=dict)
     native: Any = field(default=None, repr=False)
 
@@ -84,6 +99,8 @@ class RunReport:
 
     def to_dict(self, *, include_scores: bool = False) -> dict[str, Any]:
         """JSON-serializable view of the report (``native`` is omitted)."""
+        from dataclasses import asdict, is_dataclass
+
         payload: dict[str, Any] = {
             "backend": self.backend,
             "num_vertices": len(self.predictions),
@@ -95,12 +112,20 @@ class RunReport:
             "network_bytes": self.network_bytes,
             "peak_memory_bytes": self.peak_memory_bytes,
             "supersteps": self.supersteps,
+            "workers": self.workers,
+            "per_partition_seconds": list(self.per_partition_seconds),
+            "sync_overhead_seconds": self.sync_overhead_seconds,
             "extra": dict(self.extra),
             "predictions": {
                 int(u): [int(z) for z in targets]
                 for u, targets in self.predictions.items()
             },
         }
+        if self.partition_reports:
+            payload["partitions"] = [
+                asdict(report) if is_dataclass(report) else report
+                for report in self.partition_reports
+            ]
         if include_scores:
             payload["scores"] = {
                 int(u): {int(z): float(s) for z, s in by_candidate.items()}

@@ -36,7 +36,7 @@ from repro.gas.cluster import ClusterConfig, TYPE_II, cluster_of
 from repro.graph.digraph import DiGraph
 from repro.graph.sampling import truncate_neighborhood
 from repro.snaple.config import SnapleConfig
-from repro.snaple.program import top_k_predictions
+from repro.snaple.program import top_k_predictions, vertex_rng
 
 __all__ = ["SnapleBspProgram", "BspPredictionResult", "SnapleBspPredictor"]
 
@@ -54,12 +54,25 @@ class SnapleBspProgram(BspVertexProgram):
     name = "snaple-bsp"
     max_supersteps = 4
 
-    def __init__(self, config: SnapleConfig) -> None:
+    def __init__(self, config: SnapleConfig,
+                 *, per_vertex_rng: bool = False) -> None:
         self._config = config
+        self._per_vertex_rng = per_vertex_rng
         self._rng_truncate = random.Random(config.seed)
         self._rng_sample = random.Random(config.seed + 1)
         #: Candidate scores per vertex, for inspection by the predictor.
         self.collected_scores: dict[int, dict[int, float]] = {}
+
+    def _truncate_rng(self, vertex: int) -> random.Random:
+        """Per-vertex truncation stream when order independence is required."""
+        if self._per_vertex_rng:
+            return vertex_rng(self._config.seed, 0, vertex)
+        return self._rng_truncate
+
+    def _sample_rng(self, vertex: int) -> random.Random:
+        if self._per_vertex_rng:
+            return vertex_rng(self._config.seed, 1, vertex)
+        return self._rng_sample
 
     # ------------------------------------------------------------------
     def initial_state(self, vertex: int) -> dict[str, Any]:
@@ -95,7 +108,7 @@ class SnapleBspProgram(BspVertexProgram):
             neighbors = truncate_neighborhood(
                 neighbors,
                 threshold,
-                rng=self._rng_truncate,
+                rng=self._truncate_rng(context.vertex),
                 exact=self._config.exact_truncation,
             )
         state["gamma"] = sorted(neighbors)
@@ -129,7 +142,7 @@ class SnapleBspProgram(BspVertexProgram):
             else:
                 selection[v] = score.selection_similarity(gamma_u, gamma_v)
         kept = self._config.sampler.select(
-            selection, self._config.k_local, rng=self._rng_sample
+            selection, self._config.k_local, rng=self._sample_rng(context.vertex)
         )
         sims = {v: path_similarity[v] for v in kept}
         state["sims"] = sims

@@ -81,7 +81,7 @@ class SnapleLinkPredictor:
     # ------------------------------------------------------------------
     def predict(self, graph: DiGraph, *, backend: str | None = None,
                 mode: str | None = None, vertices: list[int] | None = None,
-                **options):
+                workers: int | None = None, **options):
         """Run SNAPLE scoring on the named execution backend.
 
         Parameters
@@ -96,6 +96,13 @@ class SnapleLinkPredictor:
             :class:`PredictionResult`, matching the 1.0 return type.
         vertices:
             Restrict prediction to these vertices (all by default).
+        workers:
+            Execute graph partitions in this many shared-nothing worker
+            processes (see :mod:`repro.runtime.parallel`).  Only backends
+            advertising :attr:`~repro.runtime.BackendCapabilities.parallel`
+            (``gas``, ``bsp``) accept it; other backends raise
+            :class:`~repro.errors.ConfigurationError`.  Predictions are
+            identical for every worker count.
         **options:
             Backend-specific options (e.g. ``cluster=`` / ``partitioner=`` /
             ``enforce_memory=`` for the simulated engines).  Unknown backends
@@ -109,6 +116,8 @@ class SnapleLinkPredictor:
         """
         from repro.runtime import get_backend
 
+        if workers is not None:
+            options["workers"] = workers
         if mode is not None and backend is None:
             warnings.warn(
                 "predict(mode=...) is deprecated; use predict(backend=...), "

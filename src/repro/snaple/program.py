@@ -21,6 +21,15 @@ The vertex-data keys written by the steps are:
 * ``"sims"`` — dict mapping kept neighbors to raw similarities;
 * ``"predicted"`` — the top-``k`` predicted vertex ids (list).
 
+Randomness comes in two flavours.  By default each step draws from one
+sequential stream seeded from the configuration, consumed in vertex order —
+the historical behaviour, which ties the outcome to the engine's iteration
+order.  With ``per_vertex_rng=True`` every vertex draws from its own stream
+derived from ``(seed, step, vertex)`` via :func:`vertex_rng`, making the
+outcome independent of the order vertices are processed in — which is what
+allows :mod:`repro.runtime.parallel` to execute partitions concurrently and
+still produce results identical for any worker or partition count.
+
 The full candidate score maps are *not* stored in the vertex data: in
 Algorithm 2 they are a temporary of the apply phase, so they are neither
 replicated to mirrors nor counted against machine memory.  The
@@ -45,6 +54,7 @@ __all__ = [
     "RecommendationStep",
     "build_snaple_steps",
     "top_k_predictions",
+    "vertex_rng",
 ]
 
 
@@ -54,16 +64,52 @@ def top_k_predictions(scores: dict[int, float], k: int) -> list[int]:
     return [vertex for vertex, _ in ranked[:k]]
 
 
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def vertex_rng(seed: int, salt: int, vertex: int) -> random.Random:
+    """A :class:`random.Random` derived deterministically from ``(seed, salt, vertex)``.
+
+    The splitmix64-style finalizer decorrelates nearby ``(seed, vertex)``
+    pairs without relying on :func:`hash`, whose value for strings changes
+    between processes — per-vertex streams must agree across worker
+    processes.
+    """
+    x = ((seed & _MASK64)
+         ^ ((salt * 0x9E3779B97F4A7C15) & _MASK64)
+         ^ ((vertex * 0xBF58476D1CE4E5B9) & _MASK64))
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return random.Random(x ^ (x >> 31))
+
+
 class NeighborhoodSampleStep(VertexProgram):
-    """Step 1: build the truncated neighborhood sample ``Γ̂(u)``."""
+    """Step 1: build the truncated neighborhood sample ``Γ̂(u)``.
+
+    With ``per_vertex_rng=True`` the truncation draws come from the vertex's
+    own stream (derived once when the engine moves to a new vertex; gather
+    calls for one vertex are consecutive in every engine), so the sample does
+    not depend on the order vertices are processed in.
+    """
 
     name = "sample-neighborhood"
     gather_direction = EdgeDirection.OUT
 
-    def __init__(self, config: SnapleConfig, graph: DiGraph) -> None:
+    def __init__(self, config: SnapleConfig, graph: DiGraph,
+                 *, per_vertex_rng: bool = False) -> None:
         self._config = config
         self._graph = graph
+        self._per_vertex_rng = per_vertex_rng
         self._rng = random.Random(config.seed)
+        self._rng_vertex = -1
+
+    def _rng_for(self, u: int) -> random.Random:
+        if not self._per_vertex_rng:
+            return self._rng
+        if u != self._rng_vertex:
+            self._rng = vertex_rng(self._config.seed, 0, u)
+            self._rng_vertex = u
+        return self._rng
 
     def gather(self, u: int, v: int, u_data: dict[str, Any],
                v_data: dict[str, Any]) -> Any:
@@ -72,7 +118,7 @@ class NeighborhoodSampleStep(VertexProgram):
         if not math.isinf(threshold) and degree > threshold:
             # Bernoulli truncation: drop this neighbor with probability
             # 1 - thrΓ/|Γ(u)| (Algorithm 2, line 3).
-            if self._rng.random() > threshold / degree:
+            if self._rng_for(u).random() > threshold / degree:
                 return None
         return [v]
 
@@ -85,7 +131,7 @@ class NeighborhoodSampleStep(VertexProgram):
             neighbors = truncate_neighborhood(
                 self._graph.out_neighbors(u).tolist(),
                 self._config.truncation_threshold,
-                rng=self._rng,
+                rng=self._rng_for(u),
                 exact=True,
             )
         u_data["gamma"] = sorted(neighbors)
@@ -104,8 +150,10 @@ class SimilarityStep(VertexProgram):
     name = "estimate-similarities"
     gather_direction = EdgeDirection.OUT
 
-    def __init__(self, config: SnapleConfig) -> None:
+    def __init__(self, config: SnapleConfig,
+                 *, per_vertex_rng: bool = False) -> None:
         self._config = config
+        self._per_vertex_rng = per_vertex_rng
         self._rng = random.Random(config.seed + 1)
 
     def gather(self, u: int, v: int, u_data: dict[str, Any],
@@ -128,8 +176,10 @@ class SimilarityStep(VertexProgram):
     def apply(self, u: int, u_data: dict[str, Any], gathered: Any) -> None:
         pairs: dict[int, tuple[float, float]] = gathered if gathered is not None else {}
         selection = {v: sel for v, (_path, sel) in pairs.items()}
+        rng = (vertex_rng(self._config.seed, 1, u)
+               if self._per_vertex_rng else self._rng)
         kept = self._config.sampler.select(
-            selection, self._config.k_local, rng=self._rng
+            selection, self._config.k_local, rng=rng
         )
         u_data["sims"] = {v: pairs[v][0] for v in kept}
 
@@ -199,10 +249,16 @@ class RecommendationStep(VertexProgram):
         return 1 + len(value)
 
 
-def build_snaple_steps(config: SnapleConfig, graph: DiGraph) -> list[VertexProgram]:
-    """The three GAS super-steps of Algorithm 2, in execution order."""
+def build_snaple_steps(config: SnapleConfig, graph: DiGraph,
+                       *, per_vertex_rng: bool = False) -> list[VertexProgram]:
+    """The three GAS super-steps of Algorithm 2, in execution order.
+
+    ``per_vertex_rng=True`` derives all randomness per vertex instead of from
+    one sequential stream, making the outcome independent of vertex
+    processing order (required by the shared-nothing parallel executor).
+    """
     return [
-        NeighborhoodSampleStep(config, graph),
-        SimilarityStep(config),
+        NeighborhoodSampleStep(config, graph, per_vertex_rng=per_vertex_rng),
+        SimilarityStep(config, per_vertex_rng=per_vertex_rng),
         RecommendationStep(config),
     ]
