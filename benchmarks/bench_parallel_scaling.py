@@ -43,7 +43,13 @@ def _timed_predict(predictor, graph, iterations: int, **options):
     return best, report
 
 
-def test_bench_parallel_scaling(save_json, save_result):
+def test_bench_parallel_scaling(save_json, save_result, monkeypatch):
+    # Force the scalar per-partition steps: workers=N would otherwise run
+    # the vectorized kernel (repro.snaple.kernel) while the serial gas
+    # engine stays scalar, and speedup_vs_serial would conflate kernel
+    # speedup with parallelization.  The kernel has its own benchmark
+    # (bench_scoring_kernel.py); this one isolates the scaling trajectory.
+    monkeypatch.setenv("SNAPLE_PARALLEL_SCALAR", "1")
     iterations = int(os.environ.get("SNAPLE_BENCH_ITERATIONS", "3"))
     num_vertices = int(os.environ.get("SNAPLE_BENCH_VERTICES", "1000"))
     graph = powerlaw_cluster(num_vertices, 3, 0.2, seed=BENCH_SEED)

@@ -34,6 +34,7 @@ from repro.eval.experiments import EXPERIMENTS
 from repro.eval.experiments.ablation_engines import ENGINE_SPECS
 from repro.graph.datasets import dataset_names, dataset_spec
 from repro.runtime import available_backends, backend_capabilities
+from repro.runtime.engines import LOCAL_MODES
 from repro.runtime.parallel import validate_workers
 
 __all__ = ["main", "build_parser"]
@@ -95,6 +96,17 @@ def build_parser() -> argparse.ArgumentParser:
             "execute graph partitions in N shared-nothing worker processes "
             "instead of the simulated cluster (only experiments taking a "
             "'workers' parameter, e.g. ablation-engines)"
+        ),
+    )
+    parser.add_argument(
+        "--mode",
+        choices=LOCAL_MODES,
+        default=None,
+        help=(
+            "execution mode for local-backend scoring: 'vectorized' runs "
+            "the CSR array kernel (default), 'reference' the scalar "
+            "implementation (only experiments taking a 'mode' parameter, "
+            "e.g. figure6-figure10, ablation-alpha)"
         ),
     )
     parser.add_argument(
@@ -199,6 +211,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             kwargs["workers"] = validate_workers(args.workers)
         except ConfigurationError as error:
             parser.error(f"--workers: {error}")
+    if args.mode is not None:
+        if "mode" not in parameters:
+            parser.error(
+                f"--mode is not supported by experiment {args.experiment!r}"
+            )
+        kwargs["mode"] = args.mode
     result = experiment(**kwargs)
     if args.json:
         payload = {

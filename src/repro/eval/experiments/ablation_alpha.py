@@ -59,9 +59,10 @@ def run_ablation_alpha(
     datasets: tuple[str, ...] = ALPHA_DATASETS,
     alphas: tuple[float, ...] = ALPHA_VALUES,
     k_local: float = 80,
+    mode: str | None = None,
 ) -> AblationAlphaResult:
     """Sweep the linear combinator weight and measure recall."""
-    runner = ExperimentRunner(scale=scale, seed=seed)
+    runner = ExperimentRunner(scale=scale, seed=seed, mode=mode)
     report = FigureReport(
         title="Ablation — linear combinator weight α (linearSum, klocal=%s)" % int(k_local),
         x_label="alpha",

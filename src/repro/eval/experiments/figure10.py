@@ -46,9 +46,10 @@ def run_figure10(
     removals: tuple[int, ...] = FIGURE10_REMOVALS,
     scores: tuple[str, ...] = SUM_FAMILY,
     k_local: int = 80,
+    mode: str | None = None,
 ) -> Figure10Result:
     """Regenerate Figure 10 (recall vs removed edges per vertex)."""
-    runner = ExperimentRunner(scale=scale, seed=seed)
+    runner = ExperimentRunner(scale=scale, seed=seed, mode=mode)
     result = Figure10Result()
     for dataset in datasets:
         report = FigureReport(

@@ -60,9 +60,10 @@ def run_figure6(
     k_local: int = 80,
     datasets: tuple[str, ...] = FIGURE6_DATASETS,
     thresholds: tuple[int, ...] = FIGURE6_THRESHOLDS,
+    mode: str | None = None,
 ) -> Figure6Result:
     """Regenerate Figure 6 (degree CDFs and recall vs thrΓ)."""
-    runner = ExperimentRunner(scale=scale, seed=seed)
+    runner = ExperimentRunner(scale=scale, seed=seed, mode=mode)
     result = Figure6Result(thresholds=thresholds)
     for dataset in datasets:
         graph = runner.dataset(dataset)

@@ -49,9 +49,10 @@ def run_figure7(
     scores: tuple[str, ...] = FIGURE7_SCORES,
     k_locals: tuple[int, ...] = FIGURE7_KLOCALS,
     policies: tuple[str, ...] = FIGURE7_POLICIES,
+    mode: str | None = None,
 ) -> Figure7Result:
     """Regenerate Figure 7 (sampling policy comparison on livejournal)."""
-    runner = ExperimentRunner(scale=scale, seed=seed)
+    runner = ExperimentRunner(scale=scale, seed=seed, mode=mode)
     result = Figure7Result()
     for score in scores:
         report = FigureReport(

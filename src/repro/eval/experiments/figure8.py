@@ -58,6 +58,7 @@ def run_figure8(
     num_machines: int = 32,
     use_gas_timing: bool = False,
     families: dict[str, tuple[str, ...]] | None = None,
+    mode: str | None = None,
 ) -> Figure8Result:
     """Regenerate Figure 8 (recall vs time per scoring configuration).
 
@@ -66,7 +67,7 @@ def run_figure8(
     wall clock of the local run is used, which preserves the relative shape
     at a fraction of the cost.
     """
-    runner = ExperimentRunner(scale=scale, seed=seed)
+    runner = ExperimentRunner(scale=scale, seed=seed, mode=mode)
     result = Figure8Result()
     cluster = cluster_of(TYPE_I, num_machines)
     chosen_families = families if families is not None else FAMILIES

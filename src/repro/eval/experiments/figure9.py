@@ -45,9 +45,10 @@ def run_figure9(
     ks: tuple[int, ...] = FIGURE9_KS,
     scores: tuple[str, ...] = SUM_FAMILY,
     k_local: int = 80,
+    mode: str | None = None,
 ) -> Figure9Result:
     """Regenerate Figure 9 (recall vs number of recommended links k)."""
-    runner = ExperimentRunner(scale=scale, seed=seed)
+    runner = ExperimentRunner(scale=scale, seed=seed, mode=mode)
     result = Figure9Result()
     for dataset in datasets:
         report = FigureReport(

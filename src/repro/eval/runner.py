@@ -67,14 +67,21 @@ class ExperimentRunner:
     removed_edges_per_vertex, min_degree:
         Protocol parameters (paper defaults: 1 edge removed from vertices with
         out-degree greater than 3).
+    mode:
+        Execution mode applied to every ``local``-backend run
+        (``"vectorized"`` / ``"reference"``, see
+        :class:`repro.runtime.engines.LocalBackend`).  ``None`` keeps the
+        backend's default (vectorized).
     """
 
     def __init__(self, *, scale: float = 1.0, seed: int = 42,
-                 removed_edges_per_vertex: int = 1, min_degree: int = 3) -> None:
+                 removed_edges_per_vertex: int = 1, min_degree: int = 3,
+                 mode: str | None = None) -> None:
         self._scale = scale
         self._seed = seed
         self._removed_edges_per_vertex = removed_edges_per_vertex
         self._min_degree = min_degree
+        self._mode = mode
         self._splits: dict[tuple[str, int], EdgeRemovalSplit] = {}
 
     @property
@@ -136,6 +143,8 @@ class ExperimentRunner:
             options["workers"] = workers
             if label is None:
                 predictor_label += f" x{workers} workers"
+        if self._mode is not None and backend == "local":
+            options.setdefault("mode", self._mode)
         predictor = SnapleLinkPredictor(config)
         try:
             report = predictor.predict(split.train_graph, backend=backend,

@@ -178,6 +178,15 @@ class DiGraph:
         self._check_vertex(u)
         return int(self._in_indptr[u]), int(self._in_indptr[u + 1])
 
+    def csr_out_adjacency(self) -> tuple[np.ndarray, np.ndarray]:
+        """The raw out-adjacency CSR pair ``(indptr, indices)``.
+
+        Rows are sorted (duplicate edges kept), which is what lets the
+        vectorized scoring kernel (:mod:`repro.snaple.kernel`) run merge
+        intersections and membership tests directly on these arrays.
+        """
+        return self._out_indptr, self._out_indices
+
     def csr_out_order(self) -> np.ndarray:
         """Permutation mapping CSR out-edge positions to original edge indices."""
         return self._out_order

@@ -7,7 +7,7 @@ accounting shared by every engine.  Importing the package registers the six
 built-in backends:
 
 ========================  =====================================================
-``local``                 single-process reference implementation
+``local``                 single-process scoring (vectorized CSR kernel)
 ``gas``                   simulated distributed GAS engine (vertex-cut)
 ``bsp``                   simulated BSP/Pregel engine (edge-cut, messages)
 ``cassovary``             random-walk PPR competitor, simulated-time accounting
@@ -31,7 +31,7 @@ from repro.runtime.baselines import (
     RandomWalkPprBackend,
     TopologicalBackend,
 )
-from repro.runtime.engines import BspBackend, GasBackend, LocalBackend
+from repro.runtime.engines import LOCAL_MODES, BspBackend, GasBackend, LocalBackend
 from repro.runtime.parallel import (
     ParallelExecutor,
     ParallelRunOutcome,
@@ -59,6 +59,7 @@ __all__ = [
     "backend_capabilities",
     "available_backends",
     "LocalBackend",
+    "LOCAL_MODES",
     "GasBackend",
     "BspBackend",
     "CassovaryBackend",

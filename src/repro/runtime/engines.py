@@ -1,8 +1,9 @@
 """Backend adapters for the three SNAPLE execution paths (local, GAS, BSP).
 
-The local backend owns the single-process reference implementation of
-Algorithm 2 (it used to live inside ``SnapleLinkPredictor.predict_local``);
-the GAS and BSP backends drive the simulated distributed engines.  All three
+The local backend owns the single-process implementation of Algorithm 2 —
+a vectorized CSR kernel by default (:mod:`repro.snaple.kernel`), with the
+scalar reference implementation kept behind ``mode="reference"``; the GAS
+and BSP backends drive the simulated distributed engines.  All three
 produce identical predictions for the same configuration and seed whenever no
 probabilistic truncation is involved — the cross-backend parity tests rely on
 this.
@@ -31,9 +32,10 @@ from repro.runtime.parallel import (
 from repro.runtime.report import RunReport
 from repro.snaple.bsp_program import SnapleBspPredictor
 from repro.snaple.config import SnapleConfig
+from repro.snaple.kernel import VectorizedKernel, kernel_supports
 from repro.snaple.program import build_snaple_steps, top_k_predictions
 
-__all__ = ["LocalBackend", "GasBackend", "BspBackend"]
+__all__ = ["LocalBackend", "GasBackend", "BspBackend", "LOCAL_MODES"]
 
 
 def _reject_cluster_with_workers(cluster: ClusterConfig | None,
@@ -91,6 +93,10 @@ def _parallel_report(backend_name: str,
     )
 
 
+#: Execution modes of the ``local`` backend.
+LOCAL_MODES = ("vectorized", "reference")
+
+
 class LocalBackend(ExecutionBackend):
     """Single-process SNAPLE scoring without engine book-keeping.
 
@@ -98,12 +104,28 @@ class LocalBackend(ExecutionBackend):
     and ``klocal`` selection for every vertex); ``run`` only performs the
     per-vertex path combination, so streaming over vertex batches costs no
     repeated global work.
+
+    ``mode`` selects the implementation: ``"vectorized"`` (the default) runs
+    the CSR-native array kernel of :mod:`repro.snaple.kernel`;
+    ``"reference"`` keeps the scalar dict/loop implementation for
+    cross-checking and for configurations outside the vectorized design
+    space (to which the vectorized mode silently falls back — the report's
+    ``extra["kernel_vectorized"]`` flag records which path actually ran).
+    Both modes produce identical predictions and scores for the same
+    configuration and seed.
     """
 
     name = "local"
 
-    def __init__(self) -> None:
+    def __init__(self, mode: str = "vectorized") -> None:
         super().__init__()
+        if mode not in LOCAL_MODES:
+            raise ConfigurationError(
+                f"unknown local mode {mode!r}; available modes: "
+                f"{', '.join(LOCAL_MODES)}"
+            )
+        self._mode = mode
+        self._kernel = None
         self._gamma: list[list[int]] = []
         self._sims: list[dict[int, float]] = []
         self._prepare_seconds = 0.0
@@ -112,12 +134,13 @@ class LocalBackend(ExecutionBackend):
     def capabilities(self) -> BackendCapabilities:
         return BackendCapabilities(
             name=self.name,
-            description="single-process reference implementation of Algorithm 2",
+            description=("single-process Algorithm 2 "
+                         "(vectorized CSR kernel, reference mode available)"),
             simulated=False,
             distributed=False,
             vertex_subset=True,
             incremental=True,
-            options=(),
+            options=("mode",),
         )
 
     def prepare(self, graph: DiGraph,
@@ -126,6 +149,16 @@ class LocalBackend(ExecutionBackend):
         config = self._config
         assert config is not None
         start = time.perf_counter()
+        self._kernel = None
+        if self._mode == "vectorized" and kernel_supports(config):
+            self._kernel = VectorizedKernel(graph, config)
+        else:
+            self._prepare_reference(graph, config)
+        self._prepare_seconds = time.perf_counter() - start
+        self._prepare_billed = False
+        return self
+
+    def _prepare_reference(self, graph: DiGraph, config: SnapleConfig) -> None:
         rng_truncate = random.Random(config.seed)
         rng_sample = random.Random(config.seed + 1)
 
@@ -149,27 +182,27 @@ class LocalBackend(ExecutionBackend):
         # Phase 2: raw similarities and klocal selection for every vertex.
         # The selection ranks neighbors by the set similarity of equation
         # (11) (Jaccard by default), while the kept values are the score's
-        # own raw similarity, which phase 3 combines along paths.
+        # own raw similarity, which phase 3 combines along paths.  The
+        # neighborhood sets are built once per vertex, not once per edge.
         similarity = config.score.similarity
         selection_similarity = config.score.selection_similarity
+        gamma_sets = [frozenset(neighborhood) for neighborhood in gamma]
         sampler = config.sampler
         sims: list[dict[int, float]] = []
         for u in graph.vertices():
             neighbors = graph.out_neighbors(u).tolist()
+            set_u = gamma_sets[u]
             selection = {
-                v: selection_similarity(gamma[u], gamma[v]) for v in neighbors
+                v: selection_similarity(set_u, gamma_sets[v]) for v in neighbors
             }
             kept = sampler.select(selection, config.k_local, rng=rng_sample)
             if selection_similarity is similarity:
                 sims.append(kept)
             else:
-                sims.append({v: similarity(gamma[u], gamma[v]) for v in kept})
+                sims.append({v: similarity(set_u, gamma_sets[v]) for v in kept})
 
         self._gamma = gamma
         self._sims = sims
-        self._prepare_seconds = time.perf_counter() - start
-        self._prepare_billed = False
-        return self
 
     def run(self, vertices: list[int] | None = None) -> RunReport:
         """Score ``vertices`` and report timings.
@@ -182,12 +215,32 @@ class LocalBackend(ExecutionBackend):
         """
         _, config = self._require_prepared()
         targets = self._target_vertices(vertices)
-        gamma, sims = self._gamma, self._sims
 
-        # Phase 3: path combination + aggregation + top-k per target vertex.
+        start = time.perf_counter()
+        if self._kernel is not None:
+            predictions, scores = self._kernel.run(targets)
+        else:
+            predictions, scores = self._run_reference(targets, config)
+        wall = time.perf_counter() - start
+        if not self._prepare_billed:
+            wall += self._prepare_seconds
+            self._prepare_billed = True
+        return RunReport(
+            backend=self.name,
+            predictions=predictions,
+            scores=scores,
+            wall_clock_seconds=wall,
+            extra={
+                "prepare_seconds": self._prepare_seconds,
+                "kernel_vectorized": 1.0 if self._kernel is not None else 0.0,
+            },
+        )
+
+    def _run_reference(self, targets: list[int], config: SnapleConfig):
+        """Phase 3 of the scalar reference: dict-based path accumulation."""
+        gamma, sims = self._gamma, self._sims
         combinator = config.score.combinator
         aggregator = config.score.aggregator
-        start = time.perf_counter()
         predictions: dict[int, list[int]] = {}
         scores: dict[int, dict[int, float]] = {}
         for u in targets:
@@ -210,17 +263,7 @@ class LocalBackend(ExecutionBackend):
             }
             scores[u] = final
             predictions[u] = top_k_predictions(final, config.k)
-        wall = time.perf_counter() - start
-        if not self._prepare_billed:
-            wall += self._prepare_seconds
-            self._prepare_billed = True
-        return RunReport(
-            backend=self.name,
-            predictions=predictions,
-            scores=scores,
-            wall_clock_seconds=wall,
-            extra={"prepare_seconds": self._prepare_seconds},
-        )
+        return predictions, scores
 
 
 class GasBackend(ExecutionBackend):

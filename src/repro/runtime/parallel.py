@@ -192,22 +192,49 @@ def _gas_step_task(task: tuple[int, list[int], dict[int, dict[str, Any]]]):
     ``task`` is ``(step_index, active owned vertices, snapshot slice)``; the
     result carries the updated owned vertex data, the step's side-channel
     scores (if any), invocation counts, and the compute time.
+
+    When the scoring configuration is inside the vectorized design space
+    (see :func:`repro.snaple.kernel.kernel_supports`) the partition's work
+    runs through the CSR-native kernel instead of the per-vertex scalar
+    loop — bit-identical results (the kernel replicates the gather fold
+    order and the per-vertex RNG draws), so serial engines, ``workers=1``
+    and ``workers=N`` all still agree exactly.  Set
+    ``SNAPLE_PARALLEL_SCALAR=1`` to force the scalar step implementations.
     """
+    import os
+
+    from repro.snaple import kernel
     from repro.snaple.program import build_snaple_steps
 
     step_index, active, data = task
     graph, config = _worker_state()
     start = time.perf_counter()
-    # Steps are rebuilt per task: with per-vertex RNG they carry no state
-    # across vertices, so a fresh instance keeps workers stateless and the
-    # outcome independent of which tasks land on which OS process.
-    step = build_snaple_steps(config, graph, per_vertex_rng=True)[step_index]
-    gathers, applies = _run_gas_step(step, graph, active, data)
-    updates = {u: data[u] for u in active}
-    scores = getattr(step, "collected_scores", None)
-    kept_scores = (
-        {u: scores[u] for u in active if u in scores} if scores else None
+    use_kernel = (
+        kernel.kernel_supports(config)
+        and not os.environ.get("SNAPLE_PARALLEL_SCALAR")
     )
+    kept_scores = None
+    if use_kernel:
+        if step_index == 0:
+            gathers, applies = kernel.gas_sample_step(graph, config, active, data)
+        elif step_index == 1:
+            gathers, applies = kernel.gas_similarity_step(graph, config, active, data)
+        else:
+            step_scores, gathers, applies = kernel.gas_recommendation_step(
+                graph, config, active, data
+            )
+            kept_scores = step_scores or None
+    else:
+        # Steps are rebuilt per task: with per-vertex RNG they carry no
+        # state across vertices, so a fresh instance keeps workers stateless
+        # and the outcome independent of which tasks land on which process.
+        step = build_snaple_steps(config, graph, per_vertex_rng=True)[step_index]
+        gathers, applies = _run_gas_step(step, graph, active, data)
+        scores = getattr(step, "collected_scores", None)
+        kept_scores = (
+            {u: scores[u] for u in active if u in scores} if scores else None
+        )
+    updates = {u: data[u] for u in active}
     return updates, kept_scores, gathers, applies, time.perf_counter() - start
 
 

@@ -12,6 +12,7 @@ peak memory, and the number of (super)steps, all under the same names.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -42,6 +43,13 @@ class RunReport:
     the random-walk backends' ``walk_steps``) and ``native`` keeps the
     backend's own result object for callers that need engine internals.
 
+    ``scores`` is a mapping from vertex to its candidate score map.  Most
+    backends return a plain dict; the vectorized ``local`` mode returns a
+    read-only :class:`~repro.snaple.kernel.LazyScores` view that
+    materializes each per-vertex dict on access (equality and iteration
+    behave like the dict it replaces; call ``dict(report.scores)`` to force
+    everything, or use :meth:`to_dict` for JSON).
+
     Partition accounting: ``workers`` is the worker-process count of a
     shared-nothing parallel run (``None`` for serial runs),
     ``per_partition_seconds`` holds each partition's compute time (one entry
@@ -56,7 +64,7 @@ class RunReport:
 
     backend: str
     predictions: dict[int, list[int]]
-    scores: dict[int, dict[int, float]]
+    scores: Mapping[int, dict[int, float]]
     wall_clock_seconds: float = 0.0
     simulated_seconds: float | None = None
     network_bytes: int | None = None

@@ -30,6 +30,11 @@ from repro.snaple.content import (
     ContentConfig,
     ContentPredictionResult,
 )
+from repro.snaple.kernel import (
+    LazyScores,
+    VectorizedKernel,
+    kernel_supports,
+)
 from repro.snaple.khop import KHopLinkPredictor, KHopPredictionResult
 from repro.snaple.predictor import PredictionResult, SnapleLinkPredictor
 from repro.snaple.program import (
@@ -56,7 +61,12 @@ from repro.snaple.scoring import (
     paper_score_names,
     score_config,
 )
-from repro.snaple.similarity import SIMILARITIES, get_similarity, jaccard
+from repro.snaple.similarity import (
+    SIMILARITIES,
+    NeighborhoodSetCache,
+    get_similarity,
+    jaccard,
+)
 
 __all__ = [
     "SnapleConfig",
@@ -101,6 +111,10 @@ __all__ = [
     "SIMILARITIES",
     "get_similarity",
     "jaccard",
+    "NeighborhoodSetCache",
+    "VectorizedKernel",
+    "LazyScores",
+    "kernel_supports",
     "build_snaple_steps",
     "top_k_predictions",
     "NeighborhoodSampleStep",

@@ -37,6 +37,7 @@ from repro.graph.digraph import DiGraph
 from repro.graph.sampling import truncate_neighborhood
 from repro.snaple.config import SnapleConfig
 from repro.snaple.program import top_k_predictions, vertex_rng
+from repro.snaple.similarity import NeighborhoodSetCache
 
 __all__ = ["SnapleBspProgram", "BspPredictionResult", "SnapleBspPredictor"]
 
@@ -62,6 +63,9 @@ class SnapleBspProgram(BspVertexProgram):
         self._rng_sample = random.Random(config.seed + 1)
         #: Candidate scores per vertex, for inspection by the predictor.
         self.collected_scores: dict[int, dict[int, float]] = {}
+        #: Frozenset cache for the shipped neighborhoods: each ``gamma`` is
+        #: compared against every in-neighbor's, so build its set once.
+        self._sets = NeighborhoodSetCache()
 
     def _truncate_rng(self, vertex: int) -> random.Random:
         """Per-vertex truncation stream when order independence is required."""
@@ -128,14 +132,15 @@ class SnapleBspProgram(BspVertexProgram):
 
     def _select_neighbors(self, state: dict[str, Any], messages: list[Any],
                           context: ComputeContext) -> None:
-        gamma_u = state.get("gamma", [])
+        gamma_u = self._sets.get(context.vertex, state.get("gamma", []))
         score = self._config.score
         neighborhood_of: dict[int, list[int]] = {
             sender: gamma for kind, sender, gamma in messages if kind == "gamma"
         }
         selection: dict[int, float] = {}
         path_similarity: dict[int, float] = {}
-        for v, gamma_v in neighborhood_of.items():
+        for v, gamma_list in neighborhood_of.items():
+            gamma_v = self._sets.get(v, gamma_list)
             path_similarity[v] = score.similarity(gamma_u, gamma_v)
             if score.selection_similarity is score.similarity:
                 selection[v] = path_similarity[v]

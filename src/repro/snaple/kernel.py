@@ -1,0 +1,1056 @@
+"""Vectorized SNAPLE scoring kernel: CSR-native Algorithm 2.
+
+The reference execution paths (the ``local`` backend's scalar loops, the
+simulated GAS engine, the shared-nothing parallel tasks) evaluate Algorithm 2
+one vertex and one neighbor at a time: every ``sim(u, v)`` call rebuilds two
+Python sets, every path combination is a dict operation, and every ranking is
+a sort.  This module re-expresses the three phases as array programs over the
+graph's CSR adjacency:
+
+1. :func:`build_truncated_neighborhoods` materializes every truncated
+   neighborhood ``Γ̂(u)`` once as a CSR ``(indptr, indices)`` pair, consuming
+   randomness exactly as the scalar path it mirrors (the sequential stream of
+   the ``local`` reference, or the per-vertex streams of the parallel GAS
+   steps) so results stay bit-identical;
+2. :func:`edge_similarities` computes the raw similarity of *all* edges in
+   one pass.  Every similarity in :data:`repro.snaple.similarity.SIMILARITIES`
+   is a function of ``(|Γ̂u ∩ Γ̂v|, |Γ̂u|, |Γ̂v|)``, so the kernel reduces the
+   whole table to one batched sorted-array intersection (a galloping binary
+   search of the smaller neighborhood into the global key array), cached per
+   *unordered* vertex pair so ``sim(u, v)`` is never intersected twice;
+3. :func:`select_klocal` and :func:`combine_and_rank` fuse the ``klocal``
+   selection, 2-hop path combination, aggregation, and top-``k`` ranking into
+   array operations, using ``np.argpartition`` (plus an exact tie repair on
+   the boundary value) instead of full sorts.
+
+Bit-parity contract
+-------------------
+The kernel reproduces the scalar paths *bit-exactly*, not just approximately:
+
+* float-fold order is preserved — path contributions are aggregated
+  left-to-right in the same arrival order the scalar dict merges use (a
+  vectorized "rounds" reduction; ``np.add.reduceat`` is avoided because it
+  switches to pairwise summation for long runs);
+* ``np.log`` may differ from ``math.log`` in the last bit (NumPy ships SIMD
+  transcendentals), so the adamic-adar weight evaluates ``math.log`` over the
+  small set of distinct integer union sizes and gathers from that table;
+* elementwise ``+ - * /`` and ``np.sqrt`` are IEEE-identical to the scalar
+  operations, and the geometric-mean normalization goes through
+  ``np.float_power`` (libm ``pow``, like the scalar ``**``) because the
+  ``**`` ufunc's SIMD pow differs in the last bit.
+
+Scores can still differ from the reference in the last ulp on exotic
+platforms whose ``pow`` is not correctly rounded; the parity suite therefore
+asserts predictions exactly and scores within ``REL_TOL``.
+
+Configurations outside the vectorizable design space (a similarity,
+combinator, aggregator, or sampler not in the registries below — e.g. a
+user-registered callable) are reported by :func:`kernel_supports`; callers
+fall back to the scalar reference path for them.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from collections.abc import Mapping
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+from repro.graph.sampling import bernoulli_truncate, reservoir_sample, truncate_neighborhood
+from repro.snaple.aggregators import (
+    GeometricMeanAggregator,
+    MaxAggregator,
+    MeanAggregator,
+    SumAggregator,
+)
+from repro.snaple.combinators import (
+    CountCombinator,
+    EuclideanCombinator,
+    GeometricCombinator,
+    LinearCombinator,
+    SumCombinator,
+)
+from repro.snaple.config import SnapleConfig
+from repro.snaple.sampler import (
+    BottomSimilaritySampler,
+    RandomSampler,
+    TopSimilaritySampler,
+)
+from repro.snaple.similarity import SIMILARITIES
+
+__all__ = [
+    "REL_TOL",
+    "kernel_supports",
+    "NeighborhoodCSR",
+    "EdgeSimilarities",
+    "KeptNeighbors",
+    "build_truncated_neighborhoods",
+    "edge_similarities",
+    "select_klocal",
+    "combine_and_rank",
+    "LazyScores",
+    "VectorizedKernel",
+    "gas_sample_step",
+    "gas_similarity_step",
+    "gas_recommendation_step",
+]
+
+#: Relative score tolerance documented for the parity suite.  With the
+#: fold-order-preserving aggregation the kernel is bit-identical on the
+#: platforms CI runs on; the tolerance only covers non-correctly-rounded
+#: ``pow`` implementations (geometric-mean normalization).
+REL_TOL = 1e-12
+
+
+# ----------------------------------------------------------------------
+# Vectorized registries mirroring the scalar ones
+# ----------------------------------------------------------------------
+def _div(num: np.ndarray, den: np.ndarray) -> np.ndarray:
+    """``num / den`` with 0 where ``den <= 0`` (all scalar sims guard this)."""
+    out = np.zeros(num.shape, dtype=np.float64)
+    np.divide(num, den, out=out, where=den > 0)
+    return out
+
+
+def _v_jaccard(inter, size_u, size_v):
+    return _div(inter, size_u + size_v - inter)
+
+
+def _v_common_neighbors(inter, size_u, size_v):
+    return inter.astype(np.float64)
+
+
+def _v_cosine(inter, size_u, size_v):
+    return _div(inter, np.sqrt((size_u * size_v).astype(np.float64)))
+
+
+def _v_dice(inter, size_u, size_v):
+    return _div(2 * inter, size_u + size_v)
+
+
+def _v_overlap(inter, size_u, size_v):
+    return _div(inter, np.minimum(size_u, size_v))
+
+
+def _v_adamic_adar(inter, size_u, size_v):
+    union = size_u + size_v - inter
+    out = np.zeros(inter.shape, dtype=np.float64)
+    mask = (inter > 0) & (union > 1)
+    if mask.any():
+        # math.log over the distinct integer union sizes: np.log's SIMD
+        # implementation can differ from libm in the last bit.
+        distinct = np.unique(union[mask])
+        table = np.array([math.log(int(value) + 1) for value in distinct])
+        out[mask] = inter[mask] / table[np.searchsorted(distinct, union[mask])]
+    return out
+
+
+def _v_one(inter, size_u, size_v):
+    return np.ones(inter.shape, dtype=np.float64)
+
+
+def _v_inverse_degree(inter, size_u, size_v):
+    return _div(np.ones(inter.shape, dtype=np.float64), size_v)
+
+
+#: name -> f(intersection, |Γ̂u|, |Γ̂v|), matching repro.snaple.similarity.
+_VECTORIZED_SIMILARITIES = {
+    "jaccard": _v_jaccard,
+    "common_neighbors": _v_common_neighbors,
+    "cosine": _v_cosine,
+    "dice": _v_dice,
+    "overlap": _v_overlap,
+    "adamic_adar": _v_adamic_adar,
+    "one": _v_one,
+    "inverse_degree": _v_inverse_degree,
+}
+
+_COMBINATOR_TYPES = (
+    LinearCombinator,
+    EuclideanCombinator,
+    GeometricCombinator,
+    SumCombinator,
+    CountCombinator,
+)
+
+#: aggregator type -> the ufunc implementing its (commutative) ``pre``.
+_AGGREGATOR_UFUNCS = {
+    SumAggregator: np.add,
+    MeanAggregator: np.add,
+    GeometricMeanAggregator: np.multiply,
+    MaxAggregator: np.maximum,
+}
+
+_SAMPLER_TYPES = (TopSimilaritySampler, BottomSimilaritySampler, RandomSampler)
+
+
+def _combine_arrays(combinator, sim_uv: np.ndarray, sim_vz: np.ndarray) -> np.ndarray:
+    """Vectorized ``⊗`` with the exact float semantics of ``combine``."""
+    if type(combinator) is LinearCombinator:
+        return combinator.alpha * sim_uv + (1.0 - combinator.alpha) * sim_vz
+    if type(combinator) is EuclideanCombinator:
+        return np.sqrt(sim_uv * sim_uv + sim_vz * sim_vz)
+    if type(combinator) is GeometricCombinator:
+        product = sim_uv * sim_vz
+        out = np.zeros(product.shape, dtype=np.float64)
+        np.sqrt(product, out=out, where=product > 0.0)
+        return out
+    if type(combinator) is SumCombinator:
+        return sim_uv + sim_vz
+    if type(combinator) is CountCombinator:
+        return np.ones(sim_uv.shape, dtype=np.float64)
+    raise TypeError(f"combinator {combinator!r} has no vectorized form")
+
+
+def _aggregator_post(aggregator, accumulated: np.ndarray,
+                     counts: np.ndarray) -> np.ndarray:
+    """Vectorized ``⊕post`` (counts are >= 1 by construction)."""
+    if type(aggregator) is SumAggregator or type(aggregator) is MaxAggregator:
+        return accumulated
+    if type(aggregator) is MeanAggregator:
+        return accumulated / counts
+    if type(aggregator) is GeometricMeanAggregator:
+        out = np.zeros(accumulated.shape, dtype=np.float64)
+        positive = accumulated > 0.0
+        if positive.any():
+            # float_power routes through libm's pow like the scalar ``**``;
+            # the ``**`` ufunc's SIMD pow differs in the last bit.
+            out[positive] = np.float_power(
+                accumulated[positive], 1.0 / counts[positive]
+            )
+        return out
+    raise TypeError(f"aggregator {aggregator!r} has no vectorized form")
+
+
+def kernel_supports(config: SnapleConfig) -> bool:
+    """Whether the whole scoring configuration has a vectorized form.
+
+    The check is by *identity*, not name: a custom callable registered under
+    a known name (or a subclass overriding ``combine``/``pre``) would compute
+    something else, so only the stock registry entries qualify.
+    """
+    score = config.score
+    for fn, name in ((score.similarity, score.similarity_name),
+                     (score.selection_similarity, score.selection_similarity_name)):
+        if name not in _VECTORIZED_SIMILARITIES or SIMILARITIES.get(name) is not fn:
+            return False
+    return (
+        type(score.combinator) in _COMBINATOR_TYPES
+        and type(score.aggregator) in _AGGREGATOR_UFUNCS
+        and type(config.sampler) in _SAMPLER_TYPES
+    )
+
+
+# ----------------------------------------------------------------------
+# CSR helpers
+# ----------------------------------------------------------------------
+def _gather_slices(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Flat indices concatenating the ranges ``[starts[i], starts[i]+counts[i])``.
+
+    The per-range shift is computed on the (short) range arrays so only one
+    repeat and one add run over the (long) output.
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    shift = starts - (np.cumsum(counts) - counts)
+    out = np.repeat(shift, counts)
+    out += np.arange(total, dtype=np.int64)
+    return out
+
+
+def _indptr_from_counts(counts: np.ndarray) -> np.ndarray:
+    indptr = np.zeros(counts.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr
+
+
+def _dedup_sorted_rows(counts: np.ndarray, flat: np.ndarray
+                       ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Drop repeated values inside each (sorted) row of a flat CSR payload.
+
+    Returns ``(new_counts, new_flat, row_of_value)``.
+    """
+    num_rows = counts.size
+    if flat.size == 0:
+        return counts.copy(), flat, np.empty(0, dtype=np.int64)
+    row_id = np.repeat(np.arange(num_rows, dtype=np.int64), counts)
+    keep = np.ones(flat.size, dtype=bool)
+    keep[1:] = (flat[1:] != flat[:-1]) | (row_id[1:] != row_id[:-1])
+    flat = flat[keep]
+    row_id = row_id[keep]
+    new_counts = np.bincount(row_id, minlength=num_rows).astype(np.int64)
+    return new_counts, flat, row_id
+
+
+#: Largest pair-bitmap a NeighborhoodCSR will allocate (bits), 32 MiB.
+_BITMAP_LIMIT_BITS = 1 << 28
+
+
+@dataclass
+class NeighborhoodCSR:
+    """All truncated neighborhoods ``Γ̂`` as one CSR structure.
+
+    ``indices`` rows are sorted and duplicate-free, so sizes are set sizes
+    and ``keys`` (``u * num_vertices + neighbor``) is globally sorted —
+    membership of any ``(u, z)`` pair is one binary search, or one bit probe
+    once the dense pair bitmap has been built (small graphs only; the first
+    bulk membership query builds it lazily).
+    """
+
+    num_vertices: int
+    indptr: np.ndarray
+    indices: np.ndarray
+    keys: np.ndarray
+    sizes: np.ndarray
+    _bitmap: np.ndarray | None = None
+    _bitmap_tried: bool = False
+
+    @classmethod
+    def from_rows(cls, num_vertices: int, counts: np.ndarray,
+                  flat: np.ndarray) -> "NeighborhoodCSR":
+        counts, flat, row_id = _dedup_sorted_rows(counts, flat)
+        keys = row_id * np.int64(num_vertices) + flat if flat.size else flat
+        return cls(
+            num_vertices=num_vertices,
+            indptr=_indptr_from_counts(counts),
+            indices=flat,
+            keys=keys,
+            sizes=counts,
+        )
+
+    def contains(self, rows: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Vectorized membership test ``values[i] in Γ̂(rows[i])``."""
+        return self.contains_keys(rows * np.int64(self.num_vertices) + values)
+
+    def contains_keys(self, probe: np.ndarray) -> np.ndarray:
+        """Membership test for precomputed ``row * num_vertices + value`` keys."""
+        if self.keys.size == 0:
+            return np.zeros(probe.shape, dtype=bool)
+        bitmap = self._pair_bitmap()
+        if bitmap is not None:
+            bits = bitmap[probe >> 3] >> (probe & 7).astype(np.uint8)
+            return (bits & 1).astype(bool)
+        loc = np.searchsorted(self.keys, probe)
+        loc[loc == self.keys.size] = 0  # any valid index; mismatch filters it
+        return self.keys[loc] == probe
+
+    def _pair_bitmap(self) -> np.ndarray | None:
+        """Dense one-bit-per-(row, value) table, built lazily for small graphs."""
+        if not self._bitmap_tried:
+            self._bitmap_tried = True
+            total_bits = self.num_vertices * self.num_vertices
+            if 0 < total_bits <= _BITMAP_LIMIT_BITS:
+                bitmap = np.zeros((total_bits + 7) // 8, dtype=np.uint8)
+                byte_of = self.keys >> 3
+                bit_of = (np.uint8(1) << (self.keys & 7).astype(np.uint8))
+                # keys are sorted, so equal bytes are adjacent: OR-reduce each
+                # run and store once (no slow ufunc.at scatter).
+                first = np.ones(byte_of.size, dtype=bool)
+                first[1:] = byte_of[1:] != byte_of[:-1]
+                starts = np.flatnonzero(first)
+                bitmap[byte_of[starts]] = np.bitwise_or.reduceat(bit_of, starts)
+                self._bitmap = bitmap
+        return self._bitmap
+
+    def row(self, u: int) -> np.ndarray:
+        return self.indices[self.indptr[u]:self.indptr[u + 1]]
+
+
+def build_truncated_neighborhoods(
+    graph: DiGraph,
+    config: SnapleConfig,
+    *,
+    vertices: list[int] | None = None,
+) -> NeighborhoodCSR:
+    """Phase 1: every ``Γ̂(u)`` in one CSR, with scalar-path RNG parity.
+
+    Randomness comes from one shared stream consumed in ascending vertex
+    order, exactly like the ``local`` reference backend, and only vertices
+    whose degree exceeds ``thrΓ`` consume draws — matching the scalar path
+    draw for draw.  (The parallel GAS tasks use :func:`gas_sample_step`
+    instead, which replicates the per-vertex-stream draw pattern of the
+    scalar gather and keeps duplicate neighbors in the vertex data.)
+
+    ``vertices`` restricts the computed rows (others stay empty).
+    """
+    num_vertices = graph.num_vertices
+    indptr, indices = graph.csr_out_adjacency()
+    degrees = np.diff(indptr)
+    threshold = config.truncation_threshold
+
+    active_mask = np.zeros(num_vertices, dtype=bool)
+    if vertices is None:
+        active_mask[:] = True
+    elif len(vertices):
+        active_mask[np.asarray(vertices, dtype=np.int64)] = True
+
+    truncates = (
+        np.zeros(num_vertices, dtype=bool)
+        if math.isinf(threshold)
+        else (degrees > threshold) & active_mask
+    )
+    shared_rng = random.Random(config.seed)
+
+    replaced: dict[int, np.ndarray] = {}
+    for u in np.flatnonzero(truncates).tolist():
+        neighbors = indices[indptr[u]:indptr[u + 1]].tolist()
+        sample = truncate_neighborhood(
+            neighbors, threshold, rng=shared_rng,
+            exact=config.exact_truncation,
+        )
+        replaced[u] = np.unique(np.asarray(sample, dtype=np.int64))
+
+    counts = np.where(active_mask, degrees, 0)
+    for u, sample in replaced.items():
+        counts[u] = sample.size
+    counts = counts.astype(np.int64)
+
+    flat = np.empty(int(counts.sum()), dtype=np.int64)
+    new_indptr = _indptr_from_counts(counts)
+    copied = active_mask & ~truncates
+    rows = np.flatnonzero(copied)
+    flat[_gather_slices(new_indptr[rows], counts[rows])] = (
+        indices[_gather_slices(indptr[rows], degrees[rows])]
+    )
+    for u, sample in replaced.items():
+        flat[new_indptr[u]:new_indptr[u] + sample.size] = sample
+    return NeighborhoodCSR.from_rows(num_vertices, counts, flat)
+
+
+# ----------------------------------------------------------------------
+# Phase 2: batched edge similarities
+# ----------------------------------------------------------------------
+@dataclass
+class EdgeSimilarities:
+    """Raw similarities for the (deduplicated) out-edges of selected rows.
+
+    One entry per distinct directed edge ``u -> v``; ``indptr`` spans all
+    vertices, with empty rows for vertices outside the requested set.
+    """
+
+    indptr: np.ndarray
+    neighbor: np.ndarray
+    path_sim: np.ndarray
+    selection_sim: np.ndarray
+
+
+def _pairwise_intersections(gamma: NeighborhoodCSR, left: np.ndarray,
+                            right: np.ndarray) -> np.ndarray:
+    """``|Γ̂(left[i]) ∩ Γ̂(right[i])|`` for each vertex pair, batched.
+
+    Probes every element of the smaller neighborhood against the global
+    sorted key array (galloping binary search), then counts hits per pair.
+    """
+    if left.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    sizes_left = gamma.sizes[left]
+    sizes_right = gamma.sizes[right]
+    probe_is_left = sizes_left <= sizes_right
+    probe = np.where(probe_is_left, left, right)
+    table = np.where(probe_is_left, right, left)
+    probe_counts = np.minimum(sizes_left, sizes_right)
+    positions = _gather_slices(gamma.indptr[probe], probe_counts)
+    values = gamma.indices[positions]
+    pair_of = np.repeat(np.arange(left.size, dtype=np.int64), probe_counts)
+    found = gamma.contains(table[pair_of], values)
+    return np.bincount(pair_of[found], minlength=left.size).astype(np.int64)
+
+
+def edge_similarities(graph: DiGraph, gamma: NeighborhoodCSR,
+                      config: SnapleConfig, *,
+                      rows: np.ndarray | None = None) -> EdgeSimilarities:
+    """Phase 2: path + selection similarities for every edge in one pass.
+
+    The intersection — the only expensive part, shared by every similarity in
+    the table — is computed once per *unordered* vertex pair (the
+    edge-symmetric cache) and broadcast back to the directed edges.
+    """
+    num_vertices = graph.num_vertices
+    indptr, indices = graph.csr_out_adjacency()
+    degrees = np.diff(indptr)
+    if rows is None:
+        rows = np.arange(num_vertices, dtype=np.int64)
+    else:
+        rows = np.sort(np.asarray(rows, dtype=np.int64))
+    counts = np.zeros(num_vertices, dtype=np.int64)
+    counts[rows] = degrees[rows]
+    flat = indices[_gather_slices(indptr[rows], degrees[rows])]
+    counts, flat, row_id = _dedup_sorted_rows(counts, flat)
+
+    inter = np.zeros(flat.size, dtype=np.int64)
+    if flat.size:
+        low = np.minimum(row_id, flat)
+        high = np.maximum(row_id, flat)
+        pair_keys = low * np.int64(num_vertices) + high
+        distinct, representative, inverse = np.unique(
+            pair_keys, return_index=True, return_inverse=True
+        )
+        inter = _pairwise_intersections(
+            gamma, low[representative], high[representative]
+        )[inverse]
+
+    size_u = gamma.sizes[row_id] if flat.size else np.zeros(0, dtype=np.int64)
+    size_v = gamma.sizes[flat] if flat.size else np.zeros(0, dtype=np.int64)
+    score = config.score
+    selection_fn = _VECTORIZED_SIMILARITIES[score.selection_similarity_name]
+    selection_sim = selection_fn(inter, size_u, size_v)
+    if score.selection_similarity is score.similarity:
+        path_sim = selection_sim
+    else:
+        path_fn = _VECTORIZED_SIMILARITIES[score.similarity_name]
+        path_sim = path_fn(inter, size_u, size_v)
+    return EdgeSimilarities(
+        indptr=_indptr_from_counts(counts),
+        neighbor=flat,
+        path_sim=path_sim,
+        selection_sim=selection_sim,
+    )
+
+
+# ----------------------------------------------------------------------
+# Phase 3a: klocal selection
+# ----------------------------------------------------------------------
+@dataclass
+class KeptNeighbors:
+    """The ``klocal``-selected neighbors per vertex, in *selection order*.
+
+    The row order matches the insertion order of the scalar ``sims`` dicts
+    (``Γmax``: similarity descending, id ascending; ``Γmin``: ascending;
+    unsampled rows: neighbor id ascending) because the scalar reference
+    iterates those dicts when accumulating paths — preserving it keeps the
+    float fold order, and therefore the scores, bit-identical.
+    """
+
+    indptr: np.ndarray
+    ids: np.ndarray
+    sims: np.ndarray
+
+    def sims_dict(self, u: int) -> dict[int, float]:
+        start, end = self.indptr[u], self.indptr[u + 1]
+        return dict(zip(self.ids[start:end].tolist(),
+                        self.sims[start:end].tolist()))
+
+
+def _smallest_k_by(primary: np.ndarray, ids: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` smallest by ``(primary, id)``, in that order.
+
+    ``np.argpartition`` shrinks the candidate set to the boundary value, ties
+    on the boundary are repaired exactly, and only the ``k`` survivors are
+    sorted — the full-sort-free ranking the scalar heaps provide.
+    """
+    n = primary.size
+    if n > 2 * k:
+        boundary = primary[np.argpartition(primary, k - 1)[k - 1]]
+        keep = np.flatnonzero(primary <= boundary)
+        order = np.lexsort((ids[keep], primary[keep]))[:k]
+        return keep[order]
+    return np.lexsort((ids, primary))[:k]
+
+
+def select_klocal(edges: EdgeSimilarities, config: SnapleConfig, *,
+                  rng_mode: str = "sequential",
+                  rows: np.ndarray | None = None) -> KeptNeighbors:
+    """Phase 3a: keep ``klocal`` neighbors per vertex, scalar-order parity.
+
+    ``Γmax``/``Γmin`` rows larger than ``klocal`` go through the
+    ``argpartition`` fast path; ``Γrnd`` rows delegate to the sampler itself
+    so the random draws match the scalar engines draw-for-draw (sequential
+    stream seeded ``seed + 1``, or the vertex's own stream, matching
+    ``rng_mode``).
+    """
+    from repro.snaple.program import vertex_rng
+
+    k_local = config.k_local
+    counts = np.diff(edges.indptr)
+    num_vertices = counts.size
+    if rows is None:
+        rows = np.arange(num_vertices, dtype=np.int64)
+    if math.isinf(k_local):
+        oversized = np.empty(0, dtype=np.int64)
+    else:
+        oversized = rows[counts[rows] > k_local]
+
+    kept_counts = counts.copy()
+    sampler = config.sampler
+    sequential = rng_mode == "sequential"
+    if sequential:
+        shared_rng = random.Random(config.seed + 1)
+    replaced: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    budget = int(k_local) if not math.isinf(k_local) else 0
+    for u in oversized.tolist():
+        start, end = int(edges.indptr[u]), int(edges.indptr[u + 1])
+        ids = edges.neighbor[start:end]
+        selection = edges.selection_sim[start:end]
+        path = edges.path_sim[start:end]
+        if type(sampler) is TopSimilaritySampler:
+            chosen = _smallest_k_by(-selection, ids, budget)
+        elif type(sampler) is BottomSimilaritySampler:
+            chosen = _smallest_k_by(selection, ids, budget)
+        else:  # Γrnd: replay the sampler itself for draw-exact parity
+            rng = shared_rng if sequential else vertex_rng(config.seed, 1, u)
+            kept = sampler.select(
+                dict(zip(ids.tolist(), selection.tolist())), k_local, rng=rng
+            )
+            lookup = {int(v): i for i, v in enumerate(ids.tolist())}
+            chosen = np.array([lookup[v] for v in kept], dtype=np.int64)
+        replaced[u] = (ids[chosen], path[chosen])
+        kept_counts[u] = len(chosen)
+
+    if not replaced:
+        return KeptNeighbors(indptr=edges.indptr, ids=edges.neighbor,
+                             sims=edges.path_sim)
+    new_indptr = _indptr_from_counts(kept_counts)
+    ids_out = np.empty(int(kept_counts.sum()), dtype=np.int64)
+    sims_out = np.empty(ids_out.size, dtype=np.float64)
+    untouched = rows[counts[rows] <= k_local]
+    src = _gather_slices(edges.indptr[untouched], counts[untouched])
+    dst = _gather_slices(new_indptr[untouched], counts[untouched])
+    ids_out[dst] = edges.neighbor[src]
+    sims_out[dst] = edges.path_sim[src]
+    for u, (ids, sims) in replaced.items():
+        start = new_indptr[u]
+        ids_out[start:start + ids.size] = ids
+        sims_out[start:start + ids.size] = sims
+    return KeptNeighbors(indptr=new_indptr, ids=ids_out, sims=sims_out)
+
+
+# ----------------------------------------------------------------------
+# Phase 3b: fused path combination + aggregation + top-k
+# ----------------------------------------------------------------------
+class LazyScores(Mapping):
+    """Per-target candidate score maps, materialized on first access.
+
+    Algorithm 2 treats the full candidate score map as a temporary of the
+    apply phase — only the top-``k`` predictions are the program's output.
+    The vectorized kernel therefore keeps the scores as flat arrays and
+    builds the per-vertex ``{candidate: score}`` dicts only when someone
+    actually reads them (evaluation code reads predictions; the score maps
+    serve inspection, supervision, and the parity suite).  Content equality
+    with the eagerly-built reference dicts is exact — ``==`` against any
+    mapping compares the materialized values.
+    """
+
+    __slots__ = ("_offsets", "_candidates", "_values", "_cache")
+
+    def __init__(self, targets: list[int], starts: np.ndarray,
+                 counts: np.ndarray, candidates: np.ndarray,
+                 values: np.ndarray) -> None:
+        starts_list = starts.tolist()
+        counts_list = counts.tolist()
+        #: target -> (start, count); also fixes iteration order (last
+        #: occurrence wins for duplicate targets, like dict assignment).
+        self._offsets = {
+            u: (starts_list[i], counts_list[i]) for i, u in enumerate(targets)
+        }
+        self._candidates = candidates
+        self._values = values
+        self._cache: dict[int, dict[int, float]] = {}
+
+    def __getitem__(self, u: int) -> dict[int, float]:
+        cached = self._cache.get(u)
+        if cached is not None:
+            return cached
+        start, count = self._offsets[u]  # raises KeyError for unknown targets
+        end = start + count
+        entry = dict(zip(self._candidates[start:end].tolist(),
+                         self._values[start:end].tolist()))
+        self._cache[u] = entry
+        return entry
+
+    def __iter__(self):
+        return iter(self._offsets)
+
+    def __len__(self) -> int:
+        return len(self._offsets)
+
+    def __contains__(self, u) -> bool:
+        return u in self._offsets
+
+    def materialize(self) -> dict[int, dict[int, float]]:
+        """All score maps as one eager ``dict`` (what ``dict(self)`` yields)."""
+        return {u: self[u] for u in self._offsets}
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, LazyScores):
+            other = other.materialize()
+        if not isinstance(other, Mapping):
+            return NotImplemented
+        if len(other) != len(self._offsets):
+            return False
+        try:
+            return all(self[u] == other[u] for u in self._offsets)
+        except KeyError:
+            return False
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __repr__(self) -> str:
+        return f"LazyScores(<{len(self._offsets)} targets>)"
+
+
+
+def _fold_groups(ufunc, values: np.ndarray, starts: np.ndarray,
+                 sizes: np.ndarray) -> np.ndarray:
+    """Left-to-right ``ufunc`` fold of each group — exact scalar fold order.
+
+    ``ufunc.reduceat`` is not usable here: NumPy switches to pairwise
+    summation for runs longer than 8 elements, which changes float results.
+    This folds all groups simultaneously, one element-rank per round, so the
+    number of vectorized rounds is the largest group size.
+    """
+    accumulated = values[starts].copy()
+    offset = 1
+    remaining = np.flatnonzero(sizes > 1)
+    while remaining.size:
+        accumulated[remaining] = ufunc(
+            accumulated[remaining], values[starts[remaining] + offset]
+        )
+        offset += 1
+        remaining = remaining[sizes[remaining] > offset]
+    return accumulated
+
+
+def _top_k_rounds(scores: np.ndarray, candidates: np.ndarray,
+                  seg_starts: np.ndarray, seg_sizes: np.ndarray,
+                  k: int) -> list[list[int]]:
+    """Top-``k`` per segment by ``(-score, candidate)``, without full sorts.
+
+    Candidates are id-ascending inside each segment, so the *first* maximum
+    of a segment is exactly the scalar tie-break (highest score, smallest
+    id).  Each round extracts every segment's current maximum at once.
+    """
+    num_segments = seg_starts.size
+    picks: list[list[int]] = [[] for _ in range(num_segments)]
+    if scores.size == 0 or num_segments == 0:
+        return picks
+    working = scores.copy()
+    segment_of = np.repeat(np.arange(num_segments, dtype=np.int64), seg_sizes)
+    for round_index in range(k):
+        best = np.maximum.reduceat(working, seg_starts)
+        is_best = working == best[segment_of]
+        if round_index:  # scores are finite, so -inf only marks extractions
+            is_best &= working != -np.inf
+        hits = np.flatnonzero(is_best)
+        if hits.size == 0:
+            break
+        hit_segments = segment_of[hits]
+        first = np.ones(hits.size, dtype=bool)
+        first[1:] = hit_segments[1:] != hit_segments[:-1]
+        chosen = hits[first]
+        for segment, z in zip(hit_segments[first].tolist(),
+                              candidates[chosen].tolist()):
+            picks[segment].append(z)
+        working[chosen] = -np.inf
+    return picks
+
+
+def _path_edges_sampler_order(kept: KeptNeighbors, targets: np.ndarray
+                              ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Kept edges of each target in selection order (local reference parity)."""
+    num_rows = kept.indptr.size - 1
+    if targets.size == num_rows and np.array_equal(
+            targets, np.arange(num_rows, dtype=np.int64)):
+        # Full-graph run: the kept CSR payload already is the edge list.
+        rank = np.repeat(targets, np.diff(kept.indptr))
+        return kept.ids, kept.sims, rank
+    counts = np.diff(kept.indptr)[targets]
+    positions = _gather_slices(kept.indptr[targets], counts)
+    rank = np.repeat(np.arange(targets.size, dtype=np.int64), counts)
+    return kept.ids[positions], kept.sims[positions], rank
+
+
+def _path_edges_csr_order(graph: DiGraph, kept: KeptNeighbors,
+                          targets: np.ndarray
+                          ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Kept out-edges of each target in raw CSR order (GAS gather parity).
+
+    The GAS gather walks the full adjacency (duplicates included) and skips
+    neighbors outside ``sims(u)``; the kept value is looked up through a
+    sorted view of the kept keys.
+    """
+    indptr, indices = graph.csr_out_adjacency()
+    degrees = np.diff(indptr)[targets]
+    neighbor = indices[_gather_slices(indptr[targets], degrees)]
+    rank = np.repeat(np.arange(targets.size, dtype=np.int64), degrees)
+    num_vertices = graph.num_vertices
+
+    kept_rows = np.repeat(
+        np.arange(num_vertices, dtype=np.int64), np.diff(kept.indptr)
+    )
+    kept_keys = kept_rows * np.int64(num_vertices) + kept.ids
+    key_order = np.argsort(kept_keys)
+    sorted_keys = kept_keys[key_order]
+    probe = targets[rank] * np.int64(num_vertices) + neighbor
+    loc = np.searchsorted(sorted_keys, probe)
+    if sorted_keys.size:
+        loc[loc == sorted_keys.size] = 0
+        found = sorted_keys[loc] == probe
+    else:
+        found = np.zeros(probe.shape, dtype=bool)
+    return (neighbor[found], kept.sims[key_order[loc[found]]], rank[found])
+
+
+def combine_and_rank(
+    graph: DiGraph,
+    gamma: NeighborhoodCSR,
+    kept: KeptNeighbors,
+    config: SnapleConfig,
+    targets: list[int],
+    *,
+    neighbor_order: str = "sampler",
+    materialize_scores: bool = True,
+) -> tuple[dict[int, list[int]], Mapping]:
+    """Phase 3b: all 2-hop paths combined, aggregated, and ranked at once.
+
+    ``neighbor_order`` selects whose float fold order to reproduce:
+    ``"sampler"`` iterates each target's kept neighbors in selection order
+    (the ``local`` reference), ``"csr"`` iterates the raw adjacency and
+    filters (the GAS gather).  Aggregation per candidate is a left-to-right
+    fold in path arrival order either way, so scores match the scalar dict
+    merges bit-for-bit.
+
+    With ``materialize_scores=False`` the returned score maps are a
+    :class:`LazyScores` view over the kernel's arrays (identical content,
+    built on access) — predictions are always materialized eagerly.
+    """
+    target_array = np.asarray(targets, dtype=np.int64)
+    num_targets = target_array.size
+    predictions: dict[int, list[int]] = {}
+    if num_targets == 0:
+        return predictions, {}
+
+    if neighbor_order == "sampler":
+        via, sim_uv, rank = _path_edges_sampler_order(kept, target_array)
+    else:
+        via, sim_uv, rank = _path_edges_csr_order(graph, kept, target_array)
+
+    # Expand each kept edge (u -> v) into the candidate list kept(v).
+    kept_counts = np.diff(kept.indptr)
+    fanout = kept_counts[via]
+    positions = _gather_slices(kept.indptr[via], fanout)
+    candidate = kept.ids[positions]
+    sim_vz = kept.sims[positions]
+    path_rank = np.repeat(rank, fanout)
+    combined = _combine_arrays(config.score.combinator,
+                               np.repeat(sim_uv, fanout), sim_vz)
+
+    # Drop self-candidates and already-known neighbors (z ∈ Γ̂(u)).  When the
+    # targets are 0..T-1 (the common full-graph run) the grouping key doubles
+    # as the membership probe, saving two full-length passes.
+    num_vertices = np.int64(graph.num_vertices)
+    group_key = path_rank * num_vertices + candidate
+    if num_targets and np.array_equal(
+            target_array, np.arange(num_targets, dtype=np.int64)):
+        source = path_rank
+        probe = group_key
+    else:
+        source = target_array[path_rank]
+        probe = source * num_vertices + candidate
+    keep = candidate != source
+    keep &= ~gamma.contains_keys(probe)
+
+    # Group by (target, candidate) preserving arrival order inside groups:
+    # encode the arrival position into the sort key (in place, before the
+    # filter compresses it) so one unstable O(n log n) value sort both
+    # groups and orders, and the surviving positions index straight into the
+    # unfiltered value array.  Falls back to a stable argsort when the
+    # packed key would overflow 63 bits.
+    n_all = candidate.size
+    shift = max(int(n_all - 1).bit_length(), 1)
+    key_bound = int(num_targets) * int(num_vertices)
+    if shift < 62 and key_bound < (1 << (62 - shift)):
+        group_key <<= shift
+        group_key |= np.arange(n_all, dtype=np.int64)
+        packed = group_key[keep]
+        packed.sort()
+        combined = combined[packed & ((1 << shift) - 1)]
+        group_key = packed >> shift
+    else:
+        group_key = group_key[keep]
+        combined = combined[keep]
+        order = np.argsort(group_key, kind="stable")
+        group_key = group_key[order]
+        combined = combined[order]
+    n_paths = group_key.size
+
+    boundary = np.ones(n_paths, dtype=bool)
+    boundary[1:] = group_key[1:] != group_key[:-1]
+    starts = np.flatnonzero(boundary)
+    sizes = np.diff(starts, append=n_paths)
+    pre_ufunc = _AGGREGATOR_UFUNCS[type(config.score.aggregator)]
+    accumulated = _fold_groups(pre_ufunc, combined, starts, sizes)
+    final = _aggregator_post(config.score.aggregator, accumulated, sizes)
+    group_rank = group_key[starts] // num_vertices
+    group_candidate = group_key[starts] % num_vertices
+
+    # Rank and materialize per-target results.
+    seg_counts = np.bincount(group_rank, minlength=num_targets)
+    seg_indptr = _indptr_from_counts(seg_counts)
+    nonempty = np.flatnonzero(seg_counts)
+    picks = _top_k_rounds(final, group_candidate,
+                          seg_indptr[nonempty], seg_counts[nonempty],
+                          config.k)
+    target_list = target_array.tolist()
+    for u in target_list:
+        predictions[u] = []
+    for segment, u in enumerate(target_array[nonempty].tolist()):
+        predictions[u] = picks[segment]
+    if not materialize_scores:
+        return predictions, LazyScores(target_list, seg_indptr[:-1],
+                                       seg_counts, group_candidate, final)
+    scores: dict[int, dict[int, float]] = {u: {} for u in target_list}
+    # Segments are laid out consecutively, so one global pair iterator sliced
+    # per segment materializes every score dict without intermediate copies.
+    pairs = zip(group_candidate.tolist(), final.tolist())
+    islice = itertools.islice
+    for u, count in zip(target_array[nonempty].tolist(),
+                        seg_counts[nonempty].tolist()):
+        scores[u] = dict(islice(pairs, count))
+    return predictions, scores
+
+
+# ----------------------------------------------------------------------
+# The local-backend kernel object
+# ----------------------------------------------------------------------
+class VectorizedKernel:
+    """Prepared state for the ``local`` backend's ``mode="vectorized"``.
+
+    ``prepare`` runs the graph-global phases (1, 2, 3a) once; ``run`` only
+    executes the fused per-target phase, so streaming over vertex batches
+    costs no repeated global work — the same contract as the reference path.
+    """
+
+    def __init__(self, graph: DiGraph, config: SnapleConfig) -> None:
+        self._graph = graph
+        self._config = config
+        self._gamma = build_truncated_neighborhoods(graph, config)
+        edges = edge_similarities(graph, self._gamma, config)
+        self._kept = select_klocal(edges, config)
+
+    def run(self, targets: list[int]
+            ) -> tuple[dict[int, list[int]], Mapping]:
+        """Predictions (eager) and score maps (a :class:`LazyScores` view)."""
+        return combine_and_rank(
+            self._graph, self._gamma, self._kept, self._config, targets,
+            neighbor_order="sampler", materialize_scores=False,
+        )
+
+
+# ----------------------------------------------------------------------
+# Vectorized per-partition GAS supersteps (shared-nothing executor)
+# ----------------------------------------------------------------------
+def _csr_from_vertex_data(num_vertices: int, data: dict[int, dict[str, Any]],
+                          key: str) -> NeighborhoodCSR:
+    """A :class:`NeighborhoodCSR` over the sorted-list values in a snapshot."""
+    counts = np.zeros(num_vertices, dtype=np.int64)
+    for u, vertex_data in data.items():
+        values = vertex_data.get(key)
+        if values:
+            counts[u] = len(values)
+    flat_parts = [data[u][key] for u in sorted(data) if data[u].get(key)]
+    flat = (np.asarray([v for part in flat_parts for v in part],
+                       dtype=np.int64)
+            if flat_parts else np.empty(0, dtype=np.int64))
+    return NeighborhoodCSR.from_rows(num_vertices, counts, flat)
+
+
+def _kept_from_vertex_data(num_vertices: int,
+                           data: dict[int, dict[str, Any]]) -> KeptNeighbors:
+    """The snapshot ``sims`` dicts as a :class:`KeptNeighbors` (order kept)."""
+    counts = np.zeros(num_vertices, dtype=np.int64)
+    ids_parts: list[list[int]] = []
+    sims_parts: list[list[float]] = []
+    for u in sorted(data):
+        sims = data[u].get("sims")
+        if sims:
+            counts[u] = len(sims)
+            ids_parts.append(list(sims.keys()))
+            sims_parts.append(list(sims.values()))
+    if ids_parts:
+        ids = np.asarray([v for part in ids_parts for v in part],
+                         dtype=np.int64)
+        values = np.asarray([s for part in sims_parts for s in part],
+                            dtype=np.float64)
+    else:
+        ids = np.empty(0, dtype=np.int64)
+        values = np.empty(0, dtype=np.float64)
+    return KeptNeighbors(indptr=_indptr_from_counts(counts), ids=ids,
+                         sims=values)
+
+
+def gas_sample_step(graph: DiGraph, config: SnapleConfig, active: list[int],
+                    data: dict[int, dict[str, Any]]) -> tuple[int, int]:
+    """Vectorized replacement for the ``sample-neighborhood`` partition task.
+
+    Draw-for-draw identical to :class:`~repro.snaple.program.NeighborhoodSampleStep`
+    under per-vertex RNG: Bernoulli draws happen only for vertices over the
+    threshold, and exact truncation reservoir-samples the *full* neighborhood
+    from the same stream afterwards.  Duplicate neighbors (parallel edges)
+    are preserved, as the scalar gather preserves them.
+    """
+    from repro.snaple.program import vertex_rng
+
+    threshold = config.truncation_threshold
+    gathers = 0
+    for u in active:
+        neighbors = graph.out_neighbors(u).tolist()
+        degree = len(neighbors)
+        gathers += degree
+        rng = None
+        if not math.isinf(threshold) and degree > threshold:
+            rng = vertex_rng(config.seed, 0, u)
+            sample = bernoulli_truncate(neighbors, threshold, rng=rng)
+        else:
+            sample = neighbors
+        if config.exact_truncation:
+            if rng is None:
+                rng = vertex_rng(config.seed, 0, u)
+            sample = reservoir_sample(neighbors, threshold, rng=rng)
+        data[u]["gamma"] = sorted(sample)
+    return gathers, len(active)
+
+
+def gas_similarity_step(graph: DiGraph, config: SnapleConfig,
+                        active: list[int],
+                        data: dict[int, dict[str, Any]]) -> tuple[int, int]:
+    """Vectorized replacement for the ``estimate-similarities`` task."""
+    gamma = _csr_from_vertex_data(graph.num_vertices, data, "gamma")
+    rows = np.asarray(active, dtype=np.int64)
+    edges = edge_similarities(graph, gamma, config, rows=rows)
+    kept = select_klocal(edges, config, rng_mode="per_vertex", rows=rows)
+    gathers = 0
+    for u in active:
+        data[u]["sims"] = kept.sims_dict(u)
+        gathers += graph.out_degree(u)
+    return gathers, len(active)
+
+
+def gas_recommendation_step(
+    graph: DiGraph, config: SnapleConfig, active: list[int],
+    data: dict[int, dict[str, Any]],
+) -> tuple[dict[int, dict[int, float]], int, int]:
+    """Vectorized replacement for the ``compute-recommendations`` task.
+
+    Follows the GAS gather's fold order (raw CSR adjacency, kept neighbors
+    filtered) so the emitted scores are bit-identical to the scalar step.
+    """
+    gamma = _csr_from_vertex_data(graph.num_vertices, data, "gamma")
+    kept = _kept_from_vertex_data(graph.num_vertices, data)
+    predictions, scores = combine_and_rank(
+        graph, gamma, kept, config, list(active), neighbor_order="csr",
+    )
+    gathers = 0
+    for u in active:
+        data[u]["predicted"] = predictions[u]
+        gathers += graph.out_degree(u)
+    return scores, gathers, len(active)

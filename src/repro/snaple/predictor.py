@@ -91,9 +91,15 @@ class SnapleLinkPredictor:
             (``"local"`` by default; see
             :func:`repro.runtime.available_backends`).
         mode:
-            Deprecated alias of ``backend``.  For backwards compatibility
-            calls using ``mode`` still receive the legacy
-            :class:`PredictionResult`, matching the 1.0 return type.
+            With ``backend`` given (or defaulted), a backend-specific
+            execution mode passed through as the ``mode`` option — the
+            ``local`` backend accepts ``"vectorized"`` (default, the CSR
+            array kernel of :mod:`repro.snaple.kernel`) and ``"reference"``
+            (the scalar implementation kept for cross-checking).
+
+            Calling ``predict(mode=<backend name>)`` *without* ``backend``
+            is the deprecated pre-registry alias: it dispatches to that
+            backend and returns the legacy :class:`PredictionResult`.
         vertices:
             Restrict prediction to these vertices (all by default).
         workers:
@@ -114,14 +120,15 @@ class SnapleLinkPredictor:
         repro.runtime.report.RunReport
             Predictions, candidate scores, and normalized accounting.
         """
-        from repro.runtime import get_backend
+        from repro.runtime import available_backends, get_backend
 
         if workers is not None:
             options["workers"] = workers
-        if mode is not None and backend is None:
+        if mode is not None and backend is None and mode in available_backends():
             warnings.warn(
-                "predict(mode=...) is deprecated; use predict(backend=...), "
-                "which returns a RunReport instead of a PredictionResult",
+                "predict(mode=<backend name>) is deprecated; use "
+                "predict(backend=...), which returns a RunReport instead of "
+                "a PredictionResult",
                 DeprecationWarning,
                 stacklevel=2,
             )
@@ -135,6 +142,10 @@ class SnapleLinkPredictor:
                 simulated_seconds=report.simulated_seconds,
                 gas_result=report.native if mode == "gas" else None,
             )
+        if mode is not None:
+            # An execution mode for the (possibly defaulted) backend, e.g.
+            # mode="vectorized" / mode="reference" on the local backend.
+            options["mode"] = mode
         if backend is None:
             backend = "local"
         engine = get_backend(backend, **options)

@@ -39,6 +39,7 @@ callers can still inspect them.
 
 from __future__ import annotations
 
+import heapq
 import math
 import random
 from typing import Any
@@ -47,6 +48,7 @@ from repro.gas.vertex_program import EdgeDirection, VertexProgram
 from repro.graph.digraph import DiGraph
 from repro.graph.sampling import truncate_neighborhood
 from repro.snaple.config import SnapleConfig
+from repro.snaple.similarity import NeighborhoodSetCache
 
 __all__ = [
     "NeighborhoodSampleStep",
@@ -59,9 +61,15 @@ __all__ = [
 
 
 def top_k_predictions(scores: dict[int, float], k: int) -> list[int]:
-    """Top-``k`` candidates by score, ties broken by ascending vertex id."""
-    ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
-    return [vertex for vertex, _ in ranked[:k]]
+    """Top-``k`` candidates by score, ties broken by ascending vertex id.
+
+    ``heapq.nsmallest`` on ``(-score, vertex)`` is documented to equal
+    ``sorted(...)[:k]`` — same ranking and tie-breaking as the historical
+    full sort, in O(n log k) instead of O(n log n).
+    """
+    ranked = heapq.nsmallest(k, scores.items(),
+                             key=lambda item: (-item[1], item[0]))
+    return [vertex for vertex, _ in ranked]
 
 
 _MASK64 = 0xFFFFFFFFFFFFFFFF
@@ -155,11 +163,15 @@ class SimilarityStep(VertexProgram):
         self._config = config
         self._per_vertex_rng = per_vertex_rng
         self._rng = random.Random(config.seed + 1)
+        #: Neighborhoods are fixed once step 1 ran, and each one is compared
+        #: against every neighbor's — cache the frozensets per vertex instead
+        #: of rebuilding them on every gather.
+        self._sets = NeighborhoodSetCache()
 
     def gather(self, u: int, v: int, u_data: dict[str, Any],
                v_data: dict[str, Any]) -> Any:
-        gamma_u = u_data.get("gamma", [])
-        gamma_v = v_data.get("gamma", [])
+        gamma_u = self._sets.get(u, u_data.get("gamma", []))
+        gamma_v = self._sets.get(v, v_data.get("gamma", []))
         score = self._config.score
         path_similarity = score.similarity(gamma_u, gamma_v)
         if score.selection_similarity is score.similarity:
@@ -202,6 +214,7 @@ class RecommendationStep(VertexProgram):
         #: they are not synchronized to replicas (they are an apply-phase
         #: temporary in Algorithm 2).
         self.collected_scores: dict[int, dict[int, float]] = {}
+        self._sets = NeighborhoodSetCache()
 
     def gather(self, u: int, v: int, u_data: dict[str, Any],
                v_data: dict[str, Any]) -> Any:
@@ -211,7 +224,7 @@ class RecommendationStep(VertexProgram):
             # (Algorithm 2, line 13).
             return None
         sims_v: dict[int, float] = v_data.get("sims", {})
-        gamma_u = set(u_data.get("gamma", []))
+        gamma_u = self._sets.get(u, u_data.get("gamma", []))
         combinator = self._config.score.combinator
         sim_uv = sims_u[v]
         partial: dict[int, tuple[float, int]] = {}

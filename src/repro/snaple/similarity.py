@@ -5,17 +5,34 @@ adjacent vertices, from their (truncated) neighborhoods.  The paper uses
 Jaccard's coefficient for all of Table 3 except PPR, which replaces the
 similarity with ``1/|Γ(v)|``, and the *counter* score, which fixes it to 1.
 Several alternative set similarities are provided for experimentation.
+
+Every similarity accepts any collection of vertex ids.  Passing a
+``set``/``frozenset`` skips the per-call set construction — the scalar
+engines hold their truncated neighborhoods as lists, so the hot loops either
+pre-build frozensets once per run (the ``local`` reference backend) or share
+a :class:`NeighborhoodSetCache` keyed by vertex (the GAS/BSP vertex
+programs, where one neighborhood is compared against many others).
+
+Contract note for *custom* similarity callables plugged into a
+:class:`~repro.snaple.scoring.ScoreConfig`: the engines may hand them either
+raw neighborhood lists or prebuilt (deduplicated, unordered) frozensets of
+the same vertices.  A similarity must therefore be insensitive to element
+order and multiplicity — which every set similarity is; the built-ins
+normalize through :func:`as_neighbor_set`.
 """
 
 from __future__ import annotations
 
 import math
-from collections.abc import Callable, Collection
+from collections import OrderedDict
+from collections.abc import Callable, Collection, Iterable
 
 from repro.errors import ConfigurationError
 
 __all__ = [
     "SimilarityFn",
+    "NeighborhoodSetCache",
+    "as_neighbor_set",
     "jaccard",
     "common_neighbors",
     "cosine",
@@ -33,10 +50,48 @@ __all__ = [
 SimilarityFn = Callable[[Collection[int], Collection[int]], float]
 
 
+def as_neighbor_set(neighbors: Collection[int]) -> Collection[int]:
+    """``neighbors`` as a set, reusing it when it already is one."""
+    if isinstance(neighbors, (set, frozenset)):
+        return neighbors
+    return set(neighbors)
+
+
+class NeighborhoodSetCache:
+    """Bounded LRU cache of neighborhood frozensets, keyed by vertex id.
+
+    The scalar GAS/BSP gathers compare each vertex's truncated neighborhood
+    against every neighbor's, rebuilding the same sets over and over.  A
+    vertex program holds one cache per run (neighborhoods are fixed once
+    step 1 writes them) and calls :meth:`get` instead of ``set(...)``.
+    """
+
+    def __init__(self, maxsize: int = 65536) -> None:
+        if maxsize < 1:
+            raise ConfigurationError("maxsize must be >= 1")
+        self._maxsize = maxsize
+        self._entries: OrderedDict[int, frozenset] = OrderedDict()
+
+    def get(self, vertex: int, neighbors: Iterable[int]) -> frozenset:
+        """The cached frozenset for ``vertex``, built from ``neighbors`` on miss."""
+        entry = self._entries.get(vertex)
+        if entry is not None:
+            self._entries.move_to_end(vertex)
+            return entry
+        entry = frozenset(neighbors)
+        self._entries[vertex] = entry
+        if len(self._entries) > self._maxsize:
+            self._entries.popitem(last=False)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
 def jaccard(neighbors_u: Collection[int], neighbors_v: Collection[int]) -> float:
     """Jaccard coefficient ``|Γ(u) ∩ Γ(v)| / |Γ(u) ∪ Γ(v)|``."""
-    set_u = set(neighbors_u)
-    set_v = set(neighbors_v)
+    set_u = as_neighbor_set(neighbors_u)
+    set_v = as_neighbor_set(neighbors_v)
     if not set_u and not set_v:
         return 0.0
     intersection = len(set_u & set_v)
@@ -47,13 +102,15 @@ def jaccard(neighbors_u: Collection[int], neighbors_v: Collection[int]) -> float
 def common_neighbors(neighbors_u: Collection[int],
                      neighbors_v: Collection[int]) -> float:
     """Raw count of common neighbors ``|Γ(u) ∩ Γ(v)|``."""
-    return float(len(set(neighbors_u) & set(neighbors_v)))
+    set_u = as_neighbor_set(neighbors_u)
+    set_v = as_neighbor_set(neighbors_v)
+    return float(len(set_u & set_v))
 
 
 def cosine(neighbors_u: Collection[int], neighbors_v: Collection[int]) -> float:
     """Cosine (Salton) similarity between neighborhood indicator vectors."""
-    set_u = set(neighbors_u)
-    set_v = set(neighbors_v)
+    set_u = as_neighbor_set(neighbors_u)
+    set_v = as_neighbor_set(neighbors_v)
     if not set_u or not set_v:
         return 0.0
     return len(set_u & set_v) / math.sqrt(len(set_u) * len(set_v))
@@ -61,8 +118,8 @@ def cosine(neighbors_u: Collection[int], neighbors_v: Collection[int]) -> float:
 
 def dice(neighbors_u: Collection[int], neighbors_v: Collection[int]) -> float:
     """Sørensen–Dice coefficient ``2|Γ(u) ∩ Γ(v)| / (|Γ(u)| + |Γ(v)|)``."""
-    set_u = set(neighbors_u)
-    set_v = set(neighbors_v)
+    set_u = as_neighbor_set(neighbors_u)
+    set_v = as_neighbor_set(neighbors_v)
     total = len(set_u) + len(set_v)
     if total == 0:
         return 0.0
@@ -72,8 +129,8 @@ def dice(neighbors_u: Collection[int], neighbors_v: Collection[int]) -> float:
 def overlap_coefficient(neighbors_u: Collection[int],
                         neighbors_v: Collection[int]) -> float:
     """Overlap (Szymkiewicz–Simpson) coefficient."""
-    set_u = set(neighbors_u)
-    set_v = set(neighbors_v)
+    set_u = as_neighbor_set(neighbors_u)
+    set_v = as_neighbor_set(neighbors_v)
     smaller = min(len(set_u), len(set_v))
     if smaller == 0:
         return 0.0
@@ -88,8 +145,8 @@ def adamic_adar_weight(neighbors_u: Collection[int],
     inside SNAPLE only the two endpoint neighborhoods are visible, so this
     variant down-weights the overlap by the log of the union size instead.
     """
-    set_u = set(neighbors_u)
-    set_v = set(neighbors_v)
+    set_u = as_neighbor_set(neighbors_u)
+    set_v = as_neighbor_set(neighbors_v)
     intersection = len(set_u & set_v)
     union = len(set_u | set_v)
     if intersection == 0 or union <= 1:
@@ -113,7 +170,7 @@ def inverse_degree(neighbors_u: Collection[int],
     the gather of Algorithm 2 the first argument is the neighborhood of the
     vertex the walk leaves from.
     """
-    degree = len(set(neighbors_v))
+    degree = len(as_neighbor_set(neighbors_v))
     if degree == 0:
         return 0.0
     return 1.0 / degree

@@ -50,10 +50,32 @@ class TestPredictDispatch:
         assert isinstance(gas, PredictionResult)
         assert gas.gas_result is not None
 
-    def test_mode_alias_unknown_backend(self, small_social_graph):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ConfigurationError):
-                SnapleLinkPredictor().predict(small_social_graph, mode="spark")
+    def test_mode_that_is_no_backend_is_treated_as_execution_mode(
+            self, small_social_graph):
+        # Not a backend name -> passed to the default (local) backend as its
+        # execution mode, which rejects unknown values.
+        with pytest.raises(ConfigurationError, match="mode"):
+            SnapleLinkPredictor().predict(small_social_graph, mode="spark")
+
+    def test_mode_selects_local_kernel(self, small_social_graph):
+        predictor = SnapleLinkPredictor(SnapleConfig(k_local=5))
+        vectorized = predictor.predict(small_social_graph, mode="vectorized")
+        reference = predictor.predict(small_social_graph, mode="reference")
+        assert vectorized.backend == reference.backend == "local"
+        assert vectorized.extra["kernel_vectorized"] == 1.0
+        assert reference.extra["kernel_vectorized"] == 0.0
+        assert vectorized.predictions == reference.predictions
+        assert vectorized.scores == reference.scores
+
+    def test_mode_with_explicit_backend_is_an_option(self, small_social_graph):
+        predictor = SnapleLinkPredictor(SnapleConfig(k_local=5))
+        report = predictor.predict(small_social_graph, backend="local",
+                                   mode="reference")
+        assert report.extra["kernel_vectorized"] == 0.0
+        # Backends without a 'mode' option reject it by name.
+        with pytest.raises(ConfigurationError, match="mode"):
+            predictor.predict(small_social_graph, backend="gas",
+                              mode="vectorized")
 
 
 class TestPredictIter:

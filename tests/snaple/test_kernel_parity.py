@@ -1,0 +1,226 @@
+"""Parity harness for the vectorized scoring kernel (`repro.snaple.kernel`).
+
+The vectorized ``local`` mode must be indistinguishable from the scalar
+reference across the whole scoring design space: every similarity in
+``SIMILARITIES``, every Table 3 configuration, every sampling policy, with
+and without probabilistic truncation, on full runs and vertex subsets.
+Predictions are asserted exactly; scores are asserted exactly too (the
+kernel preserves the reference float fold order), with ``REL_TOL`` as the
+documented fallback for platforms whose ``pow`` is not correctly rounded.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.graph.generators import erdos_renyi, powerlaw_cluster
+from repro.runtime import get_backend
+from repro.snaple.aggregators import get_aggregator
+from repro.snaple.combinators import get_combinator
+from repro.snaple.config import SnapleConfig
+from repro.snaple.kernel import REL_TOL, LazyScores, kernel_supports
+from repro.snaple.sampler import get_sampler
+from repro.snaple.scoring import PAPER_SCORES, ScoreConfig
+from repro.snaple.similarity import SIMILARITIES
+
+
+def run_mode(graph, config, mode, vertices=None):
+    backend = get_backend("local", mode=mode).prepare(graph, config)
+    return backend.run(vertices=vertices)
+
+
+def assert_parity(graph, config, vertices=None):
+    reference = run_mode(graph, config, "reference", vertices)
+    vectorized = run_mode(graph, config, "vectorized", vertices)
+    assert vectorized.extra["kernel_vectorized"] == 1.0, \
+        "configuration unexpectedly fell back to the scalar path"
+    assert vectorized.predictions == reference.predictions
+    assert_scores_match(vectorized.scores, reference.scores)
+
+
+def assert_scores_match(left, right):
+    assert len(left) == len(right)
+    for u in right:
+        left_u, right_u = left[u], right[u]
+        assert left_u.keys() == right_u.keys()
+        for z, expected in right_u.items():
+            got = left_u[z]
+            if got != expected:  # bit-exact on CI; REL_TOL covers odd libms
+                assert got == pytest.approx(expected, rel=REL_TOL)
+
+
+def score_for_similarity(similarity_name: str) -> ScoreConfig:
+    return ScoreConfig(
+        name=f"parity-{similarity_name}",
+        similarity_name=similarity_name,
+        combinator=get_combinator("linear"),
+        aggregator=get_aggregator("Sum"),
+    )
+
+
+class TestKernelParityAcrossDesignSpace:
+    @pytest.mark.parametrize("similarity_name", sorted(SIMILARITIES))
+    def test_every_similarity(self, similarity_name):
+        graph = powerlaw_cluster(150, 3, 0.3, seed=11)
+        config = SnapleConfig(
+            k=5,
+            score=score_for_similarity(similarity_name),
+            truncation_threshold=5,
+            k_local=6,
+            sampler=get_sampler("max"),
+            seed=7,
+        )
+        assert kernel_supports(config)
+        assert_parity(graph, config)
+
+    @pytest.mark.parametrize("score_name", sorted(PAPER_SCORES))
+    def test_every_paper_score(self, score_name):
+        graph = powerlaw_cluster(150, 3, 0.3, seed=11)
+        config = SnapleConfig(
+            k=5,
+            score=PAPER_SCORES[score_name],
+            truncation_threshold=6,
+            k_local=8,
+            sampler=get_sampler("max"),
+            seed=3,
+        )
+        assert_parity(graph, config)
+
+    @pytest.mark.parametrize("sampler_name", ["max", "min", "rnd"])
+    @pytest.mark.parametrize("threshold", [math.inf, 4])
+    def test_samplers_and_truncation(self, sampler_name, threshold):
+        graph = powerlaw_cluster(120, 3, 0.3, seed=5)
+        config = SnapleConfig(
+            k=4,
+            score=PAPER_SCORES["linearSum"],
+            truncation_threshold=threshold,
+            k_local=5,
+            sampler=get_sampler(sampler_name),
+            seed=13,
+        )
+        assert_parity(graph, config)
+
+    def test_unsampled_run(self):
+        graph = erdos_renyi(90, 0.08, seed=2)
+        config = SnapleConfig.paper_default(
+            seed=1, k_local=math.inf, truncation_threshold=math.inf
+        )
+        assert_parity(graph, config)
+
+    def test_vertex_subset_and_batching(self):
+        graph = powerlaw_cluster(150, 3, 0.3, seed=11)
+        config = SnapleConfig.paper_default(seed=3, k_local=10)
+        subset = list(range(0, 150, 4))
+        assert_parity(graph, config, vertices=subset)
+        # Incremental runs over batches must agree with one full run.
+        backend = get_backend("local", mode="vectorized").prepare(graph, config)
+        full = backend.run()
+        merged: dict[int, list[int]] = {}
+        batch_backend = get_backend("local", mode="vectorized").prepare(graph, config)
+        for start in range(0, 150, 37):
+            batch = list(range(start, min(start + 37, 150)))
+            merged.update(batch_backend.run(vertices=batch).predictions)
+        assert merged == full.predictions
+
+    def test_acceptance_1k_vertex_graph(self):
+        """Fixed-seed 1k-vertex case mirroring test_parallel_parity."""
+        graph = powerlaw_cluster(1000, 3, 0.2, seed=42)
+        config = SnapleConfig.paper_default(seed=42, k_local=10)
+        reference = run_mode(graph, config, "reference")
+        vectorized = run_mode(graph, config, "vectorized")
+        assert vectorized.predictions == reference.predictions
+        assert_scores_match(vectorized.scores, reference.scores)
+        assert vectorized.predictions  # non-degenerate
+        assert any(vectorized.predictions.values())
+
+
+class TestKernelParityProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        num_vertices=st.integers(min_value=5, max_value=60),
+        edge_probability=st.floats(min_value=0.02, max_value=0.3),
+        graph_seed=st.integers(min_value=0, max_value=2**20),
+        similarity_name=st.sampled_from(sorted(SIMILARITIES)),
+        threshold=st.sampled_from([math.inf, 2, 3, 5]),
+        k_local=st.sampled_from([math.inf, 2, 4]),
+        sampler_name=st.sampled_from(["max", "min", "rnd"]),
+    )
+    def test_random_graphs_random_configs(self, num_vertices, edge_probability,
+                                          graph_seed, similarity_name,
+                                          threshold, k_local, sampler_name):
+        graph = erdos_renyi(num_vertices, edge_probability, seed=graph_seed)
+        config = SnapleConfig(
+            k=3,
+            score=score_for_similarity(similarity_name),
+            truncation_threshold=threshold,
+            k_local=k_local,
+            sampler=get_sampler(sampler_name),
+            seed=graph_seed % 101,
+        )
+        reference = run_mode(graph, config, "reference")
+        vectorized = run_mode(graph, config, "vectorized")
+        assert vectorized.predictions == reference.predictions
+        assert_scores_match(vectorized.scores, reference.scores)
+
+
+class TestModeSelection:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError, match="mode"):
+            get_backend("local", mode="turbo")
+
+    def test_mode_advertised_in_capabilities(self):
+        capabilities = get_backend("local").capabilities()
+        assert "mode" in capabilities.options
+
+    def test_unsupported_config_falls_back_to_reference(self):
+        graph = erdos_renyi(40, 0.1, seed=1)
+        custom = ScoreConfig(
+            name="custom",
+            similarity_name="jaccard",
+            combinator=get_combinator("linear"),
+            aggregator=get_aggregator("Sum"),
+            similarity=lambda a, b: 1.0,  # not the registry callable
+        )
+        config = SnapleConfig(score=custom)
+        assert not kernel_supports(config)
+        report = get_backend("local", mode="vectorized").prepare(graph, config).run()
+        assert report.extra["kernel_vectorized"] == 0.0
+        assert report.predictions
+
+
+class TestLazyScores:
+    def graph_report(self):
+        graph = powerlaw_cluster(80, 3, 0.3, seed=4)
+        config = SnapleConfig.paper_default(seed=4, k_local=6)
+        return (run_mode(graph, config, "vectorized"),
+                run_mode(graph, config, "reference"))
+
+    def test_scores_are_lazy_but_equal_both_ways(self):
+        vectorized, reference = self.graph_report()
+        assert isinstance(vectorized.scores, LazyScores)
+        assert vectorized.scores == reference.scores
+        assert reference.scores == vectorized.scores
+
+    def test_mapping_protocol(self):
+        vectorized, reference = self.graph_report()
+        scores = vectorized.scores
+        assert len(scores) == len(reference.scores)
+        assert list(scores) == list(reference.scores)
+        assert set(scores.keys()) == set(reference.scores.keys())
+        assert 0 in scores
+        assert scores.get(10**9) is None
+        with pytest.raises(KeyError):
+            scores[10**9]
+        assert dict(scores) == reference.scores
+        assert scores.materialize() == reference.scores
+
+    def test_length_mismatch_not_equal(self):
+        vectorized, reference = self.graph_report()
+        smaller = dict(reference.scores)
+        smaller.popitem()
+        assert vectorized.scores != smaller

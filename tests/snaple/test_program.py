@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+import random
 
 import pytest
 
@@ -115,3 +116,30 @@ class TestStepSequence:
         result = GasEngine(graph=small_social_graph).run(steps)
         assert "scores" not in result.data_of(0)
         assert set(result.data_of(0)) <= {"gamma", "sims", "predicted"}
+
+
+class TestTopKHeapEquivalence:
+    """The heap-based top_k_predictions must equal the historical full sort."""
+
+    @staticmethod
+    def sorted_reference(scores, k):
+        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+        return [vertex for vertex, _ in ranked[:k]]
+
+    def test_equivalent_on_random_score_maps_with_ties(self):
+        rng = random.Random(0)
+        for trial in range(200):
+            n = rng.randint(0, 40)
+            # Draw from a small value set so ties are common.
+            scores = {
+                rng.randrange(1000): rng.choice([0.0, 0.25, 0.5, 0.5, 1.0, 2.0])
+                for _ in range(n)
+            }
+            k = rng.randint(1, 8)
+            assert top_k_predictions(scores, k) == \
+                self.sorted_reference(scores, k), (trial, scores, k)
+
+    def test_equivalent_when_k_exceeds_size(self):
+        scores = {3: 1.0, 1: 1.0, 2: 0.5}
+        assert top_k_predictions(scores, 10) == \
+            self.sorted_reference(scores, 10) == [1, 3, 2]
