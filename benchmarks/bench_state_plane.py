@@ -1,0 +1,127 @@
+"""Benchmark: columnar state plane vs the legacy dict path, recorded to JSON.
+
+Runs the same SNAPLE configuration on the ``gas`` backend with 4 worker
+processes twice — once on the columnar :class:`~repro.runtime.state.StateStore`
+path (the default) and once forced onto the legacy per-vertex-dict path via
+``SNAPLE_DICT_STATE=1`` — verifies the two runs are prediction-identical,
+and writes the trajectory to ``results/BENCH_state.json``.
+
+Acceptance gates (the state-plane refactor's contract):
+
+* the columnar path must never be slower than the dict path;
+* at the acceptance scale (a 10k-vertex clustered power-law graph) it must
+  be at least 2x faster end-to-end.
+
+Environment knobs for CI:
+
+* ``SNAPLE_BENCH_ITERATIONS`` — timing iterations per path (default 3; the
+  CI smoke uses 1);
+* ``SNAPLE_BENCH_VERTICES`` — graph size (default 10000; the 2x gate only
+  applies at >= 10000 vertices, smaller sizes gate at parity).
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import time
+
+from repro.graph.generators import powerlaw_cluster
+from repro.snaple.config import SnapleConfig
+from repro.snaple.predictor import SnapleLinkPredictor
+
+from conftest import BENCH_SEED
+
+#: The acceptance configuration: gas backend, 4 shared-nothing workers.
+WORKERS = 4
+
+#: Graph size at (and above) which the 2x end-to-end gate applies.
+ACCEPTANCE_VERTICES = 10_000
+
+
+def _timed_predict(predictor, graph, iterations: int, *, dict_state: bool,
+                   monkeypatch):
+    """Best-of-``iterations`` wall clock plus the last run's report."""
+    if dict_state:
+        monkeypatch.setenv("SNAPLE_DICT_STATE", "1")
+    else:
+        monkeypatch.delenv("SNAPLE_DICT_STATE", raising=False)
+    best = float("inf")
+    report = None
+    for _ in range(iterations):
+        start = time.perf_counter()
+        report = predictor.predict(graph, backend="gas", workers=WORKERS)
+        best = min(best, time.perf_counter() - start)
+    return best, report
+
+
+def test_bench_state_plane(save_json, save_result, monkeypatch):
+    iterations = int(os.environ.get("SNAPLE_BENCH_ITERATIONS", "3"))
+    num_vertices = int(os.environ.get("SNAPLE_BENCH_VERTICES",
+                                      str(ACCEPTANCE_VERTICES)))
+    graph = powerlaw_cluster(num_vertices, 3, 0.2, seed=BENCH_SEED)
+    config = SnapleConfig.paper_default(seed=BENCH_SEED, k_local=10)
+    predictor = SnapleLinkPredictor(config)
+
+    columnar_seconds, columnar_report = _timed_predict(
+        predictor, graph, iterations, dict_state=False, monkeypatch=monkeypatch
+    )
+    dict_seconds, dict_report = _timed_predict(
+        predictor, graph, iterations, dict_state=True, monkeypatch=monkeypatch
+    )
+    assert columnar_report is not None and dict_report is not None
+
+    # Parity guard: a faster path that changed the answer would be worthless.
+    assert columnar_report.predictions == dict_report.predictions
+    assert columnar_report.supersteps == dict_report.supersteps
+    assert columnar_report.extra["state_columnar"] == 1.0
+    assert dict_report.extra["state_columnar"] == 0.0
+
+    speedup = dict_seconds / columnar_seconds if columnar_seconds else float("inf")
+
+    payload = {
+        "benchmark": "state_plane",
+        "backend": "gas",
+        "workers": WORKERS,
+        "graph": {
+            "generator": "powerlaw_cluster",
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+            "seed": BENCH_SEED,
+        },
+        "config": config.describe(),
+        "iterations": iterations,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "dict_wall_clock_seconds": dict_seconds,
+        "columnar_wall_clock_seconds": columnar_seconds,
+        "speedup_columnar_vs_dict": speedup,
+        "columnar_routing_seconds": columnar_report.extra.get("routing_seconds"),
+        "columnar_state_plane_peak_bytes": columnar_report.extra.get(
+            "state_plane_peak_bytes"
+        ),
+        "dict_exchanged_bytes": dict_report.network_bytes,
+        "columnar_exchanged_bytes": columnar_report.network_bytes,
+    }
+    path = save_json("BENCH_state", payload)
+    assert path.exists()
+
+    save_result("BENCH_state", "\n".join([
+        "Columnar state plane vs dict path (gas backend, "
+        f"workers={WORKERS}, {graph.num_vertices} vertices / "
+        f"{graph.num_edges} edges, best of {iterations})",
+        f"  dict      {dict_seconds * 1000:8.1f} ms",
+        f"  columnar  {columnar_seconds * 1000:8.1f} ms  (x{speedup:.2f})",
+    ]))
+
+    # Hard gates: the columnar path must never lose, and at acceptance scale
+    # it must deliver the >= 2x end-to-end win the refactor promises.
+    assert speedup >= 1.0, (
+        f"columnar state plane is slower than the dict path "
+        f"(x{speedup:.2f}); this is a regression"
+    )
+    if num_vertices >= ACCEPTANCE_VERTICES:
+        assert speedup >= 2.0, (
+            f"columnar state plane speedup x{speedup:.2f} is below the 2x "
+            f"acceptance bar on the {num_vertices}-vertex graph"
+        )

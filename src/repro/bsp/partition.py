@@ -1,28 +1,21 @@
-"""Vertex (edge-cut) partitioning for the BSP/Pregel substrate.
+"""Edge-cut vertex partitioning (re-export shim).
 
-Pregel-style engines distribute a graph by assigning each *vertex* — together
-with its out-edges — to one machine (an edge-cut), unlike PowerGraph's
-vertex-cut which assigns *edges* and replicates vertices.  The placement
-determines which messages cross the network: a message from ``u`` to ``v``
-is remote exactly when the two vertices live on different machines.
-
-Two placements are provided:
-
-* :class:`HashVertexPartitioner` — Pregel's default: hash the vertex id;
-* :class:`BlockVertexPartitioner` — contiguous ranges of vertex ids, which
-  keeps generator-produced communities together and serves as a locality
-  ablation against the hash placement.
+The implementation moved to :mod:`repro.runtime.partition`, the single home
+for both placement flavours (PowerGraph's vertex-cut used by the GAS engine
+and Pregel's edge-cut used by the BSP engine), so the strategy interface,
+assignment validation and balance metrics are no longer duplicated.  This
+module remains so historical imports keep working.
 """
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
-from dataclasses import dataclass
-
-import numpy as np
-
-from repro.errors import PartitionError
-from repro.graph.digraph import DiGraph
+from repro.runtime.partition import (
+    BlockVertexPartitioner,
+    HashVertexPartitioner,
+    VertexPartition,
+    VertexPartitioner,
+    partition_vertices,
+)
 
 __all__ = [
     "VertexPartition",
@@ -31,117 +24,3 @@ __all__ = [
     "BlockVertexPartitioner",
     "partition_vertices",
 ]
-
-
-@dataclass
-class VertexPartition:
-    """Placement of every vertex (and its out-edges) on a machine.
-
-    Attributes
-    ----------
-    num_machines:
-        Number of machines in the simulated cluster.
-    vertex_machine:
-        Array with one entry per vertex giving the machine that owns it.
-    """
-
-    num_machines: int
-    vertex_machine: np.ndarray
-
-    @property
-    def num_vertices(self) -> int:
-        return int(self.vertex_machine.size)
-
-    def machine_of(self, vertex: int) -> int:
-        """Machine owning ``vertex``."""
-        return int(self.vertex_machine[vertex])
-
-    def vertices_per_machine(self) -> np.ndarray:
-        """Number of vertices placed on each machine."""
-        return np.bincount(self.vertex_machine, minlength=self.num_machines)
-
-    def edges_per_machine(self, graph: DiGraph) -> np.ndarray:
-        """Number of out-edges stored on each machine."""
-        counts = np.zeros(self.num_machines, dtype=np.int64)
-        degrees = graph.out_degrees()
-        for machine in range(self.num_machines):
-            counts[machine] = int(degrees[self.vertex_machine == machine].sum())
-        return counts
-
-    def load_imbalance(self, graph: DiGraph) -> float:
-        """Max/mean ratio of per-machine edge counts (1.0 is perfectly even)."""
-        counts = self.edges_per_machine(graph)
-        if counts.size == 0 or counts.mean() == 0:
-            return 1.0
-        return float(counts.max() / counts.mean())
-
-    def cut_edges(self, graph: DiGraph) -> int:
-        """Number of edges whose endpoints live on different machines.
-
-        Every cut edge turns the message sent along it into network traffic;
-        this is the edge-cut analog of the vertex-cut's replication factor.
-        """
-        src, dst = graph.edge_arrays()
-        return int(
-            (self.vertex_machine[src] != self.vertex_machine[dst]).sum()
-        )
-
-    def cut_fraction(self, graph: DiGraph) -> float:
-        """Fraction of edges that cross machines."""
-        if graph.num_edges == 0:
-            return 0.0
-        return self.cut_edges(graph) / graph.num_edges
-
-
-class VertexPartitioner(ABC):
-    """Strategy interface for assigning vertices to machines."""
-
-    @abstractmethod
-    def assign_vertices(self, graph: DiGraph, num_machines: int,
-                        *, seed: int) -> np.ndarray:
-        """Return one machine id per vertex."""
-
-
-class HashVertexPartitioner(VertexPartitioner):
-    """Pregel's default placement: hash the vertex id modulo machine count."""
-
-    def assign_vertices(self, graph: DiGraph, num_machines: int,
-                        *, seed: int) -> np.ndarray:
-        ids = np.arange(graph.num_vertices, dtype=np.int64)
-        # A multiplicative hash decorrelates the placement from any structure
-        # in the generator's id assignment while staying deterministic.
-        mixed = (ids * np.int64(2654435761) + np.int64(seed)) & np.int64(0x7FFFFFFF)
-        return mixed % num_machines
-
-
-class BlockVertexPartitioner(VertexPartitioner):
-    """Contiguous vertex-id ranges, one block per machine."""
-
-    def assign_vertices(self, graph: DiGraph, num_machines: int,
-                        *, seed: int) -> np.ndarray:
-        if graph.num_vertices == 0:
-            return np.zeros(0, dtype=np.int64)
-        block = -(-graph.num_vertices // num_machines)  # ceiling division
-        ids = np.arange(graph.num_vertices, dtype=np.int64)
-        return np.minimum(ids // block, num_machines - 1)
-
-
-def partition_vertices(
-    graph: DiGraph,
-    num_machines: int,
-    *,
-    partitioner: VertexPartitioner | None = None,
-    seed: int = 0,
-) -> VertexPartition:
-    """Place every vertex of ``graph`` on one of ``num_machines`` machines."""
-    if num_machines <= 0:
-        raise PartitionError("num_machines must be positive")
-    if partitioner is None:
-        partitioner = HashVertexPartitioner()
-    assignment = partitioner.assign_vertices(graph, num_machines, seed=seed)
-    assignment = np.asarray(assignment, dtype=np.int64)
-    if assignment.shape != (graph.num_vertices,):
-        raise PartitionError("partitioner returned an assignment of the wrong shape")
-    if graph.num_vertices and (assignment.min() < 0 or assignment.max() >= num_machines):
-        raise PartitionError("partitioner assigned a vertex to a non-existent machine")
-    return VertexPartition(num_machines=num_machines, vertex_machine=assignment)

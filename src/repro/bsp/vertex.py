@@ -19,7 +19,10 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections.abc import Callable, Sequence
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.runtime.state import StateSchema
 
 __all__ = [
     "BspVertexProgram",
@@ -181,6 +184,17 @@ class BspVertexProgram(ABC):
 
     #: Optional combiner merging messages to the same destination per machine.
     combiner: MessageCombiner | None = None
+
+    def state_schema(self) -> "StateSchema | None":
+        """The typed state fields this program reads and writes.
+
+        Programs declaring a :class:`~repro.runtime.state.StateSchema` run
+        on the columnar state plane: the engine keeps vertex state in a
+        :class:`~repro.runtime.state.StateStore` and passes dict-compatible
+        :class:`~repro.runtime.state.VertexRow` views to :meth:`compute`.
+        Returning ``None`` (the default) keeps the legacy dict state.
+        """
+        return None
 
     def aggregators(self) -> dict[str, Callable[[Any, Any], Any]]:
         """Named global reductions available through the compute context."""

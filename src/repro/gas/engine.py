@@ -24,6 +24,7 @@ them into simulated cluster times used by the scalability experiments.
 from __future__ import annotations
 
 import time
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -39,11 +40,29 @@ from repro.graph.digraph import DiGraph
 __all__ = ["GasEngine", "GasRunResult"]
 
 
+def _data_bytes(u_data: Mapping[str, Any]) -> int:
+    """Accounting bytes of one vertex's data, dict or columnar row alike.
+
+    :meth:`repro.runtime.state.VertexRow.nbytes` reproduces exactly what
+    :func:`payload_size_bytes` charges for the equivalent dict, so the
+    simulated-cluster numbers are identical on both state paths.
+    """
+    nbytes = getattr(u_data, "nbytes", None)
+    if callable(nbytes):
+        return nbytes()
+    return payload_size_bytes(u_data)
+
+
 @dataclass
 class GasRunResult:
-    """Outcome of running a GAS program: final vertex data plus metrics."""
+    """Outcome of running a GAS program: final vertex data plus metrics.
 
-    vertex_data: list[dict[str, Any]]
+    ``vertex_data`` is a list of per-vertex mappings: plain dicts on the
+    legacy dict-state path, :class:`~repro.runtime.state.VertexRow` column
+    views when the program declared a state schema (the default for SNAPLE).
+    """
+
+    vertex_data: Sequence[Mapping[str, Any]]
     metrics: RunMetrics
     partition: GraphPartition
     cluster: ClusterConfig
@@ -56,8 +75,8 @@ class GasRunResult:
     def wall_clock_seconds(self) -> float:
         return self.metrics.wall_clock_seconds
 
-    def data_of(self, vertex: int) -> dict[str, Any]:
-        """Vertex data dictionary of ``vertex`` after the run."""
+    def data_of(self, vertex: int) -> Mapping[str, Any]:
+        """Vertex data mapping of ``vertex`` after the run."""
         return self.vertex_data[vertex]
 
 
@@ -106,9 +125,10 @@ class GasEngine:
         ]
         self._cost_model = CostModel(self.cluster)
         self._memory = MemoryTracker(self.cluster, enforce=self.enforce_memory)
-        self._vertex_data: list[dict[str, Any]] = [
+        self._vertex_data: Sequence[Mapping[str, Any]] = [
             {} for _ in range(self.graph.num_vertices)
         ]
+        self._store = None
         self._vertex_data_bytes = [0] * self.graph.num_vertices
         self._edge_data: dict[tuple[int, int], dict[str, Any]] = {}
         self._metrics = RunMetrics()
@@ -127,9 +147,35 @@ class GasEngine:
         return self._memory
 
     @property
-    def vertex_data(self) -> list[dict[str, Any]]:
+    def vertex_data(self) -> Sequence[Mapping[str, Any]]:
         """Mutable vertex data (``Du``) for every vertex."""
         return self._vertex_data
+
+    @property
+    def state_store(self):
+        """The columnar :class:`~repro.runtime.state.StateStore`, or ``None``.
+
+        Populated by :meth:`run` when every step declares the same state
+        schema and ``SNAPLE_DICT_STATE`` is not set.
+        """
+        return self._store
+
+    def _init_state(self, steps: list[VertexProgram]) -> None:
+        """Switch to the columnar state plane when the programs declare it."""
+        from repro.runtime.state import (
+            StateStore,
+            common_state_schema,
+            dict_state_forced,
+        )
+
+        self._store = None
+        schema = common_state_schema(steps)
+        if schema is None or dict_state_forced():
+            if not isinstance(self._vertex_data, list):
+                self._vertex_data = [{} for _ in range(self.graph.num_vertices)]
+            return
+        self._store = StateStore(self.graph.num_vertices, schema)
+        self._vertex_data = self._store.rows()
 
     def run(self, steps: list[VertexProgram],
             *, vertices: list[int] | None = None) -> GasRunResult:
@@ -139,6 +185,7 @@ class GasEngine:
         """
         if not steps:
             raise EngineError("at least one GAS step is required")
+        self._init_state(steps)
         start = time.perf_counter()
         active = list(self.graph.vertices()) if vertices is None else list(vertices)
         for step in steps:
@@ -227,7 +274,7 @@ class GasEngine:
             previous_bytes = self._vertex_data_bytes[u]
             program.apply(u, u_data, gathered if has_value else None)
             step.apply_invocations += 1
-            new_bytes = payload_size_bytes(u_data)
+            new_bytes = _data_bytes(u_data)
             self._vertex_data_bytes[u] = new_bytes
             delta = new_bytes - previous_bytes
             replicas = self._partition.vertex_replicas[u]
@@ -247,5 +294,8 @@ class GasEngine:
                     program.scatter(u, v, u_data, edge_data)
         for machine in range(self.cluster.num_machines):
             step.vertex_data_bytes_per_machine[machine] = self._memory.usage_bytes(machine)
+        if self._store is not None:
+            step.state_plane_bytes = self._store.nbytes()
+            self._memory.observe_state_plane(step.state_plane_bytes)
         step.wall_clock_seconds = time.perf_counter() - step_start
         self._metrics.add_step(step)

@@ -1,36 +1,23 @@
-"""Graph partitioning across simulated machines.
+"""Vertex-cut graph partitioning (re-export shim).
 
-GraphLab/PowerGraph (the engine the paper builds on) distributes a graph with
-a *vertex-cut*: edges are assigned to machines and vertices that have edges on
-several machines are replicated, with one replica designated the master.  The
-replication factor — the average number of machines that hold a copy of a
-vertex — determines the synchronization traffic of the apply phase, which is
-the dominant network cost of the naive BASELINE implementation.
-
-Two edge-placement strategies are provided:
-
-* :class:`RandomVertexCut` — hash each edge to a machine (PowerGraph's
-  default random placement);
-* :class:`GreedyVertexCut` — the "oblivious" greedy heuristic that places an
-  edge on a machine already holding one of its endpoints, reducing the
-  replication factor;
-* :class:`HdrfVertexCut` — the High-Degree-Replicated-First heuristic, which
-  prefers replicating the endpoint with the higher (partial) degree; on
-  power-law graphs this concentrates replication on the few hubs and lowers
-  the replication factor further, which the partitioning ablation measures.
+The implementation moved to :mod:`repro.runtime.partition`, the single home
+for both placement flavours (PowerGraph's vertex-cut used by the GAS engine
+and Pregel's edge-cut used by the BSP engine), so the strategy interface,
+assignment validation and balance metrics are no longer duplicated.  This
+module remains so historical imports keep working.
 """
 
 from __future__ import annotations
 
-import math
-import random
-from abc import ABC, abstractmethod
-from dataclasses import dataclass
-
-import numpy as np
-
-from repro.errors import PartitionError
-from repro.graph.digraph import DiGraph
+from repro.runtime.partition import (
+    GraphPartition,
+    GreedyVertexCut,
+    HdrfVertexCut,
+    Partitioner,
+    RandomVertexCut,
+    _SingleMachine,
+    partition_graph,
+)
 
 __all__ = [
     "GraphPartition",
@@ -40,268 +27,3 @@ __all__ = [
     "HdrfVertexCut",
     "partition_graph",
 ]
-
-
-@dataclass
-class GraphPartition:
-    """Placement of a graph's edges and vertex replicas on a cluster.
-
-    Attributes
-    ----------
-    num_machines:
-        Number of machines in the simulated cluster.
-    edge_machine:
-        Array with one entry per edge giving the machine that owns it.
-    vertex_master:
-        Array with one entry per vertex giving its master machine.
-    vertex_replicas:
-        For each vertex, the set of machines holding a replica (always
-        includes the master).
-    """
-
-    num_machines: int
-    edge_machine: np.ndarray
-    vertex_master: np.ndarray
-    vertex_replicas: list[set[int]]
-
-    @property
-    def num_vertices(self) -> int:
-        return int(self.vertex_master.size)
-
-    @property
-    def num_edges(self) -> int:
-        return int(self.edge_machine.size)
-
-    def replication_factor(self) -> float:
-        """Average number of replicas per vertex (PowerGraph's key metric)."""
-        if not self.vertex_replicas:
-            return 0.0
-        replicated = [len(reps) for reps in self.vertex_replicas if reps]
-        if not replicated:
-            return 0.0
-        return sum(replicated) / len(replicated)
-
-    def edges_per_machine(self) -> np.ndarray:
-        """Number of edges placed on each machine."""
-        return np.bincount(self.edge_machine, minlength=self.num_machines)
-
-    def load_imbalance(self) -> float:
-        """Max/mean ratio of per-machine edge counts (1.0 is perfectly even)."""
-        counts = self.edges_per_machine()
-        if counts.size == 0 or counts.mean() == 0:
-            return 1.0
-        return float(counts.max() / counts.mean())
-
-    def machines_of(self, vertex: int) -> set[int]:
-        """Machines holding a replica of ``vertex``."""
-        return self.vertex_replicas[vertex]
-
-    def is_local_edge(self, source: int, target: int, edge_index: int) -> bool:
-        """True when both endpoint masters live on the edge's machine."""
-        machine = self.edge_machine[edge_index]
-        return bool(self.vertex_master[source] == machine
-                    and self.vertex_master[target] == machine)
-
-
-class Partitioner(ABC):
-    """Strategy interface for assigning edges to machines."""
-
-    @abstractmethod
-    def assign_edges(self, graph: DiGraph, num_machines: int,
-                     *, seed: int) -> np.ndarray:
-        """Return one machine id per edge."""
-
-
-class RandomVertexCut(Partitioner):
-    """Uniform random edge placement (PowerGraph's default)."""
-
-    def assign_edges(self, graph: DiGraph, num_machines: int,
-                     *, seed: int) -> np.ndarray:
-        rng = np.random.default_rng(seed)
-        return rng.integers(0, num_machines, size=graph.num_edges, dtype=np.int64)
-
-
-class GreedyVertexCut(Partitioner):
-    """Oblivious greedy placement minimizing new replicas.
-
-    For each edge, prefer a machine that already hosts both endpoints, then
-    one hosting either endpoint (the least loaded among them), then the least
-    loaded machine overall.  A balance guard keeps any machine from holding
-    more than ``balance_slack`` times its fair share of edges, which is what
-    PowerGraph's oblivious heuristic does to avoid collapsing a connected
-    graph onto one machine.
-    """
-
-    def __init__(self, balance_slack: float = 1.25) -> None:
-        if balance_slack < 1.0:
-            raise PartitionError("balance_slack must be >= 1.0")
-        self._balance_slack = balance_slack
-
-    def assign_edges(self, graph: DiGraph, num_machines: int,
-                     *, seed: int) -> np.ndarray:
-        rng = random.Random(seed)
-        placed: list[set[int]] = [set() for _ in range(graph.num_vertices)]
-        load = [0] * num_machines
-        assignment = np.zeros(graph.num_edges, dtype=np.int64)
-        src, dst = graph.edge_arrays()
-        fair_share = graph.num_edges / num_machines if num_machines else 0.0
-        load_cap = self._balance_slack * fair_share + 1.0
-        for index in range(graph.num_edges):
-            u = int(src[index])
-            v = int(dst[index])
-            both = placed[u] & placed[v]
-            either = placed[u] | placed[v]
-            if both:
-                candidates = both
-            elif either:
-                candidates = either
-            else:
-                candidates = set(range(num_machines))
-            # Balance guard: drop candidates that already exceed their share.
-            balanced = {m for m in candidates if load[m] < load_cap}
-            if not balanced:
-                balanced = set(range(num_machines))
-            min_load = min(load[m] for m in balanced)
-            best = [m for m in balanced if load[m] == min_load]
-            machine = rng.choice(best)
-            assignment[index] = machine
-            placed[u].add(machine)
-            placed[v].add(machine)
-            load[machine] += 1
-        return assignment
-
-
-class HdrfVertexCut(Partitioner):
-    """High-Degree-Replicated-First streaming vertex-cut.
-
-    For every edge the candidate machines are scored with two terms:
-
-    * a *replication* term rewarding machines that already hold one of the
-      endpoints, weighted so that the endpoint with the **higher** partial
-      degree is the one that gets replicated (hubs are replicated, low-degree
-      vertices stay on few machines);
-    * a *balance* term (weighted by ``balance_weight``) rewarding the least
-      loaded machines.
-
-    On power-law graphs this yields lower replication factors than both the
-    random and the oblivious-greedy placements while keeping the edge load
-    balanced (the default ``balance_weight`` of 2.0 trades a little
-    replication for near-perfect balance); the partitioning ablation
-    quantifies the effect on SNAPLE's synchronization traffic.
-    """
-
-    def __init__(self, balance_weight: float = 2.0) -> None:
-        if balance_weight < 0.0:
-            raise PartitionError("balance_weight must be non-negative")
-        self._balance_weight = balance_weight
-
-    def assign_edges(self, graph: DiGraph, num_machines: int,
-                     *, seed: int) -> np.ndarray:
-        rng = random.Random(seed)
-        placed: list[set[int]] = [set() for _ in range(graph.num_vertices)]
-        partial_degree = [0] * graph.num_vertices
-        load = [0] * num_machines
-        assignment = np.zeros(graph.num_edges, dtype=np.int64)
-        src, dst = graph.edge_arrays()
-        epsilon = 1.0
-        for index in range(graph.num_edges):
-            u = int(src[index])
-            v = int(dst[index])
-            partial_degree[u] += 1
-            partial_degree[v] += 1
-            degree_u = partial_degree[u]
-            degree_v = partial_degree[v]
-            # Normalized degrees decide which endpoint the replication term
-            # prefers to replicate (the higher-degree one).
-            theta_u = degree_u / (degree_u + degree_v)
-            theta_v = 1.0 - theta_u
-            max_load = max(load)
-            min_load = min(load)
-            best_score = -math.inf
-            best_machines: list[int] = []
-            for machine in range(num_machines):
-                replication = 0.0
-                if machine in placed[u]:
-                    replication += 1.0 + (1.0 - theta_u)
-                if machine in placed[v]:
-                    replication += 1.0 + (1.0 - theta_v)
-                balance = (
-                    self._balance_weight
-                    * (max_load - load[machine])
-                    / (epsilon + max_load - min_load)
-                )
-                score = replication + balance
-                if score > best_score + 1e-12:
-                    best_score = score
-                    best_machines = [machine]
-                elif abs(score - best_score) <= 1e-12:
-                    best_machines.append(machine)
-            machine = rng.choice(best_machines)
-            assignment[index] = machine
-            placed[u].add(machine)
-            placed[v].add(machine)
-            load[machine] += 1
-        return assignment
-
-
-def partition_graph(
-    graph: DiGraph,
-    num_machines: int,
-    *,
-    partitioner: Partitioner | None = None,
-    seed: int = 0,
-) -> GraphPartition:
-    """Partition ``graph`` onto ``num_machines`` simulated machines.
-
-    Returns a :class:`GraphPartition` with edge placements, vertex masters
-    (the machine holding most of a vertex's edges, ties broken by hash) and
-    the replica sets implied by the vertex-cut.
-    """
-    if num_machines <= 0:
-        raise PartitionError("num_machines must be positive")
-    if partitioner is None:
-        partitioner = RandomVertexCut() if num_machines > 1 else _SingleMachine()
-    edge_machine = partitioner.assign_edges(graph, num_machines, seed=seed)
-    if edge_machine.shape != (graph.num_edges,):
-        raise PartitionError(
-            "partitioner returned an assignment of the wrong shape"
-        )
-    if graph.num_edges and (edge_machine.min() < 0 or edge_machine.max() >= num_machines):
-        raise PartitionError("partitioner assigned an edge to a non-existent machine")
-
-    replicas: list[set[int]] = [set() for _ in range(graph.num_vertices)]
-    per_vertex_counts: list[dict[int, int]] = [dict() for _ in range(graph.num_vertices)]
-    src, dst = graph.edge_arrays()
-    for index in range(graph.num_edges):
-        machine = int(edge_machine[index])
-        for vertex in (int(src[index]), int(dst[index])):
-            replicas[vertex].add(machine)
-            counts = per_vertex_counts[vertex]
-            counts[machine] = counts.get(machine, 0) + 1
-
-    vertex_master = np.zeros(graph.num_vertices, dtype=np.int64)
-    for vertex in range(graph.num_vertices):
-        counts = per_vertex_counts[vertex]
-        if counts:
-            # Master = machine with the most incident edges (stable tie-break).
-            vertex_master[vertex] = min(
-                counts, key=lambda m: (-counts[m], m)
-            )
-            replicas[vertex].add(int(vertex_master[vertex]))
-        else:
-            vertex_master[vertex] = vertex % num_machines
-            replicas[vertex].add(int(vertex_master[vertex]))
-    return GraphPartition(
-        num_machines=num_machines,
-        edge_machine=edge_machine,
-        vertex_master=vertex_master,
-        vertex_replicas=replicas,
-    )
-
-
-class _SingleMachine(Partitioner):
-    """Trivial partitioner placing everything on machine 0."""
-
-    def assign_edges(self, graph: DiGraph, num_machines: int,
-                     *, seed: int) -> np.ndarray:
-        return np.zeros(graph.num_edges, dtype=np.int64)

@@ -20,7 +20,10 @@ from __future__ import annotations
 import sys
 from abc import ABC, abstractmethod
 from enum import Enum
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.runtime.state import StateSchema
 
 __all__ = [
     "EdgeDirection",
@@ -87,6 +90,19 @@ class VertexProgram(ABC):
 
     gather_direction: EdgeDirection = EdgeDirection.OUT
     scatter_direction: EdgeDirection = EdgeDirection.NONE
+
+    def state_schema(self) -> "StateSchema | None":
+        """The typed state fields this program reads and writes.
+
+        Programs that declare a :class:`~repro.runtime.state.StateSchema`
+        run on the columnar state plane: the engine keeps their vertex data
+        in a :class:`~repro.runtime.state.StateStore` (one NumPy column per
+        field) and passes :class:`~repro.runtime.state.VertexRow` views —
+        dict-compatible, so ``gather``/``apply`` code is unchanged — instead
+        of per-vertex dicts.  Returning ``None`` (the default) keeps the
+        legacy dict state.
+        """
+        return None
 
     @abstractmethod
     def gather(self, u: int, v: int, u_data: dict[str, Any],

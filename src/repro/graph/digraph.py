@@ -8,7 +8,7 @@ by the path-aggregation step (equation (9) in the paper).
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator
+from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -44,10 +44,13 @@ class DiGraph:
     num_vertices:
         Number of vertices; vertex ids are ``0 .. num_vertices - 1``.
     sources, targets:
-        Parallel integer arrays describing the directed edges
-        ``sources[i] -> targets[i]``.  Duplicate edges and self loops are
-        kept as provided; use :class:`~repro.graph.builder.GraphBuilder` to
-        deduplicate while building.
+        Parallel integer iterables describing the directed edges
+        ``sources[i] -> targets[i]``.  Arrays and sequences are converted
+        in place; generators/iterators are consumed in a single pass (no
+        intermediate list materialization).  Duplicate edges and self loops
+        are kept as provided; use
+        :class:`~repro.graph.builder.GraphBuilder` to deduplicate while
+        building.
     """
 
     __slots__ = (
@@ -70,10 +73,8 @@ class DiGraph:
     ) -> None:
         if num_vertices < 0:
             raise GraphError("num_vertices must be non-negative")
-        src = np.asarray(list(sources) if not isinstance(sources, np.ndarray) else sources,
-                         dtype=np.int64)
-        dst = np.asarray(list(targets) if not isinstance(targets, np.ndarray) else targets,
-                         dtype=np.int64)
+        src = _as_edge_array(sources, "sources")
+        dst = _as_edge_array(targets, "targets")
         if src.shape != dst.shape:
             raise GraphError(
                 f"sources and targets must have the same length "
@@ -331,6 +332,27 @@ class DiGraph:
 
     def __hash__(self) -> int:
         return hash((self._num_vertices, self.num_edges))
+
+
+def _as_edge_array(endpoints: Iterable[int], label: str) -> np.ndarray:
+    """One ``int64`` array from any edge-endpoint input, materialized once.
+
+    Arrays and sequences (lists, tuples, ranges) go straight through
+    ``np.asarray``; iterators and generators are consumed by ``np.fromiter``.
+    The historical implementation called ``list(...)`` on every non-array
+    input, materializing sequences twice (once as the list copy, once as the
+    array) — for a 100M-edge ingest that is an extra multi-GB allocation.
+    """
+    if isinstance(endpoints, np.ndarray):
+        if endpoints.ndim != 1:
+            raise GraphError(f"{label} must be one-dimensional")
+        return np.asarray(endpoints, dtype=np.int64)
+    if isinstance(endpoints, Sequence):
+        return np.asarray(endpoints, dtype=np.int64)
+    try:
+        return np.fromiter(endpoints, dtype=np.int64)
+    except TypeError as exc:
+        raise GraphError(f"{label} must be an iterable of integers") from exc
 
 
 def _build_csr(

@@ -2,8 +2,10 @@
 
 One scoring framework, many engines: this package defines the
 :class:`~repro.runtime.backend.ExecutionBackend` protocol, the string-keyed
-backend registry, and the normalized :class:`~repro.runtime.report.RunReport`
-accounting shared by every engine.  Importing the package registers the six
+backend registry, the normalized :class:`~repro.runtime.report.RunReport`
+accounting shared by every engine, and the columnar state plane
+(:mod:`repro.runtime.state`) the engines keep their vertex state and route
+their messages through.  The first registry lookup registers the six
 built-in backends:
 
 ========================  =====================================================
@@ -23,22 +25,17 @@ but backends can also be driven directly::
 
     backend = get_backend("bsp", cluster=cluster_of(TYPE_I, 8))
     report = backend.predict(graph, config)
+
+The heavy submodules (the engine adapters, the baselines, the parallel
+executor) are imported lazily via :pep:`562` so that foundation modules such
+as :mod:`repro.runtime.state` and :mod:`repro.runtime.partition` can be
+imported from anywhere — including from the engine packages themselves —
+without creating an import cycle through this package.
 """
 
+from importlib import import_module
+
 from repro.runtime.backend import BackendCapabilities, ExecutionBackend
-from repro.runtime.baselines import (
-    CassovaryBackend,
-    RandomWalkPprBackend,
-    TopologicalBackend,
-)
-from repro.runtime.engines import LOCAL_MODES, BspBackend, GasBackend, LocalBackend
-from repro.runtime.parallel import (
-    ParallelExecutor,
-    ParallelRunOutcome,
-    PartitionReport,
-    run_parallel_bsp,
-    run_parallel_gas,
-)
 from repro.runtime.registry import (
     available_backends,
     backend_capabilities,
@@ -70,19 +67,43 @@ __all__ = [
     "PartitionReport",
     "run_parallel_gas",
     "run_parallel_bsp",
+    "StateStore",
+    "StateSchema",
+    "StateField",
+    "FieldKind",
+    "MessageBlock",
 ]
 
-#: The built-in backends, registered on package import.
-_BUILTIN_BACKENDS = (
-    LocalBackend,
-    GasBackend,
-    BspBackend,
-    CassovaryBackend,
-    RandomWalkPprBackend,
-    TopologicalBackend,
-)
+#: Lazily-resolved exports (PEP 562): name -> defining submodule.
+_LAZY_EXPORTS = {
+    "LocalBackend": "repro.runtime.engines",
+    "LOCAL_MODES": "repro.runtime.engines",
+    "GasBackend": "repro.runtime.engines",
+    "BspBackend": "repro.runtime.engines",
+    "CassovaryBackend": "repro.runtime.baselines",
+    "RandomWalkPprBackend": "repro.runtime.baselines",
+    "TopologicalBackend": "repro.runtime.baselines",
+    "ParallelExecutor": "repro.runtime.parallel",
+    "ParallelRunOutcome": "repro.runtime.parallel",
+    "PartitionReport": "repro.runtime.parallel",
+    "run_parallel_gas": "repro.runtime.parallel",
+    "run_parallel_bsp": "repro.runtime.parallel",
+    "StateStore": "repro.runtime.state",
+    "StateSchema": "repro.runtime.state",
+    "StateField": "repro.runtime.state",
+    "FieldKind": "repro.runtime.state",
+    "MessageBlock": "repro.runtime.state",
+}
 
-for _backend_cls in _BUILTIN_BACKENDS:
-    if _backend_cls.name not in available_backends():
-        register_backend(_backend_cls.name, _backend_cls)
-del _backend_cls
+
+def __getattr__(name: str):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

@@ -30,6 +30,7 @@ from repro.runtime.parallel import (
     validate_workers,
 )
 from repro.runtime.report import RunReport
+from repro.runtime.state import dict_state_forced
 from repro.snaple.bsp_program import SnapleBspPredictor
 from repro.snaple.config import SnapleConfig
 from repro.snaple.kernel import VectorizedKernel, kernel_supports
@@ -77,8 +78,23 @@ def _parallel_report(backend_name: str,
     Simulated-cluster fields stay ``None``: a parallel run measures real
     wall-clock parallelism, not the analytical cluster model.  The totals
     are derived from the per-partition reports so they cannot drift.
+
+    ``extra`` records the state plane: whether the run used columnar state
+    (``state_columnar``), the peak live column payload and the coordinator
+    routing time, with per-superstep breakdowns.
     """
+    extra: dict[str, float] = {
+        "state_columnar": 1.0 if outcome.state_plane_bytes else 0.0,
+    }
+    if outcome.state_plane_bytes:
+        extra["state_plane_peak_bytes"] = float(max(outcome.state_plane_bytes))
+        extra["routing_seconds"] = float(sum(outcome.routing_seconds))
+        for index, num_bytes in enumerate(outcome.state_plane_bytes):
+            extra[f"state_plane_bytes_step{index}"] = float(num_bytes)
+        for index, seconds in enumerate(outcome.routing_seconds):
+            extra[f"routing_seconds_step{index}"] = float(seconds)
     return RunReport(
+        extra=extra,
         backend=backend_name,
         predictions=outcome.predictions,
         scores=outcome.scores,
@@ -91,6 +107,24 @@ def _parallel_report(backend_name: str,
         partition_reports=list(outcome.partitions),
         native=outcome,
     )
+
+
+def _engine_state_extras(engine) -> dict[str, float]:
+    """State-plane accounting of a serial simulated-engine run.
+
+    ``state_columnar`` records which state path ran; on the columnar path
+    the peak live column payload (also tracked by the engine's
+    :class:`~repro.gas.memory.MemoryTracker`) and per-step sizes ride along.
+    """
+    store = engine.state_store
+    extra: dict[str, float] = {
+        "state_columnar": 1.0 if store is not None else 0.0,
+    }
+    if store is not None:
+        extra["state_plane_peak_bytes"] = float(
+            engine.memory.state_plane_peak_bytes
+        )
+    return extra
 
 
 #: Execution modes of the ``local`` backend.
@@ -347,6 +381,7 @@ class GasBackend(ExecutionBackend):
                 predictions, metrics.total_gather_invocations,
                 sum(step.apply_invocations for step in metrics.steps), wall,
             )],
+            extra=_engine_state_extras(engine),
             native=run,
         )
 
@@ -411,6 +446,15 @@ class BspBackend(ExecutionBackend):
         )
         metrics = result.bsp_result.metrics
         predictions = {u: result.predictions.get(u, []) for u in targets}
+        # The SNAPLE BSP program always declares a state schema, so the
+        # serial engine runs columnar unless the escape hatch forces dicts.
+        extra: dict[str, float] = {
+            "state_columnar": 0.0 if dict_state_forced() else 1.0,
+        }
+        if metrics.peak_state_plane_bytes:
+            extra["state_plane_peak_bytes"] = float(
+                metrics.peak_state_plane_bytes
+            )
         return RunReport(
             backend=self.name,
             predictions=predictions,
@@ -426,5 +470,6 @@ class BspBackend(ExecutionBackend):
                 sum(step.apply_invocations for step in metrics.steps),
                 result.wall_clock_seconds,
             )],
+            extra=extra,
             native=result.bsp_result,
         )

@@ -21,6 +21,18 @@ the same superstep.  SNAPLE's Algorithm 2 satisfies this by construction
 (each step only reads keys written by earlier steps), which is why serial
 and parallel runs produce identical predictions.
 
+By default the data crossing process boundaries is columnar: vertex state
+lives in a coordinator-side :class:`~repro.runtime.state.StateStore`,
+boundary state ships as :class:`~repro.runtime.state.StateSlice` arrays,
+and BSP messages route as sender-sorted
+:class:`~repro.runtime.state.MessageBlock` arrays sliced per partition with
+:func:`np.searchsorted` — a handful of flat buffers per (step, partition)
+instead of pickled per-vertex dicts and message-object lists.  The legacy
+dict path remains behind ``SNAPLE_DICT_STATE=1`` (and is also used by the
+GAS flavour when the scoring configuration falls outside the vectorized
+kernel or ``SNAPLE_PARALLEL_SCALAR=1`` is set); results are bit-identical
+on both paths for every worker count.
+
 Determinism
 -----------
 Results are bit-identical for any worker count and any partitioner because
@@ -49,9 +61,19 @@ import time
 from dataclasses import dataclass, field
 from typing import Any
 
+import numpy as np
+
 from repro.errors import ConfigurationError, EngineError
 from repro.gas.vertex_program import EdgeDirection, VertexProgram, payload_size_bytes
 from repro.graph.digraph import DiGraph
+from repro.runtime.state import (
+    MessageBlock,
+    StateSlice,
+    StateStore,
+    dict_state_forced,
+    env_flag,
+    gather_slices,
+)
 from repro.snaple.config import SnapleConfig
 
 __all__ = [
@@ -107,17 +129,25 @@ class PartitionReport:
 
 @dataclass
 class ParallelRunOutcome:
-    """Merged result of one shared-nothing parallel run."""
+    """Merged result of one shared-nothing parallel run.
+
+    ``routing_seconds`` and ``state_plane_bytes`` carry one entry per
+    superstep on the columnar state-plane path (coordinator time spent
+    slicing/merging state and routing message blocks, and the live columnar
+    payload after the step); both stay empty on the legacy dict path.
+    """
 
     predictions: dict[int, list[int]]
-    scores: dict[int, dict[int, float]]
+    scores: Any
     workers: int
     supersteps: int
     partitions: list[PartitionReport]
     wall_clock_seconds: float
     sync_overhead_seconds: float
     exchanged_bytes: int
-    vertex_data: dict[int, dict[str, Any]] = field(default_factory=dict, repr=False)
+    vertex_data: Any = field(default_factory=dict, repr=False)
+    routing_seconds: list[float] = field(default_factory=list)
+    state_plane_bytes: list[int] = field(default_factory=list)
 
     @property
     def per_partition_seconds(self) -> list[float]:
@@ -201,8 +231,6 @@ def _gas_step_task(task: tuple[int, list[int], dict[int, dict[str, Any]]]):
     and ``workers=N`` all still agree exactly.  Set
     ``SNAPLE_PARALLEL_SCALAR=1`` to force the scalar step implementations.
     """
-    import os
-
     from repro.snaple import kernel
     from repro.snaple.program import build_snaple_steps
 
@@ -211,7 +239,7 @@ def _gas_step_task(task: tuple[int, list[int], dict[int, dict[str, Any]]]):
     start = time.perf_counter()
     use_kernel = (
         kernel.kernel_supports(config)
-        and not os.environ.get("SNAPLE_PARALLEL_SCALAR")
+        and not env_flag("SNAPLE_PARALLEL_SCALAR")
     )
     kept_scores = None
     if use_kernel:
@@ -238,19 +266,62 @@ def _gas_step_task(task: tuple[int, list[int], dict[int, dict[str, Any]]]):
     return updates, kept_scores, gathers, applies, time.perf_counter() - start
 
 
-def _bsp_step_task(task):
-    """One (partition, superstep) unit of BSP work, run in a worker process.
+def _gas_step_task_columnar(task):
+    """One (partition, superstep) unit of columnar GAS work.
 
-    ``task`` is ``(superstep, owned states, vertices to compute, inboxes,
-    aggregated values)``.  Messages are returned as ``(sender, target,
-    value)`` triples so the coordinator can deliver them in a globally
-    deterministic (sender-sorted) order.
+    ``task`` is ``(step_index, active owned vertices (array), payload)``
+    where the payload is the :class:`~repro.runtime.state.StateSlice` (or
+    pair of slices) the step reads.  Everything crossing the process
+    boundary — in both directions — is a handful of flat arrays; the
+    vectorized kernel consumes the slices without per-vertex marshalling.
     """
-    from repro.snaple.bsp_program import SnapleBspProgram
+    from repro.snaple import kernel
 
-    superstep, states, compute_list, inboxes, aggregated = task
+    step_index, active, payload = task
     graph, config = _worker_state()
     start = time.perf_counter()
+    num_vertices = graph.num_vertices
+    if step_index == 0:
+        counts, flat, gathers = kernel.gas_sample_step_columnar(
+            graph, config, active
+        )
+        result: tuple = (counts, flat)
+    elif step_index == 1:
+        rows, counts, ids, _vals = payload.field_rows("gamma")
+        gamma = kernel.columns_to_neighborhood_csr(num_vertices, rows,
+                                                   counts, ids)
+        counts, ids, vals, gathers = kernel.gas_similarity_step_columnar(
+            graph, config, active, gamma
+        )
+        result = (counts, ids, vals)
+    else:
+        gamma_slice, sims_slice = payload
+        rows, counts, ids, _vals = gamma_slice.field_rows("gamma")
+        gamma = kernel.columns_to_neighborhood_csr(num_vertices, rows,
+                                                   counts, ids)
+        rows, counts, ids, vals = sims_slice.field_rows("sims")
+        kept = kernel.columns_to_kept(num_vertices, rows, counts, ids, vals)
+        (pred_counts, pred_flat, score_counts, candidates, values,
+         gathers) = kernel.gas_recommendation_step_columnar(
+            graph, config, active, gamma, kept
+        )
+        result = (pred_counts, pred_flat, score_counts, candidates, values)
+    return result, gathers, int(active.size), time.perf_counter() - start
+
+
+def _bsp_compute_loop(graph, config, superstep: int, compute_list: list[int],
+                      state_of, inboxes: dict[int, list[Any]],
+                      aggregated: dict[str, Any]):
+    """Run the SNAPLE program over ``compute_list`` against a state snapshot.
+
+    Shared by the dict and columnar worker tasks, which differ only in how
+    vertex state and messages are (de)materialized: ``state_of`` maps a
+    vertex id to its mutable state mapping.  Returns ``(program, sent,
+    halted, contributions, messages_processed)``.
+    """
+    from repro.bsp.vertex import ComputeContext
+    from repro.snaple.bsp_program import SnapleBspProgram
+
     program = SnapleBspProgram(config, per_vertex_rng=True)
     aggregator_fns = program.aggregators()
     sent: list[tuple[int, int, Any]] = []
@@ -268,8 +339,6 @@ def _bsp_step_task(task):
             contributions[name] = aggregator_fns[name](contributions[name], value)
         else:
             contributions[name] = value
-
-    from repro.bsp.vertex import ComputeContext
 
     def send(source: int, target: int, value: Any) -> None:
         if not 0 <= target < graph.num_vertices:
@@ -293,8 +362,25 @@ def _bsp_step_task(task):
             aggregate=contribute,
             aggregated_values=aggregated,
         )
-        program.compute(states[u], messages, context)
+        program.compute(state_of(u), messages, context)
+    return program, sent, halted, contributions, messages_processed
 
+
+def _bsp_step_task(task):
+    """One (partition, superstep) unit of BSP work, run in a worker process.
+
+    ``task`` is ``(superstep, owned states, vertices to compute, inboxes,
+    aggregated values)``.  Messages are returned as ``(sender, target,
+    value)`` triples so the coordinator can deliver them in a globally
+    deterministic (sender-sorted) order.
+    """
+    superstep, states, compute_list, inboxes, aggregated = task
+    graph, config = _worker_state()
+    start = time.perf_counter()
+    program, sent, halted, contributions, messages_processed = (
+        _bsp_compute_loop(graph, config, superstep, compute_list,
+                          states.__getitem__, inboxes, aggregated)
+    )
     updates = {u: states[u] for u in compute_list}
     kept_scores = {
         u: program.collected_scores[u]
@@ -303,6 +389,55 @@ def _bsp_step_task(task):
     }
     elapsed = time.perf_counter() - start
     return (updates, sent, halted, kept_scores or None, contributions,
+            messages_processed, len(compute_list), elapsed)
+
+
+def _bsp_step_task_columnar(task):
+    """One (partition, superstep) unit of columnar BSP work.
+
+    ``task`` is ``(superstep, state slice, vertices to compute (array),
+    inbox MessageBlock, aggregated values)``.  The vertex programs run
+    unchanged against :class:`~repro.runtime.state.VertexRow` views over a
+    partition-local store (sized to the partition, with vertex ids remapped
+    to local row indices); state and messages cross the process boundary as
+    raw arrays instead of pickled dicts and message-tuple lists.
+    """
+    from repro.snaple.bsp_program import (
+        decode_snaple_inboxes,
+        encode_snaple_messages,
+        snaple_bsp_state_schema,
+    )
+
+    superstep, state_slice, compute, inbox_block, aggregated = task
+    graph, config = _worker_state()
+    start = time.perf_counter()
+    num_local = int(compute.size)
+    local_rows = np.arange(num_local, dtype=np.int64)
+    # ``extract`` emits rows in ascending id order and ``compute`` is
+    # ascending, so the slice maps 1:1 onto local rows 0..n-1.
+    store = StateStore(num_local, snaple_bsp_state_schema())
+    state_slice.rows = local_rows
+    store.merge(state_slice)
+    compute_list = compute.tolist()
+    local_of = {u: i for i, u in enumerate(compute_list)}
+    inboxes = decode_snaple_inboxes(inbox_block)
+
+    program, sent, halted, contributions, messages_processed = (
+        _bsp_compute_loop(graph, config, superstep, compute_list,
+                          lambda u: store.row(local_of[u]), inboxes,
+                          aggregated)
+    )
+
+    updates = store.extract(local_rows, store.schema.names())
+    updates.rows = compute
+    outbox = encode_snaple_messages(sent)
+    kept_scores = {
+        u: program.collected_scores[u]
+        for u in compute_list
+        if u in program.collected_scores
+    }
+    elapsed = time.perf_counter() - start
+    return (updates, outbox, halted, kept_scores or None, contributions,
             messages_processed, len(compute_list), elapsed)
 
 
@@ -352,6 +487,9 @@ class ParallelExecutor:
         self._owned: list[list[int]] = [[] for _ in range(self._workers)]
         for u in range(graph.num_vertices):
             self._owned[self._owner[u]].append(u)
+        self._owner_array = np.asarray(self._owner, dtype=np.int64)
+        self._owned_arrays = [np.asarray(owned, dtype=np.int64)
+                              for owned in self._owned]
 
     def _assign_owners(self, partitioner: Any, seed: int) -> list[int]:
         """One owning partition per vertex, from the engine's own partitioner."""
@@ -379,6 +517,16 @@ class ParallelExecutor:
         predictions/scores (defaults to ``vertices``).  The BSP path uses a
         full active set with restricted targets because message passing
         needs every neighborhood in flight.
+
+        State plane vs. dict path: by default vertex state lives in a
+        columnar :class:`~repro.runtime.state.StateStore` and supersteps
+        exchange :class:`~repro.runtime.state.StateSlice` /
+        :class:`~repro.runtime.state.MessageBlock` arrays (the GAS flavour
+        additionally requires the scoring configuration to be inside the
+        vectorized kernel's design space).  ``SNAPLE_DICT_STATE=1`` — and,
+        for GAS, ``SNAPLE_PARALLEL_SCALAR=1`` or an unsupported
+        configuration — falls back to the legacy dict path.  Results are
+        bit-identical either way.
         """
         start = time.perf_counter()
         ctx = _pool_context()
@@ -388,11 +536,26 @@ class ParallelExecutor:
             initargs=(self._graph, self._config),
         ) as pool:
             if self._kind == "gas":
-                outcome = self._run_gas(pool, vertices, targets)
-            else:
+                if self._use_columnar_gas():
+                    outcome = self._run_gas_columnar(pool, vertices, targets)
+                else:
+                    outcome = self._run_gas(pool, vertices, targets)
+            elif dict_state_forced():
                 outcome = self._run_bsp(pool, vertices, targets)
+            else:
+                outcome = self._run_bsp_columnar(pool, vertices, targets)
         outcome.wall_clock_seconds = time.perf_counter() - start
         return outcome
+
+    def _use_columnar_gas(self) -> bool:
+        """Columnar GAS needs the vectorized kernel and no escape hatches."""
+        from repro.snaple.kernel import kernel_supports
+
+        return (
+            not dict_state_forced()
+            and not env_flag("SNAPLE_PARALLEL_SCALAR")
+            and kernel_supports(self._config)
+        )
 
     # ------------------------------------------------------------------
     # GAS coordination
@@ -461,6 +624,178 @@ class ParallelExecutor:
                 if self._owner[v] != worker:
                     needed.add(v)
         return sorted(needed)
+
+    # ------------------------------------------------------------------
+    # Columnar GAS coordination (the state-plane path)
+    # ------------------------------------------------------------------
+    def _boundary_columnar(self, worker: int, active: np.ndarray,
+                           indptr: np.ndarray, indices: np.ndarray,
+                           degrees: np.ndarray) -> np.ndarray:
+        """Vectorized out-edge boundary: remote vertices the gathers read."""
+        if active.size == 0:
+            return np.empty(0, dtype=np.int64)
+        neighbors = indices[gather_slices(indptr[active], degrees[active])]
+        remote = neighbors[self._owner_array[neighbors] != worker]
+        return np.unique(remote)
+
+    @staticmethod
+    def _slice_boundary_bytes(state_slice: StateSlice, name: str,
+                              own_mask: np.ndarray) -> int:
+        """Payload bytes of a slice's rows that are boundary (not owned)."""
+        counts, _ids, vals, _present = state_slice.ragged[name]
+        per_element = 8 if vals is None else 16
+        return per_element * int(counts[~own_mask].sum())
+
+    def _run_gas_columnar(self, pool, vertices: list[int] | None,
+                          targets: list[int] | None) -> ParallelRunOutcome:
+        """Algorithm 2's three GAS steps over the columnar state plane.
+
+        The coordinator keeps one :class:`~repro.runtime.state.StateStore`;
+        per (step, partition) it ships the owned+boundary column slices the
+        step reads and bulk-merges the returned column rows.  Nothing that
+        crosses a process boundary is a per-vertex Python object, and the
+        kernel consumes the slices without dict marshalling — this is what
+        ``benchmarks/bench_state_plane.py`` measures against the dict path.
+        """
+        from repro.snaple.kernel import LazyScores
+        from repro.snaple.program import snaple_state_schema
+
+        graph = self._graph
+        num_vertices = graph.num_vertices
+        active = list(graph.vertices()) if vertices is None else list(vertices)
+        if targets is None:
+            targets = active
+        active_set = set(active)
+        active_owned = [
+            np.asarray([u for u in owned if u in active_set], dtype=np.int64)
+            for owned in self._owned
+        ]
+        store = StateStore(num_vertices, snaple_state_schema())
+        indptr, indices = graph.csr_out_adjacency()
+        degrees = np.diff(indptr)
+        owner = self._owner_array
+
+        workers = self._workers
+        compute_seconds = [0.0] * workers
+        gathers = [0] * workers
+        applies = [0] * workers
+        shipped = [0] * workers
+        sync_overhead = 0.0
+        routing: list[float] = []
+        plane: list[int] = []
+        prediction_parts: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        score_parts: list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+
+        num_steps = 3
+        for step_index in range(num_steps):
+            step_start = time.perf_counter()
+            route_seconds = 0.0
+            tasks = []
+            for w in range(workers):
+                owned_active = active_owned[w]
+                if step_index == 0:
+                    payload: Any = None
+                else:
+                    boundary = self._boundary_columnar(
+                        w, owned_active, indptr, indices, degrees
+                    )
+                    rows = np.concatenate([owned_active, boundary])
+                    rows.sort()
+                    own_mask = owner[rows] == w
+                    if step_index == 1:
+                        payload = store.extract(rows, ("gamma",))
+                        shipped[w] += self._slice_boundary_bytes(
+                            payload, "gamma", own_mask
+                        )
+                    else:
+                        # The recommendation step probes only the targets'
+                        # own Γ̂ but reads every neighbor's kept map.
+                        gamma_slice = store.extract(owned_active, ("gamma",))
+                        sims_slice = store.extract(rows, ("sims",))
+                        shipped[w] += self._slice_boundary_bytes(
+                            sims_slice, "sims", own_mask
+                        )
+                        payload = (gamma_slice, sims_slice)
+                tasks.append((step_index, owned_active, payload))
+            route_seconds += time.perf_counter() - step_start
+            results = pool.map(_gas_step_task_columnar, tasks)
+            merge_start = time.perf_counter()
+            slowest = 0.0
+            for w, (result, n_gather, n_apply, elapsed) in enumerate(results):
+                owned_active = active_owned[w]
+                if step_index == 0:
+                    counts, flat = result
+                    store.set_rows("gamma", owned_active, counts, flat)
+                elif step_index == 1:
+                    counts, ids, vals = result
+                    store.set_rows("sims", owned_active, counts, ids, vals)
+                else:
+                    pred_counts, pred_flat, score_counts, candidates, values = result
+                    store.set_rows("predicted", owned_active, pred_counts,
+                                   pred_flat)
+                    prediction_parts.append(
+                        (owned_active, pred_counts, pred_flat)
+                    )
+                    score_parts.append(
+                        (owned_active, score_counts, candidates, values)
+                    )
+                gathers[w] += n_gather
+                applies[w] += n_apply
+                compute_seconds[w] += elapsed
+                slowest = max(slowest, elapsed)
+            route_seconds += time.perf_counter() - merge_start
+            routing.append(route_seconds)
+            plane.append(store.nbytes())
+            sync_overhead += max(
+                0.0, (time.perf_counter() - step_start) - slowest
+            )
+
+        predictions_all: dict[int, list[int]] = {}
+        for rows, counts, flat in prediction_parts:
+            values = flat.tolist()
+            position = 0
+            for u, count in zip(rows.tolist(), counts.tolist()):
+                predictions_all[u] = values[position:position + count]
+                position += count
+        predictions = {u: predictions_all.get(u, []) for u in targets}
+
+        # One LazyScores view over the concatenated per-partition arrays:
+        # per-vertex score dicts materialize only if somebody reads them.
+        all_targets: list[int] = []
+        starts_parts: list[np.ndarray] = []
+        counts_parts: list[np.ndarray] = []
+        candidate_parts: list[np.ndarray] = []
+        value_parts: list[np.ndarray] = []
+        offset = 0
+        for rows, score_counts, candidates, values in score_parts:
+            starts_parts.append(offset + np.cumsum(score_counts) - score_counts)
+            counts_parts.append(score_counts)
+            candidate_parts.append(candidates)
+            value_parts.append(values)
+            all_targets.extend(rows.tolist())
+            offset += int(candidates.size)
+        if all_targets:
+            starts_all = np.concatenate(starts_parts)
+            counts_all = np.concatenate(counts_parts)
+            position_of = {u: i for i, u in enumerate(all_targets)}
+            target_rows = np.asarray(
+                [position_of.get(u, -1) for u in targets], dtype=np.int64
+            )
+            known = target_rows >= 0
+            target_starts = np.where(known, starts_all[target_rows], 0)
+            target_counts = np.where(known, counts_all[target_rows], 0)
+            scores: Any = LazyScores(
+                list(targets), target_starts, target_counts,
+                np.concatenate(candidate_parts), np.concatenate(value_parts),
+            )
+        else:
+            scores = {u: {} for u in targets}
+
+        return self._merge_outcome(
+            predictions, scores, num_steps, compute_seconds, gathers, applies,
+            shipped, sync_overhead, store.rows_mapping(),
+            routing_seconds=routing, state_plane_bytes=plane,
+        )
 
     # ------------------------------------------------------------------
     # BSP coordination
@@ -558,10 +893,150 @@ class ParallelExecutor:
             shipped, sync_overhead, state,
         )
 
+    def _run_bsp_columnar(self, pool, vertices: list[int] | None,
+                          targets: list[int] | None) -> ParallelRunOutcome:
+        """The four-superstep BSP port over the columnar state plane.
+
+        State ships as :class:`~repro.runtime.state.StateSlice` arrays and
+        messages as :class:`~repro.runtime.state.MessageBlock` arrays; the
+        blocks are stable-sorted by sender before delivery and split per
+        partition with one :func:`np.searchsorted` pass, reproducing the
+        dict path's delivery (and float accumulation) order exactly.
+        """
+        from repro.snaple.bsp_program import (
+            MESSAGE_BASE_BYTES,
+            MESSAGE_KINDS,
+            SnapleBspProgram,
+            snaple_bsp_state_schema,
+        )
+
+        graph, config = self._graph, self._config
+        program = SnapleBspProgram(config, per_vertex_rng=True)
+        aggregator_fns = program.aggregators()
+        num_vertices = graph.num_vertices
+        schema = snaple_bsp_state_schema()
+        store = StateStore(num_vertices, schema)
+        field_names = schema.names()
+        for u in range(num_vertices):
+            initial = program.initial_state(u)
+            if initial:
+                row = store.row(u)
+                for key, value in initial.items():
+                    row[key] = value
+
+        active = np.zeros(num_vertices, dtype=bool)
+        initial_active = (range(num_vertices) if vertices is None
+                          else list(vertices))
+        if len(initial_active):
+            active[np.asarray(initial_active, dtype=np.int64)] = True
+        inbox = MessageBlock.empty(MESSAGE_KINDS)
+        aggregated: dict[str, Any] = {}
+        scores: dict[int, dict[int, float]] = {}
+        owner = self._owner_array
+
+        workers = self._workers
+        compute_seconds = [0.0] * workers
+        gathers = [0] * workers
+        applies = [0] * workers
+        shipped = [0] * workers
+        sync_overhead = 0.0
+        routing: list[float] = []
+        plane: list[int] = []
+        superstep = 0
+
+        while superstep < program.max_supersteps:
+            if not active.any() and inbox.num_messages == 0:
+                break
+            step_start = time.perf_counter()
+            route_seconds = 0.0
+            has_message = np.zeros(num_vertices, dtype=bool)
+            if inbox.num_messages:
+                has_message[np.unique(inbox.receiver)] = True
+                inbox_parts = inbox.split_by(owner[inbox.receiver], workers)
+            else:
+                inbox_parts = [MessageBlock.empty(MESSAGE_KINDS)] * workers
+            tasks = []
+            compute_lists = []
+            for w in range(workers):
+                owned = self._owned_arrays[w]
+                compute_w = owned[active[owned] | has_message[owned]]
+                compute_lists.append(compute_w)
+                tasks.append((
+                    superstep,
+                    store.extract(compute_w, field_names),
+                    compute_w,
+                    inbox_parts[w],
+                    aggregated,
+                ))
+            route_seconds += time.perf_counter() - step_start
+            results = pool.map(_bsp_step_task_columnar, tasks)
+            merge_start = time.perf_counter()
+            slowest = 0.0
+            blocks: list[MessageBlock] = []
+            contributions: dict[str, Any] = {}
+            for w, result in enumerate(results):
+                (updates, outbox, halted, step_scores, worker_contrib,
+                 n_messages, n_computed, elapsed) = result
+                store.merge(updates)
+                if step_scores:
+                    scores.update(step_scores)
+                active[compute_lists[w]] = True
+                if halted:
+                    active[np.asarray(halted, dtype=np.int64)] = False
+                blocks.append(outbox)
+                for name, value in worker_contrib.items():
+                    if name in contributions:
+                        contributions[name] = aggregator_fns[name](
+                            contributions[name], value
+                        )
+                    else:
+                        contributions[name] = value
+                gathers[w] += n_messages
+                applies[w] += n_computed
+                compute_seconds[w] += elapsed
+                slowest = max(slowest, elapsed)
+            merged = MessageBlock.concat(blocks)
+            if merged.num_messages:
+                # Deliver sender-sorted (stable) so the float accumulation
+                # order in the receivers matches the dict path exactly.
+                merged = merged.sorted_by_sender()
+                sizes = merged.payload_bytes(MESSAGE_BASE_BYTES)
+                cross = owner[merged.sender] != owner[merged.receiver]
+                if cross.any():
+                    per_partition = np.bincount(
+                        owner[merged.receiver][cross],
+                        weights=sizes[cross], minlength=workers,
+                    )
+                    for w in range(workers):
+                        shipped[w] += int(per_partition[w])
+                active[np.unique(merged.receiver)] = True
+            inbox = merged
+            aggregated = contributions
+            superstep += 1
+            route_seconds += time.perf_counter() - merge_start
+            routing.append(route_seconds)
+            plane.append(store.nbytes())
+            sync_overhead += max(
+                0.0, (time.perf_counter() - step_start) - slowest
+            )
+
+        if targets is None:
+            targets = (list(graph.vertices()) if vertices is None
+                       else list(vertices))
+        rows = store.rows()
+        predictions = {u: list(rows[u].get("predicted", [])) for u in targets}
+        scores = {u: dict(scores.get(u, {})) for u in targets}
+        return self._merge_outcome(
+            predictions, scores, superstep, compute_seconds, gathers, applies,
+            shipped, sync_overhead, store.rows_mapping(),
+            routing_seconds=routing, state_plane_bytes=plane,
+        )
+
     # ------------------------------------------------------------------
     def _merge_outcome(self, predictions, scores, supersteps, compute_seconds,
                        gathers, applies, shipped, sync_overhead,
-                       vertex_data) -> ParallelRunOutcome:
+                       vertex_data, *, routing_seconds=None,
+                       state_plane_bytes=None) -> ParallelRunOutcome:
         """Build per-partition reports and derive the merged totals from them."""
         partitions = []
         for w in range(self._workers):
@@ -590,6 +1065,8 @@ class ParallelExecutor:
             sync_overhead_seconds=sync_overhead,
             exchanged_bytes=sum(shipped),
             vertex_data=vertex_data,
+            routing_seconds=list(routing_seconds or []),
+            state_plane_bytes=list(state_plane_bytes or []),
         )
 
 

@@ -8,8 +8,8 @@ backend and the offending option instead of a bare ``TypeError`` from deep
 inside the engine.
 
 The built-in backends (``local``, ``gas``, ``bsp``, ``cassovary``,
-``random_walk_ppr``, ``topological``) are registered when
-:mod:`repro.runtime` is imported; third-party engines can plug in with::
+``random_walk_ppr``, ``topological``) are registered lazily on the first
+registry lookup; third-party engines can plug in with::
 
     from repro.runtime import ExecutionBackend, register_backend
 
@@ -44,6 +44,34 @@ __all__ = [
 #: :class:`~repro.runtime.backend.ExecutionBackend`.
 _REGISTRY: dict[str, Callable[..., "ExecutionBackend"]] = {}
 
+_builtins_registered = False
+
+
+def _ensure_builtin_backends() -> None:
+    """Register the built-in backends on first use.
+
+    Registration is deferred (rather than done at package import) so that
+    importing :mod:`repro.runtime` stays cheap and free of import cycles:
+    the engine adapters transitively import the engine packages, which in
+    turn import the foundation modules of this package
+    (:mod:`repro.runtime.state`, :mod:`repro.runtime.partition`).
+    """
+    global _builtins_registered
+    if _builtins_registered:
+        return
+    _builtins_registered = True
+    from repro.runtime.baselines import (
+        CassovaryBackend,
+        RandomWalkPprBackend,
+        TopologicalBackend,
+    )
+    from repro.runtime.engines import BspBackend, GasBackend, LocalBackend
+
+    for backend_cls in (LocalBackend, GasBackend, BspBackend,
+                        CassovaryBackend, RandomWalkPprBackend,
+                        TopologicalBackend):
+        _REGISTRY.setdefault(backend_cls.name, backend_cls)
+
 
 def register_backend(name: str, factory: Callable[..., "ExecutionBackend"],
                      *, replace: bool = False) -> None:
@@ -52,6 +80,7 @@ def register_backend(name: str, factory: Callable[..., "ExecutionBackend"],
     Re-registering an existing name raises unless ``replace=True`` (so a
     typo cannot silently shadow a built-in engine).
     """
+    _ensure_builtin_backends()
     if not name:
         raise ConfigurationError("backend name must be a non-empty string")
     if name in _REGISTRY and not replace:
@@ -64,6 +93,7 @@ def register_backend(name: str, factory: Callable[..., "ExecutionBackend"],
 
 def unregister_backend(name: str) -> None:
     """Remove ``name`` from the registry (no-op names raise)."""
+    _ensure_builtin_backends()
     if name not in _REGISTRY:
         raise ConfigurationError(f"execution backend {name!r} is not registered")
     del _REGISTRY[name]
@@ -71,6 +101,7 @@ def unregister_backend(name: str) -> None:
 
 def available_backends() -> tuple[str, ...]:
     """Sorted names of every registered backend."""
+    _ensure_builtin_backends()
     return tuple(sorted(_REGISTRY))
 
 
@@ -99,6 +130,7 @@ def get_backend(name: str, **options) -> "ExecutionBackend":
         When ``name`` is not registered, or when an option is not accepted
         by the backend (the message names both).
     """
+    _ensure_builtin_backends()
     try:
         factory = _REGISTRY[name]
     except KeyError:

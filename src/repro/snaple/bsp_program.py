@@ -39,7 +39,96 @@ from repro.snaple.config import SnapleConfig
 from repro.snaple.program import top_k_predictions, vertex_rng
 from repro.snaple.similarity import NeighborhoodSetCache
 
-__all__ = ["SnapleBspProgram", "BspPredictionResult", "SnapleBspPredictor"]
+__all__ = [
+    "SnapleBspProgram",
+    "BspPredictionResult",
+    "SnapleBspPredictor",
+    "snaple_bsp_state_schema",
+    "MESSAGE_KINDS",
+    "MESSAGE_BASE_BYTES",
+    "encode_snaple_messages",
+    "decode_snaple_inboxes",
+]
+
+_STATE_SCHEMA = None
+
+
+def snaple_bsp_state_schema():
+    """The columnar state schema of the four-superstep SNAPLE BSP program."""
+    global _STATE_SCHEMA
+    if _STATE_SCHEMA is None:
+        from repro.runtime.state import FieldKind, StateField, StateSchema
+
+        _STATE_SCHEMA = StateSchema((
+            StateField("gamma", FieldKind.INT_LIST),
+            StateField("in_neighbors", FieldKind.INT_LIST),
+            StateField("sims", FieldKind.INT_FLOAT_MAP),
+            StateField("predicted", FieldKind.INT_LIST),
+        ))
+    return _STATE_SCHEMA
+
+
+#: Wire format of the program's messages (kind index into this tuple).
+MESSAGE_KINDS = ("register", "gamma", "sims")
+
+#: Fixed per-kind overhead so array-routed accounting matches what
+#: ``payload_size_bytes`` charged for the historical tuples:
+#: ``("register", u)`` = 8 + 8, ``("gamma", u, [...])`` = 5 + 8 + 8·len,
+#: ``("sims", u, {...})`` = 4 + 8 + 16·len.
+MESSAGE_BASE_BYTES = (16, 13, 12)
+
+
+def encode_snaple_messages(sent: list[tuple[int, int, Any]]):
+    """Encode ``(sender, target, payload tuple)`` triples as a MessageBlock.
+
+    The emission order is preserved, which together with the executor's
+    stable sender sort keeps the per-receiver delivery order — and therefore
+    the float accumulation order — identical to the object path.
+    """
+    from repro.runtime.state import MessageBlockBuilder
+
+    builder = MessageBlockBuilder(MESSAGE_KINDS)
+    for sender, target, value in sent:
+        kind = value[0]
+        if kind == "register":
+            builder.append(sender, target, kind)
+        elif kind == "gamma":
+            builder.append(sender, target, kind, ids=value[2])
+        else:
+            sims = value[2]
+            builder.append(sender, target, kind,
+                           ids=sims.keys(), vals=sims.values())
+    return builder.build()
+
+
+def decode_snaple_inboxes(block) -> dict[int, list[Any]]:
+    """Rebuild per-receiver message-tuple lists from a routed block.
+
+    The block's row order is the delivery order (sender-sorted, stable), so
+    appending row by row reproduces the historical inbox lists exactly.
+    """
+    inboxes: dict[int, list[Any]] = {}
+    receivers = block.receiver.tolist()
+    senders = block.sender.tolist()
+    kinds = block.kind.tolist()
+    ids_indptr = block.ids_indptr.tolist()
+    ids = block.ids.tolist()
+    vals = block.vals.tolist()
+    vals_indptr = block.vals_indptr.tolist()
+    for index, receiver in enumerate(receivers):
+        kind = kinds[index]
+        sender = senders[index]
+        if kind == 0:
+            message: Any = ("register", sender)
+        elif kind == 1:
+            message = ("gamma", sender,
+                       ids[ids_indptr[index]:ids_indptr[index + 1]])
+        else:
+            row_ids = ids[ids_indptr[index]:ids_indptr[index + 1]]
+            row_vals = vals[vals_indptr[index]:vals_indptr[index + 1]]
+            message = ("sims", sender, dict(zip(row_ids, row_vals)))
+        inboxes.setdefault(receiver, []).append(message)
+    return inboxes
 
 
 class SnapleBspProgram(BspVertexProgram):
@@ -54,6 +143,9 @@ class SnapleBspProgram(BspVertexProgram):
 
     name = "snaple-bsp"
     max_supersteps = 4
+
+    def state_schema(self):
+        return snaple_bsp_state_schema()
 
     def __init__(self, config: SnapleConfig,
                  *, per_vertex_rng: bool = False) -> None:

@@ -62,6 +62,9 @@ import numpy as np
 
 from repro.graph.digraph import DiGraph
 from repro.graph.sampling import bernoulli_truncate, reservoir_sample, truncate_neighborhood
+# CSR indexing helpers shared with the columnar state plane.
+from repro.runtime.state import gather_slices as _gather_slices
+from repro.runtime.state import indptr_from_counts as _indptr_from_counts
 from repro.snaple.aggregators import (
     GeometricMeanAggregator,
     MaxAggregator,
@@ -98,6 +101,12 @@ __all__ = [
     "gas_sample_step",
     "gas_similarity_step",
     "gas_recommendation_step",
+    "combine_and_rank_columnar",
+    "columns_to_neighborhood_csr",
+    "columns_to_kept",
+    "gas_sample_step_columnar",
+    "gas_similarity_step_columnar",
+    "gas_recommendation_step_columnar",
 ]
 
 #: Relative score tolerance documented for the parity suite.  With the
@@ -244,30 +253,6 @@ def kernel_supports(config: SnapleConfig) -> bool:
         and type(score.aggregator) in _AGGREGATOR_UFUNCS
         and type(config.sampler) in _SAMPLER_TYPES
     )
-
-
-# ----------------------------------------------------------------------
-# CSR helpers
-# ----------------------------------------------------------------------
-def _gather_slices(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
-    """Flat indices concatenating the ranges ``[starts[i], starts[i]+counts[i])``.
-
-    The per-range shift is computed on the (short) range arrays so only one
-    repeat and one add run over the (long) output.
-    """
-    total = int(counts.sum())
-    if total == 0:
-        return np.empty(0, dtype=np.int64)
-    shift = starts - (np.cumsum(counts) - counts)
-    out = np.repeat(shift, counts)
-    out += np.arange(total, dtype=np.int64)
-    return out
-
-
-def _indptr_from_counts(counts: np.ndarray) -> np.ndarray:
-    indptr = np.zeros(counts.size + 1, dtype=np.int64)
-    np.cumsum(counts, out=indptr[1:])
-    return indptr
 
 
 def _dedup_sorted_rows(counts: np.ndarray, flat: np.ndarray
@@ -800,35 +785,22 @@ def _path_edges_csr_order(graph: DiGraph, kept: KeptNeighbors,
     return (neighbor[found], kept.sims[key_order[loc[found]]], rank[found])
 
 
-def combine_and_rank(
+def _combine_core(
     graph: DiGraph,
     gamma: NeighborhoodCSR,
     kept: KeptNeighbors,
     config: SnapleConfig,
-    targets: list[int],
-    *,
-    neighbor_order: str = "sampler",
-    materialize_scores: bool = True,
-) -> tuple[dict[int, list[int]], Mapping]:
-    """Phase 3b: all 2-hop paths combined, aggregated, and ranked at once.
+    target_array: np.ndarray,
+    neighbor_order: str,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, list[list[int]]]:
+    """The array core of phase 3b, shared by dict and columnar callers.
 
-    ``neighbor_order`` selects whose float fold order to reproduce:
-    ``"sampler"`` iterates each target's kept neighbors in selection order
-    (the ``local`` reference), ``"csr"`` iterates the raw adjacency and
-    filters (the GAS gather).  Aggregation per candidate is a left-to-right
-    fold in path arrival order either way, so scores match the scalar dict
-    merges bit-for-bit.
-
-    With ``materialize_scores=False`` the returned score maps are a
-    :class:`LazyScores` view over the kernel's arrays (identical content,
-    built on access) — predictions are always materialized eagerly.
+    Returns ``(seg_counts, seg_indptr, nonempty, group_candidate, final,
+    picks)``: per-target candidate counts, their indptr, the indices of
+    targets with at least one candidate, the candidate/score arrays laid out
+    consecutively per target, and the top-``k`` picks per nonempty target.
     """
-    target_array = np.asarray(targets, dtype=np.int64)
     num_targets = target_array.size
-    predictions: dict[int, list[int]] = {}
-    if num_targets == 0:
-        return predictions, {}
-
     if neighbor_order == "sampler":
         via, sim_uv, rank = _path_edges_sampler_order(kept, target_array)
     else:
@@ -893,13 +865,49 @@ def combine_and_rank(
     group_rank = group_key[starts] // num_vertices
     group_candidate = group_key[starts] % num_vertices
 
-    # Rank and materialize per-target results.
+    # Rank per target.
     seg_counts = np.bincount(group_rank, minlength=num_targets)
     seg_indptr = _indptr_from_counts(seg_counts)
     nonempty = np.flatnonzero(seg_counts)
     picks = _top_k_rounds(final, group_candidate,
                           seg_indptr[nonempty], seg_counts[nonempty],
                           config.k)
+    return seg_counts, seg_indptr, nonempty, group_candidate, final, picks
+
+
+def combine_and_rank(
+    graph: DiGraph,
+    gamma: NeighborhoodCSR,
+    kept: KeptNeighbors,
+    config: SnapleConfig,
+    targets: list[int],
+    *,
+    neighbor_order: str = "sampler",
+    materialize_scores: bool = True,
+) -> tuple[dict[int, list[int]], Mapping]:
+    """Phase 3b: all 2-hop paths combined, aggregated, and ranked at once.
+
+    ``neighbor_order`` selects whose float fold order to reproduce:
+    ``"sampler"`` iterates each target's kept neighbors in selection order
+    (the ``local`` reference), ``"csr"`` iterates the raw adjacency and
+    filters (the GAS gather).  Aggregation per candidate is a left-to-right
+    fold in path arrival order either way, so scores match the scalar dict
+    merges bit-for-bit.
+
+    With ``materialize_scores=False`` the returned score maps are a
+    :class:`LazyScores` view over the kernel's arrays (identical content,
+    built on access) — predictions are always materialized eagerly.
+    """
+    target_array = np.asarray(targets, dtype=np.int64)
+    num_targets = target_array.size
+    predictions: dict[int, list[int]] = {}
+    if num_targets == 0:
+        return predictions, {}
+
+    seg_counts, seg_indptr, nonempty, group_candidate, final, picks = (
+        _combine_core(graph, gamma, kept, config, target_array,
+                      neighbor_order)
+    )
     target_list = target_array.tolist()
     for u in target_list:
         predictions[u] = []
@@ -1054,3 +1062,162 @@ def gas_recommendation_step(
         data[u]["predicted"] = predictions[u]
         gathers += graph.out_degree(u)
     return scores, gathers, len(active)
+
+
+# ----------------------------------------------------------------------
+# Columnar per-partition GAS supersteps (state-plane executor)
+# ----------------------------------------------------------------------
+def columns_to_neighborhood_csr(num_vertices: int, rows: np.ndarray,
+                                counts: np.ndarray,
+                                ids: np.ndarray) -> NeighborhoodCSR:
+    """A :class:`NeighborhoodCSR` from a state-plane column slice.
+
+    ``ids`` concatenates the (sorted, possibly duplicate-containing) rows in
+    ascending ``rows`` order — exactly the layout
+    :meth:`repro.runtime.state.StateStore.extract` produces — so no
+    per-vertex marshalling happens here; ``from_rows`` only runs its usual
+    dedup pass.
+    """
+    full_counts = np.zeros(num_vertices, dtype=np.int64)
+    full_counts[rows] = counts
+    return NeighborhoodCSR.from_rows(num_vertices, full_counts, ids)
+
+
+def columns_to_kept(num_vertices: int, rows: np.ndarray, counts: np.ndarray,
+                    ids: np.ndarray, vals: np.ndarray) -> KeptNeighbors:
+    """A :class:`KeptNeighbors` view over a ``sims`` column slice (zero-copy)."""
+    full_counts = np.zeros(num_vertices, dtype=np.int64)
+    full_counts[rows] = counts
+    return KeptNeighbors(indptr=_indptr_from_counts(full_counts), ids=ids,
+                         sims=vals)
+
+
+def combine_and_rank_columnar(
+    graph: DiGraph,
+    gamma: NeighborhoodCSR,
+    kept: KeptNeighbors,
+    config: SnapleConfig,
+    targets: np.ndarray,
+    *,
+    neighbor_order: str = "csr",
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Phase 3b with array outputs for the shared-nothing executor.
+
+    Returns ``(pred_counts, pred_flat, score_counts, score_candidates,
+    score_values)``, all aligned with ``targets`` (scores laid out
+    consecutively per target) — the coordinator merges these straight into
+    the state plane and a :class:`LazyScores` view without ever building
+    per-vertex dicts.
+    """
+    target_array = np.asarray(targets, dtype=np.int64)
+    empty_ids = np.empty(0, dtype=np.int64)
+    if target_array.size == 0:
+        return (np.zeros(0, dtype=np.int64), empty_ids,
+                np.zeros(0, dtype=np.int64), empty_ids,
+                np.empty(0, dtype=np.float64))
+    seg_counts, _seg_indptr, nonempty, group_candidate, final, picks = (
+        _combine_core(graph, gamma, kept, config, target_array,
+                      neighbor_order)
+    )
+    pred_counts = np.zeros(target_array.size, dtype=np.int64)
+    if nonempty.size:
+        pred_counts[nonempty] = np.fromiter(
+            (len(p) for p in picks), dtype=np.int64, count=len(picks)
+        )
+    total = int(pred_counts.sum())
+    pred_flat = (np.fromiter(itertools.chain.from_iterable(picks),
+                             dtype=np.int64, count=total)
+                 if total else empty_ids)
+    return pred_counts, pred_flat, seg_counts, group_candidate, final
+
+
+def gas_sample_step_columnar(
+    graph: DiGraph, config: SnapleConfig, active: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Columnar ``sample-neighborhood`` partition task: arrays in, arrays out.
+
+    Draw-for-draw identical to :func:`gas_sample_step` (per-vertex RNG
+    streams; Bernoulli draws only for vertices over the threshold; exact
+    truncation reservoir-samples the full neighborhood from the same
+    stream).  Returns ``(counts, flat, gathers)`` aligned with ``active`` —
+    under-threshold rows are copied from the CSR adjacency in bulk, only
+    truncated rows run Python.
+    """
+    from repro.snaple.program import vertex_rng
+
+    act = np.asarray(active, dtype=np.int64)
+    indptr, indices = graph.csr_out_adjacency()
+    degrees = np.diff(indptr)
+    deg = degrees[act]
+    threshold = config.truncation_threshold
+    gathers = int(deg.sum())
+
+    if math.isinf(threshold):
+        loop_mask = np.zeros(act.size, dtype=bool)
+    else:
+        loop_mask = deg > threshold
+
+    counts = deg.copy()
+    replaced: list[np.ndarray] = []
+    loop_positions = np.flatnonzero(loop_mask)
+    for position, u in zip(loop_positions.tolist(),
+                           act[loop_mask].tolist()):
+        neighbors = indices[indptr[u]:indptr[u + 1]].tolist()
+        rng = vertex_rng(config.seed, 0, u)
+        sample = bernoulli_truncate(neighbors, threshold, rng=rng)
+        if config.exact_truncation:
+            # The scalar path draws the Bernoulli stream first and then
+            # reservoir-samples the *full* neighborhood from the same
+            # stream; replicate both so the draws line up exactly.
+            sample = reservoir_sample(neighbors, threshold, rng=rng)
+        row = np.asarray(sorted(sample), dtype=np.int64)
+        replaced.append(row)
+        counts[position] = row.size
+
+    out_indptr = _indptr_from_counts(counts)
+    flat = np.empty(int(counts.sum()), dtype=np.int64)
+    copy_mask = ~loop_mask
+    flat[_gather_slices(out_indptr[:-1][copy_mask], counts[copy_mask])] = (
+        indices[_gather_slices(indptr[act[copy_mask]], deg[copy_mask])]
+    )
+    for position, row in zip(loop_positions.tolist(), replaced):
+        start = out_indptr[position]
+        flat[start:start + row.size] = row
+    return counts, flat, gathers
+
+
+def gas_similarity_step_columnar(
+    graph: DiGraph, config: SnapleConfig, active: np.ndarray,
+    gamma: NeighborhoodCSR,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Columnar ``estimate-similarities`` task over a gamma column slice.
+
+    Returns ``(counts, ids, sims, gathers)`` aligned with ``active`` — the
+    kept-neighbor column rows in selection order, ready for a bulk write
+    into the ``sims`` column.
+    """
+    act = np.asarray(active, dtype=np.int64)
+    edges = edge_similarities(graph, gamma, config, rows=act)
+    kept = select_klocal(edges, config, rng_mode="per_vertex", rows=act)
+    counts = np.diff(kept.indptr)[act]
+    positions = _gather_slices(kept.indptr[act], counts)
+    gathers = int(np.diff(graph.csr_out_adjacency()[0])[act].sum())
+    return counts, kept.ids[positions], kept.sims[positions], gathers
+
+
+def gas_recommendation_step_columnar(
+    graph: DiGraph, config: SnapleConfig, active: np.ndarray,
+    gamma: NeighborhoodCSR, kept: KeptNeighbors,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
+    """Columnar ``compute-recommendations`` task (GAS gather fold order).
+
+    Returns ``(pred_counts, pred_flat, score_counts, score_candidates,
+    score_values, gathers)`` aligned with ``active``.
+    """
+    act = np.asarray(active, dtype=np.int64)
+    pred_counts, pred_flat, score_counts, candidates, values = (
+        combine_and_rank_columnar(graph, gamma, kept, config, act,
+                                  neighbor_order="csr")
+    )
+    gathers = int(np.diff(graph.csr_out_adjacency()[0])[act].sum())
+    return pred_counts, pred_flat, score_counts, candidates, values, gathers

@@ -55,9 +55,33 @@ __all__ = [
     "SimilarityStep",
     "RecommendationStep",
     "build_snaple_steps",
+    "snaple_state_schema",
     "top_k_predictions",
     "vertex_rng",
 ]
+
+_STATE_SCHEMA = None
+
+
+def snaple_state_schema():
+    """The columnar state schema shared by all three SNAPLE GAS steps.
+
+    Declaring it lets the engines keep the vertex data in a
+    :class:`~repro.runtime.state.StateStore` (one NumPy column per field)
+    and lets the vectorized kernel read the columns without per-vertex
+    marshalling.  Built lazily to avoid importing :mod:`repro.runtime`
+    at module-import time.
+    """
+    global _STATE_SCHEMA
+    if _STATE_SCHEMA is None:
+        from repro.runtime.state import FieldKind, StateField, StateSchema
+
+        _STATE_SCHEMA = StateSchema((
+            StateField("gamma", FieldKind.INT_LIST),
+            StateField("sims", FieldKind.INT_FLOAT_MAP),
+            StateField("predicted", FieldKind.INT_LIST),
+        ))
+    return _STATE_SCHEMA
 
 
 def top_k_predictions(scores: dict[int, float], k: int) -> list[int]:
@@ -102,6 +126,9 @@ class NeighborhoodSampleStep(VertexProgram):
 
     name = "sample-neighborhood"
     gather_direction = EdgeDirection.OUT
+
+    def state_schema(self):
+        return snaple_state_schema()
 
     def __init__(self, config: SnapleConfig, graph: DiGraph,
                  *, per_vertex_rng: bool = False) -> None:
@@ -158,6 +185,9 @@ class SimilarityStep(VertexProgram):
     name = "estimate-similarities"
     gather_direction = EdgeDirection.OUT
 
+    def state_schema(self):
+        return snaple_state_schema()
+
     def __init__(self, config: SnapleConfig,
                  *, per_vertex_rng: bool = False) -> None:
         self._config = config
@@ -207,6 +237,9 @@ class RecommendationStep(VertexProgram):
 
     name = "compute-recommendations"
     gather_direction = EdgeDirection.OUT
+
+    def state_schema(self):
+        return snaple_state_schema()
 
     def __init__(self, config: SnapleConfig) -> None:
         self._config = config

@@ -173,3 +173,53 @@ class TestSummaryAndEquality:
         src, _dst = triangle_graph.edge_arrays()
         with pytest.raises(ValueError):
             src[0] = 99
+
+
+class TestEndpointInputForms:
+    """Regression: generators/array-likes build without double materialization."""
+
+    def test_generator_inputs_match_list_inputs(self):
+        sources = [0, 1, 2, 2]
+        targets = [1, 2, 0, 1]
+        from_lists = DiGraph(3, sources, targets)
+        from_generators = DiGraph(3, (s for s in sources), iter(targets))
+        assert from_generators == from_lists
+        assert list(from_generators.edges()) == list(from_lists.edges())
+
+    def test_range_and_tuple_inputs(self):
+        graph = DiGraph(4, range(3), (1, 2, 3))
+        assert list(graph.edges()) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_numpy_inputs_of_other_dtypes(self):
+        graph = DiGraph(
+            3,
+            np.array([0, 1], dtype=np.int32),
+            np.array([1, 2], dtype=np.uint16),
+        )
+        src, dst = graph.edge_arrays()
+        assert src.dtype == np.int64 and dst.dtype == np.int64
+        assert graph == DiGraph(3, [0, 1], [1, 2])
+
+    def test_int64_arrays_are_not_copied(self):
+        sources = np.array([0, 1], dtype=np.int64)
+        targets = np.array([1, 2], dtype=np.int64)
+        graph = DiGraph(3, sources, targets)
+        src, dst = graph.edge_arrays()
+        assert np.shares_memory(src, sources)
+        assert np.shares_memory(dst, targets)
+
+    def test_empty_generator(self):
+        graph = DiGraph(2, (s for s in ()), iter(()))
+        assert graph.num_edges == 0
+
+    def test_out_of_range_generator_endpoints_still_raise(self):
+        with pytest.raises(GraphError):
+            DiGraph(2, (s for s in [0, 5]), iter([1, 1]))
+
+    def test_non_iterable_input_raises_graph_error(self):
+        with pytest.raises(GraphError):
+            DiGraph(2, 3, [1])
+
+    def test_two_dimensional_array_rejected(self):
+        with pytest.raises(GraphError):
+            DiGraph(3, np.zeros((2, 2), dtype=np.int64), np.zeros((2, 2), dtype=np.int64))

@@ -1,0 +1,74 @@
+"""Hypothesis property: the columnar state plane never changes the answer.
+
+For random graphs, scoring configurations, backends (``gas``/``bsp``) and
+worker counts (serial, 1 and 4 worker processes), a run on the columnar
+:class:`~repro.runtime.state.StateStore` path must be *bit-identical* —
+predictions and candidate scores — to the same run forced onto the legacy
+per-vertex-dict path via the ``SNAPLE_DICT_STATE=1`` escape hatch.
+
+Each example spins up real worker processes, so the graphs stay small and
+the example counts low; ``tests/runtime/test_state_plane.py`` covers larger
+fixed graphs.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import powerlaw_cluster
+from repro.snaple.config import SnapleConfig
+from repro.snaple.predictor import SnapleLinkPredictor
+
+graphs = st.builds(
+    powerlaw_cluster,
+    st.integers(min_value=20, max_value=60),
+    st.integers(min_value=2, max_value=4),
+    st.floats(min_value=0.0, max_value=0.8),
+    seed=st.integers(min_value=0, max_value=500),
+)
+
+#: Configurations mixing truncation (sometimes active on these degrees),
+#: finite and infinite sampling budgets, and different scores.
+configs = st.builds(
+    SnapleConfig.paper_default,
+    st.sampled_from(["linearSum", "counter", "geomMean"]),
+    k=st.integers(min_value=1, max_value=5),
+    k_local=st.sampled_from([4, 10, math.inf]),
+    truncation_threshold=st.sampled_from([3.0, 8.0, 200.0]),
+    seed=st.integers(min_value=0, max_value=100),
+)
+
+
+def _predict(graph, config, backend, workers, *, dict_state):
+    previous = os.environ.get("SNAPLE_DICT_STATE")
+    try:
+        if dict_state:
+            os.environ["SNAPLE_DICT_STATE"] = "1"
+        else:
+            os.environ.pop("SNAPLE_DICT_STATE", None)
+        options = {} if workers is None else {"workers": workers}
+        return SnapleLinkPredictor(config).predict(
+            graph, backend=backend, **options
+        )
+    finally:
+        if previous is None:
+            os.environ.pop("SNAPLE_DICT_STATE", None)
+        else:
+            os.environ["SNAPLE_DICT_STATE"] = previous
+
+
+class TestStatePlaneParity:
+    @settings(max_examples=5, deadline=None)
+    @given(graph=graphs, config=configs,
+           backend=st.sampled_from(["gas", "bsp"]),
+           workers=st.sampled_from([None, 1, 4]))
+    def test_columnar_equals_dict_path(self, graph, config, backend, workers):
+        columnar = _predict(graph, config, backend, workers, dict_state=False)
+        legacy = _predict(graph, config, backend, workers, dict_state=True)
+        assert columnar.predictions == legacy.predictions
+        assert columnar.scores == legacy.scores
+        assert columnar.supersteps == legacy.supersteps

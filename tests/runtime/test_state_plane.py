@@ -1,0 +1,371 @@
+"""The columnar state plane: store/block units plus dict-path parity.
+
+Covers the acceptance grid of the state-plane refactor: predictions and
+candidate scores must be bit-identical across {dict, columnar} × {gas, bsp}
+× {serial, workers=1, workers=4}, the ``SNAPLE_DICT_STATE=1`` escape hatch
+must actually flip the path, and the accounting (``payload_size_bytes``
+parity of :meth:`VertexRow.nbytes`, message-block payload bytes) must match
+the historical dict numbers exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gas.vertex_program import payload_size_bytes
+from repro.graph.generators import powerlaw_cluster
+from repro.runtime.state import (
+    FieldKind,
+    MessageBlock,
+    StateField,
+    StateSchema,
+    StateStore,
+    common_state_schema,
+    dict_state_forced,
+)
+from repro.snaple.bsp_program import (
+    MESSAGE_BASE_BYTES,
+    decode_snaple_inboxes,
+    encode_snaple_messages,
+)
+from repro.snaple.config import SnapleConfig
+from repro.snaple.predictor import SnapleLinkPredictor
+
+
+def snaple_like_schema() -> StateSchema:
+    return StateSchema((
+        StateField("gamma", FieldKind.INT_LIST),
+        StateField("sims", FieldKind.INT_FLOAT_MAP),
+        StateField("predicted", FieldKind.INT_LIST),
+        StateField("rank", FieldKind.SCALAR, "float64"),
+    ))
+
+
+# ----------------------------------------------------------------------
+# StateStore / VertexRow
+# ----------------------------------------------------------------------
+class TestStateStore:
+    def test_row_roundtrip_preserves_values_and_order(self):
+        store = StateStore(4, snaple_like_schema())
+        row = store.row(1)
+        row["gamma"] = [3, 1, 1, 2]
+        row["sims"] = {7: 0.5, 2: 0.25, 9: 1.0}  # insertion order matters
+        row["rank"] = 0.125
+        assert row["gamma"] == [3, 1, 1, 2]
+        assert list(row["sims"].items()) == [(7, 0.5), (2, 0.25), (9, 1.0)]
+        assert row["rank"] == 0.125
+        # Reads return the assigned object itself (cache), like a dict.
+        assert row["gamma"] is row["gamma"]
+
+    def test_row_mapping_protocol_matches_dict(self):
+        store = StateStore(3, snaple_like_schema())
+        row = store.row(0)
+        assert dict(row) == {}
+        assert row.get("gamma", "missing") == "missing"
+        assert "gamma" not in row
+        assert "scores" not in row  # undeclared fields read as absent
+        row["gamma"] = []
+        row["sims"] = {1: 2.0}
+        assert "gamma" in row and row["gamma"] == []
+        assert set(row) == {"gamma", "sims"}
+        assert len(row) == 2
+        assert row == {"gamma": [], "sims": {1: 2.0}}
+        assert {"gamma": [], "sims": {1: 2.0}} == dict(row.items())
+
+    def test_setting_undeclared_field_raises(self):
+        store = StateStore(2, snaple_like_schema())
+        with pytest.raises(KeyError):
+            store.row(0)["scores"] = {1: 2.0}
+
+    def test_nbytes_matches_payload_size_bytes_of_dict_twin(self):
+        store = StateStore(2, snaple_like_schema())
+        row = store.row(0)
+        twin = {}
+        row["gamma"] = twin["gamma"] = [5, 6, 7]
+        row["sims"] = twin["sims"] = {1: 0.5, 2: 0.75}
+        row["predicted"] = twin["predicted"] = []
+        row["rank"] = twin["rank"] = 3.5
+        assert row.nbytes() == payload_size_bytes(twin)
+        assert store.row(1).nbytes() == payload_size_bytes({})
+
+    def test_rewriting_a_row_updates_live_bytes(self):
+        store = StateStore(2, snaple_like_schema())
+        row = store.row(0)
+        row["gamma"] = list(range(10))
+        before = store.nbytes()
+        row["gamma"] = [1]
+        assert store.nbytes() == before - 9 * 8
+
+    def test_bulk_set_rows_and_csr_roundtrip(self):
+        schema = StateSchema((StateField("gamma", FieldKind.INT_LIST),))
+        store = StateStore(5, schema)
+        rows = np.array([1, 3, 4], dtype=np.int64)
+        counts = np.array([2, 0, 3], dtype=np.int64)
+        flat = np.array([10, 11, 20, 21, 22], dtype=np.int64)
+        store.set_rows("gamma", rows, counts, flat)
+        csr_counts, csr_flat, csr_vals = store.field_csr("gamma")
+        assert csr_vals is None
+        assert csr_counts.tolist() == [0, 2, 0, 0, 3]
+        assert csr_flat.tolist() == [10, 11, 20, 21, 22]
+        assert store.row(1)["gamma"] == [10, 11]
+        assert store.row(3)["gamma"] == []  # present but empty
+        assert "gamma" in store.row(3)
+        assert "gamma" not in store.row(0)
+
+    def test_extract_merge_roundtrip_preserves_presence(self):
+        schema = snaple_like_schema()
+        source = StateStore(6, schema)
+        source.row(1)["gamma"] = [4, 5]
+        source.row(2)["sims"] = {3: 1.5}
+        source.row(4)["rank"] = 2.0
+        state_slice = source.extract(
+            np.array([1, 2, 3, 4]), ("gamma", "sims", "rank")
+        )
+        destination = StateStore(6, schema)
+        destination.merge(state_slice)
+        assert destination.row(1) == source.row(1)
+        assert destination.row(2) == source.row(2)
+        assert destination.row(3) == {}
+        assert destination.row(4) == {"rank": 2.0}
+        assert "gamma" not in destination.row(3)
+
+    def test_common_state_schema_requires_agreement(self):
+        schema = snaple_like_schema()
+
+        class Declares:
+            def state_schema(self):
+                return schema
+
+        class DeclaresOther:
+            def state_schema(self):
+                return StateSchema((StateField("x", FieldKind.SCALAR),))
+
+        class DeclaresNothing:
+            pass
+
+        assert common_state_schema([Declares(), Declares()]) == schema
+        assert common_state_schema([Declares(), DeclaresOther()]) is None
+        assert common_state_schema([Declares(), DeclaresNothing()]) is None
+
+    def test_rows_sequence_and_mapping_views(self):
+        store = StateStore(3, snaple_like_schema())
+        rows = store.rows()
+        assert len(rows) == 3
+        rows[1]["gamma"] = [7]
+        mapping = store.rows_mapping()
+        assert len(mapping) == 3
+        assert mapping[1]["gamma"] == [7]
+
+
+# ----------------------------------------------------------------------
+# MessageBlock
+# ----------------------------------------------------------------------
+SAMPLE_MESSAGES = [
+    (4, 1, ("register", 4)),
+    (2, 1, ("gamma", 2, [5, 6, 7])),
+    (2, 3, ("sims", 2, {9: 0.5, 1: 0.25})),
+    (0, 1, ("register", 0)),
+    (4, 3, ("gamma", 4, [])),
+]
+
+
+class TestMessageBlock:
+    def test_encode_route_decode_roundtrip(self):
+        block = encode_snaple_messages(SAMPLE_MESSAGES).sorted_by_sender()
+        inboxes = decode_snaple_inboxes(block)
+        # Sender-sorted, each sender's emission order preserved.
+        assert inboxes[1] == [("register", 0), ("gamma", 2, [5, 6, 7]),
+                              ("register", 4)]
+        assert inboxes[3] == [("sims", 2, {9: 0.5, 1: 0.25}),
+                              ("gamma", 4, [])]
+        # Decoded sims dicts preserve insertion order.
+        assert list(inboxes[3][0][2].items()) == [(9, 0.5), (1, 0.25)]
+
+    def test_payload_bytes_match_dict_accounting(self):
+        block = encode_snaple_messages(SAMPLE_MESSAGES)
+        expected = [payload_size_bytes(value) for _s, _t, value in SAMPLE_MESSAGES]
+        assert block.payload_bytes(MESSAGE_BASE_BYTES).tolist() == expected
+
+    def test_split_by_preserves_relative_order(self):
+        block = encode_snaple_messages(SAMPLE_MESSAGES).sorted_by_sender()
+        owner = np.array([0, 1, 0, 1, 0], dtype=np.int64)  # per vertex
+        parts = block.split_by(owner[block.receiver], 2)
+        assert sum(part.num_messages for part in parts) == block.num_messages
+        for w, part in enumerate(parts):
+            assert (owner[part.receiver] == w).all()
+            assert part.sender.tolist() == sorted(part.sender.tolist())
+
+    def test_concat_and_empty(self):
+        left = encode_snaple_messages(SAMPLE_MESSAGES[:2])
+        right = encode_snaple_messages(SAMPLE_MESSAGES[2:])
+        merged = MessageBlock.concat([left, MessageBlock.empty(), right])
+        assert merged.num_messages == len(SAMPLE_MESSAGES)
+        decoded = decode_snaple_inboxes(merged)
+        assert sum(len(v) for v in decoded.values()) == len(SAMPLE_MESSAGES)
+        assert MessageBlock.concat([]).num_messages == 0
+
+
+# ----------------------------------------------------------------------
+# Dict-path parity: {dict, columnar} × {gas, bsp} × {serial, 1, 4 workers}
+# ----------------------------------------------------------------------
+def parity_graph():
+    return powerlaw_cluster(150, 3, 0.3, seed=11)
+
+
+def half_jaccard(left, right):
+    """A custom similarity outside the vectorized kernel's registry."""
+    union = len(left | right)
+    return 0.5 * len(left & right) / union if union else 0.0
+
+
+def unsupported_kernel_config() -> SnapleConfig:
+    """A configuration the vectorized kernel cannot run (custom callable)."""
+    from repro.snaple.aggregators import get_aggregator
+    from repro.snaple.combinators import get_combinator
+    from repro.snaple.scoring import ScoreConfig
+
+    custom = ScoreConfig(
+        name="custom",
+        similarity_name="jaccard",
+        combinator=get_combinator("linear"),
+        aggregator=get_aggregator("Sum"),
+        similarity=half_jaccard,  # not the registry callable
+    )
+    return SnapleConfig(score=custom, k_local=8, seed=5)
+
+
+def truncating_config():
+    """Truncation and sampling both fire on this graph's degrees."""
+    return SnapleConfig.paper_default(seed=9, k_local=6,
+                                      truncation_threshold=5)
+
+
+def predict(graph, config, backend, workers, monkeypatch, *, dict_state):
+    if dict_state:
+        monkeypatch.setenv("SNAPLE_DICT_STATE", "1")
+    else:
+        monkeypatch.delenv("SNAPLE_DICT_STATE", raising=False)
+    options = {} if workers is None else {"workers": workers}
+    return SnapleLinkPredictor(config).predict(graph, backend=backend,
+                                               **options)
+
+
+class TestDictColumnarParity:
+    @pytest.mark.parametrize("backend", ["gas", "bsp"])
+    @pytest.mark.parametrize("workers", [None, 1, 4])
+    def test_bit_identical_predictions_and_scores(self, backend, workers,
+                                                  monkeypatch):
+        graph = parity_graph()
+        config = truncating_config()
+        columnar = predict(graph, config, backend, workers, monkeypatch,
+                           dict_state=False)
+        legacy = predict(graph, config, backend, workers, monkeypatch,
+                         dict_state=True)
+        assert columnar.predictions == legacy.predictions
+        assert columnar.scores == legacy.scores
+        assert columnar.supersteps == legacy.supersteps
+
+    @pytest.mark.parametrize("backend", ["gas", "bsp"])
+    def test_parity_with_unsupported_kernel_config(self, backend, monkeypatch):
+        """Configs outside the vectorized kernel still agree across paths.
+
+        The columnar GAS executor requires the kernel, so it falls back to
+        the dict path for such configurations; the BSP executor runs them
+        columnar.  Either way the answers must be identical.
+        """
+        graph = parity_graph()
+        config = unsupported_kernel_config()
+        columnar = predict(graph, config, backend, 4, monkeypatch,
+                           dict_state=False)
+        legacy = predict(graph, config, backend, 4, monkeypatch,
+                         dict_state=True)
+        assert columnar.predictions == legacy.predictions
+        assert columnar.scores == legacy.scores
+
+    def test_simulated_accounting_identical_across_paths(self, monkeypatch):
+        """Network/memory/simulated-time numbers must not drift either."""
+        from repro.gas.cluster import TYPE_I, cluster_of
+
+        graph = parity_graph()
+        config = truncating_config()
+        for backend in ("gas", "bsp"):
+            predictor = SnapleLinkPredictor(config)
+            monkeypatch.setenv("SNAPLE_DICT_STATE", "1")
+            legacy = predictor.predict(graph, backend=backend,
+                                       cluster=cluster_of(TYPE_I, 4))
+            monkeypatch.delenv("SNAPLE_DICT_STATE")
+            columnar = predictor.predict(graph, backend=backend,
+                                         cluster=cluster_of(TYPE_I, 4))
+            assert columnar.network_bytes == legacy.network_bytes
+            assert columnar.peak_memory_bytes == legacy.peak_memory_bytes
+            assert columnar.simulated_seconds == legacy.simulated_seconds
+
+
+class TestEscapeHatch:
+    def test_reports_record_which_state_path_ran(self, monkeypatch):
+        graph = parity_graph()
+        config = truncating_config()
+        predictor = SnapleLinkPredictor(config)
+        monkeypatch.delenv("SNAPLE_DICT_STATE", raising=False)
+        assert not dict_state_forced()
+        for options in ({}, {"workers": 2}):
+            report = predictor.predict(graph, backend="gas", **options)
+            assert report.extra["state_columnar"] == 1.0
+            assert report.extra["state_plane_peak_bytes"] > 0
+        monkeypatch.setenv("SNAPLE_DICT_STATE", "1")
+        assert dict_state_forced()
+        for options in ({}, {"workers": 2}):
+            report = predictor.predict(graph, backend="gas", **options)
+            assert report.extra["state_columnar"] == 0.0
+
+    def test_engine_exposes_state_store_only_on_columnar_path(self, monkeypatch):
+        from repro.gas.engine import GasEngine
+        from repro.snaple.program import build_snaple_steps
+
+        graph = parity_graph()
+        config = truncating_config()
+        monkeypatch.delenv("SNAPLE_DICT_STATE", raising=False)
+        engine = GasEngine(graph=graph)
+        engine.run(build_snaple_steps(config, graph))
+        assert engine.state_store is not None
+        assert engine.state_store.nbytes() > 0
+        assert engine.memory.state_plane_peak_bytes > 0
+
+        monkeypatch.setenv("SNAPLE_DICT_STATE", "1")
+        engine = GasEngine(graph=graph)
+        engine.run(build_snaple_steps(config, graph))
+        assert engine.state_store is None
+
+    def test_parallel_reports_routing_overhead_per_superstep(self, monkeypatch):
+        monkeypatch.delenv("SNAPLE_DICT_STATE", raising=False)
+        graph = parity_graph()
+        report = SnapleLinkPredictor(truncating_config()).predict(
+            graph, backend="bsp", workers=2
+        )
+        supersteps = report.supersteps
+        assert report.extra["routing_seconds"] >= 0.0
+        for index in range(supersteps):
+            assert f"routing_seconds_step{index}" in report.extra
+            assert f"state_plane_bytes_step{index}" in report.extra
+
+
+# ----------------------------------------------------------------------
+# Partition consolidation (satellite): shims re-export one implementation
+# ----------------------------------------------------------------------
+class TestPartitionConsolidation:
+    def test_gas_shim_reexports_runtime_partition(self):
+        import repro.gas.partition as gas_partition
+        import repro.runtime.partition as runtime_partition
+
+        assert gas_partition.partition_graph is runtime_partition.partition_graph
+        assert gas_partition.GraphPartition is runtime_partition.GraphPartition
+        assert gas_partition.HdrfVertexCut is runtime_partition.HdrfVertexCut
+
+    def test_bsp_shim_reexports_runtime_partition(self):
+        import repro.bsp.partition as bsp_partition
+        import repro.runtime.partition as runtime_partition
+
+        assert bsp_partition.partition_vertices is runtime_partition.partition_vertices
+        assert bsp_partition.VertexPartition is runtime_partition.VertexPartition
+        assert bsp_partition.HashVertexPartitioner is runtime_partition.HashVertexPartitioner
