@@ -24,6 +24,12 @@ BENCH_SCALE = 0.5
 BENCH_SEED = 42
 
 
+def pytest_collection_modifyitems(items) -> None:
+    """Mark every benchmark test ``bench`` (registered in pyproject.toml)."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 @pytest.fixture(scope="session")
 def results_dir() -> Path:
     """Directory where rendered tables/series are written."""

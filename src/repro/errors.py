@@ -55,6 +55,25 @@ class ResourceExhaustedError(EngineError):
         self.capacity_bytes = capacity_bytes
 
 
+class WorkerCrashError(EngineError):
+    """Raised when a shared-nothing parallel worker dies or hangs mid-superstep.
+
+    The parallel executor raises this only after exhausting its restart
+    budget (see ``max_restarts``); within the budget it respawns the worker
+    pool and resumes from the last checkpoint transparently.
+    """
+
+
+class CheckpointError(ReproError):
+    """Raised when a checkpoint cannot be written, read, or verified.
+
+    Covers missing or truncated manifests, shard checksum mismatches, and
+    resuming against an incompatible graph/configuration/worker count.  A
+    corrupted checkpoint always surfaces as this error — never as silently
+    wrong predictions.
+    """
+
+
 class ConfigurationError(ReproError):
     """Raised when a predictor or experiment configuration is invalid."""
 

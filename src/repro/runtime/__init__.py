@@ -72,6 +72,13 @@ __all__ = [
     "StateField",
     "FieldKind",
     "MessageBlock",
+    "CheckpointData",
+    "FaultSpec",
+    "save_checkpoint",
+    "load_checkpoint",
+    "resolve_checkpoint",
+    "latest_valid_checkpoint",
+    "list_checkpoint_dirs",
 ]
 
 #: Lazily-resolved exports (PEP 562): name -> defining submodule.
@@ -93,6 +100,13 @@ _LAZY_EXPORTS = {
     "StateField": "repro.runtime.state",
     "FieldKind": "repro.runtime.state",
     "MessageBlock": "repro.runtime.state",
+    "CheckpointData": "repro.runtime.checkpoint",
+    "FaultSpec": "repro.runtime.checkpoint",
+    "save_checkpoint": "repro.runtime.checkpoint",
+    "load_checkpoint": "repro.runtime.checkpoint",
+    "resolve_checkpoint": "repro.runtime.checkpoint",
+    "latest_valid_checkpoint": "repro.runtime.checkpoint",
+    "list_checkpoint_dirs": "repro.runtime.checkpoint",
 }
 
 

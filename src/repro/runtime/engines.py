@@ -50,6 +50,24 @@ def _reject_cluster_with_workers(cluster: ClusterConfig | None,
         )
 
 
+def _fault_tolerance_options(workers: int | None, **options) -> dict:
+    """Validate and collect the checkpoint/recovery options of a backend.
+
+    Checkpointing and crash recovery only exist on the shared-nothing
+    parallel path — the simulated serial engines have no worker processes
+    to lose — so every option here requires ``workers=N``.
+    """
+    given = {name: value for name, value in options.items()
+             if value is not None}
+    if given and workers is None:
+        raise ConfigurationError(
+            f"the {', '.join(sorted(given))} option(s) require workers=N: "
+            "checkpointing and crash recovery apply to the shared-nothing "
+            "parallel executor, not the simulated serial engines"
+        )
+    return given
+
+
 def _serial_partition_report(predictions: dict[int, list[int]],
                              gather_invocations: int, apply_invocations: int,
                              wall: float) -> PartitionReport:
@@ -81,11 +99,22 @@ def _parallel_report(backend_name: str,
 
     ``extra`` records the state plane: whether the run used columnar state
     (``state_columnar``), the peak live column payload and the coordinator
-    routing time, with per-superstep breakdowns.
+    routing time, with per-superstep breakdowns.  Fault tolerance rides
+    along: ``worker_restarts`` (always), ``checkpoints_written`` /
+    ``checkpoint_bytes`` / ``checkpoint_seconds`` when snapshots were
+    persisted, and ``resumed_from_superstep`` when the run resumed (``0``
+    marks a from-scratch replay after a crash without a usable checkpoint).
     """
     extra: dict[str, float] = {
         "state_columnar": 1.0 if outcome.state_plane_bytes else 0.0,
+        "worker_restarts": float(outcome.worker_restarts),
     }
+    if outcome.checkpoints_written:
+        extra["checkpoints_written"] = float(outcome.checkpoints_written)
+        extra["checkpoint_bytes"] = float(outcome.checkpoint_bytes)
+        extra["checkpoint_seconds"] = float(outcome.checkpoint_seconds)
+    if outcome.resumed_from is not None:
+        extra["resumed_from_superstep"] = float(outcome.resumed_from)
     if outcome.state_plane_bytes:
         extra["state_plane_peak_bytes"] = float(max(outcome.state_plane_bytes))
         extra["routing_seconds"] = float(sum(outcome.routing_seconds))
@@ -315,13 +344,25 @@ class GasBackend(ExecutionBackend):
     def __init__(self, cluster: ClusterConfig | None = None,
                  partitioner: Partitioner | None = None,
                  enforce_memory: bool = True,
-                 workers: int | None = None) -> None:
+                 workers: int | None = None,
+                 checkpoint_dir=None, checkpoint_every: int | None = None,
+                 resume_from=None, worker_timeout: float | None = None,
+                 max_restarts: int | None = None, fault=None) -> None:
         super().__init__()
         _reject_cluster_with_workers(cluster, workers)
         self._cluster = cluster
         self._partitioner = partitioner
         self._enforce_memory = enforce_memory
         self._workers = None if workers is None else validate_workers(workers)
+        self._fault_tolerance = _fault_tolerance_options(
+            self._workers,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            resume_from=resume_from,
+            worker_timeout=worker_timeout,
+            max_restarts=max_restarts,
+            fault=fault,
+        )
 
     def capabilities(self) -> BackendCapabilities:
         return BackendCapabilities(
@@ -332,7 +373,9 @@ class GasBackend(ExecutionBackend):
             vertex_subset=True,
             incremental=False,
             parallel=True,
-            options=("cluster", "partitioner", "enforce_memory", "workers"),
+            options=("cluster", "partitioner", "enforce_memory", "workers",
+                     "checkpoint_dir", "checkpoint_every", "resume_from",
+                     "worker_timeout", "max_restarts", "fault"),
         )
 
     def run(self, vertices: list[int] | None = None) -> RunReport:
@@ -345,6 +388,7 @@ class GasBackend(ExecutionBackend):
                 workers=self._workers,
                 partitioner=self._partitioner,
                 vertices=vertices,
+                **self._fault_tolerance,
             )
             return _parallel_report(self.name, outcome)
         cluster = self._cluster if self._cluster is not None else cluster_of(TYPE_II, 1)
@@ -402,13 +446,25 @@ class BspBackend(ExecutionBackend):
 
     def __init__(self, cluster: ClusterConfig | None = None,
                  partitioner=None, enforce_memory: bool = True,
-                 workers: int | None = None) -> None:
+                 workers: int | None = None,
+                 checkpoint_dir=None, checkpoint_every: int | None = None,
+                 resume_from=None, worker_timeout: float | None = None,
+                 max_restarts: int | None = None, fault=None) -> None:
         super().__init__()
         _reject_cluster_with_workers(cluster, workers)
         self._cluster = cluster
         self._partitioner = partitioner
         self._enforce_memory = enforce_memory
         self._workers = None if workers is None else validate_workers(workers)
+        self._fault_tolerance = _fault_tolerance_options(
+            self._workers,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            resume_from=resume_from,
+            worker_timeout=worker_timeout,
+            max_restarts=max_restarts,
+            fault=fault,
+        )
 
     def capabilities(self) -> BackendCapabilities:
         return BackendCapabilities(
@@ -419,7 +475,9 @@ class BspBackend(ExecutionBackend):
             vertex_subset=False,
             incremental=False,
             parallel=True,
-            options=("cluster", "partitioner", "enforce_memory", "workers"),
+            options=("cluster", "partitioner", "enforce_memory", "workers",
+                     "checkpoint_dir", "checkpoint_every", "resume_from",
+                     "worker_timeout", "max_restarts", "fault"),
         )
 
     def run(self, vertices: list[int] | None = None) -> RunReport:
@@ -435,6 +493,7 @@ class BspBackend(ExecutionBackend):
                 partitioner=self._partitioner,
                 vertices=None,
                 targets=targets,
+                **self._fault_tolerance,
             )
             return _parallel_report(self.name, outcome)
         predictor = SnapleBspPredictor(config)

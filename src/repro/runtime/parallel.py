@@ -4,9 +4,9 @@ Every engine in :mod:`repro.runtime` historically executed its supersteps in
 a single Python process — the GAS/BSP cluster model only *simulated*
 distribution.  This module makes the partitions real: the graph is split
 into ``workers`` partitions, each partition is mapped to a worker process of
-a :mod:`multiprocessing` pool, and the coordinator exchanges gather/scatter
-state (GAS) or vertex messages (BSP) between supersteps, merging the
-per-partition vertex state and accounting back into one
+a process pool, and the coordinator exchanges gather/scatter state (GAS) or
+vertex messages (BSP) between supersteps, merging the per-partition vertex
+state and accounting back into one
 :class:`~repro.runtime.report.RunReport`.
 
 Execution model
@@ -33,6 +33,26 @@ GAS flavour when the scoring configuration falls outside the vectorized
 kernel or ``SNAPLE_PARALLEL_SCALAR=1`` is set); results are bit-identical
 on both paths for every worker count.
 
+Fault tolerance
+---------------
+Worker failure is treated as the common case, not the exception.  A superstep
+is *atomic*: the coordinator merges a superstep's results only after every
+partition's task returned, so a worker dying mid-superstep can never leave
+half-merged state behind.  With ``checkpoint_dir`` set the coordinator
+persists the loop state at superstep boundaries (every ``checkpoint_every``
+supersteps, default 1) through :mod:`repro.runtime.checkpoint` — atomic
+directory renames, SHA-256-verified shards.  When a worker process dies
+(detected immediately through the broken pool) or exceeds
+``worker_timeout`` seconds (treated as hung; the stragglers are killed), the
+coordinator discards the pool, spawns a fresh one, reloads the newest valid
+checkpoint — or restarts from scratch when none exists — and replays from
+that superstep.  Up to ``max_restarts`` recoveries are attempted before a
+:class:`~repro.errors.WorkerCrashError` propagates.  Because every random
+draw comes from a per-vertex ``(seed, step, vertex)`` stream, a replayed
+superstep repeats *exactly* the draws of the lost one: resumed runs are
+bit-identical to uninterrupted runs, predictions and deterministic
+accounting counters alike.
+
 Determinism
 -----------
 Results are bit-identical for any worker count and any partitioner because
@@ -52,20 +72,48 @@ process) and the BSP path through
 :func:`repro.bsp.partition.partition_vertices` (an edge-cut).  A locality
 aware partitioner (e.g. :class:`~repro.gas.partition.GreedyVertexCut`)
 therefore reduces the boundary state shipped between supersteps.
+
+Worker processes use an explicit ``forkserver`` start method (``spawn``
+where forkserver is unavailable), never plain ``fork``: forking a threaded
+parent (pytest plugins, coverage, profilers) can deadlock the child, which
+used to make interrupted test runs leak hung workers.  Pool teardown always
+runs — broken, hung or healthy — through a kill-then-shutdown path.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
+import threading
 import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any
 
 import numpy as np
 
-from repro.errors import ConfigurationError, EngineError
+from repro.errors import (
+    CheckpointError,
+    ConfigurationError,
+    EngineError,
+    WorkerCrashError,
+)
 from repro.gas.vertex_program import EdgeDirection, VertexProgram, payload_size_bytes
 from repro.graph.digraph import DiGraph
+from repro.runtime.checkpoint import (
+    CheckpointData,
+    CheckpointStats,
+    FaultSpec,
+    checkpoint_fingerprint,
+    latest_valid_checkpoint,
+    maybe_crash,
+    resolve_checkpoint,
+    save_checkpoint,
+    vertices_digest,
+)
 from repro.runtime.state import (
     MessageBlock,
     StateSlice,
@@ -89,6 +137,9 @@ __all__ = [
 #: low enough that a typo (``workers=400``) fails fast instead of forking
 #: hundreds of interpreters.
 MAX_WORKERS = 64
+
+#: Default number of pool respawn + resume attempts after a worker crash.
+DEFAULT_MAX_RESTARTS = 2
 
 
 def validate_workers(workers: Any) -> int:
@@ -135,6 +186,12 @@ class ParallelRunOutcome:
     superstep on the columnar state-plane path (coordinator time spent
     slicing/merging state and routing message blocks, and the live columnar
     payload after the step); both stay empty on the legacy dict path.
+
+    ``checkpoints_written`` / ``checkpoint_bytes`` / ``checkpoint_seconds``
+    account the snapshots persisted during the run; ``worker_restarts``
+    counts pool respawns after worker crashes and ``resumed_from`` is the
+    superstep the run (last) resumed at — ``0`` for a from-scratch replay,
+    ``None`` when the run never resumed.
     """
 
     predictions: dict[int, list[int]]
@@ -148,10 +205,67 @@ class ParallelRunOutcome:
     vertex_data: Any = field(default_factory=dict, repr=False)
     routing_seconds: list[float] = field(default_factory=list)
     state_plane_bytes: list[int] = field(default_factory=list)
+    checkpoints_written: int = 0
+    checkpoint_bytes: int = 0
+    checkpoint_seconds: float = 0.0
+    worker_restarts: int = 0
+    resumed_from: int | None = None
 
     @property
     def per_partition_seconds(self) -> list[float]:
         return [partition.compute_seconds for partition in self.partitions]
+
+
+@dataclass
+class _Accounting:
+    """The per-run counters every execution flavour accumulates.
+
+    Everything except the timing fields is deterministic, which is what lets
+    a checkpointed resume reproduce the uninterrupted run's accounting
+    exactly: the counters are snapshotted at the superstep boundary and the
+    replayed supersteps re-add exactly what the lost ones would have.
+    """
+
+    compute_seconds: list[float]
+    gathers: list[int]
+    applies: list[int]
+    shipped: list[int]
+    sync_overhead: float = 0.0
+    routing: list[float] = field(default_factory=list)
+    plane: list[int] = field(default_factory=list)
+
+    @classmethod
+    def fresh(cls, workers: int) -> "_Accounting":
+        return cls([0.0] * workers, [0] * workers, [0] * workers, [0] * workers)
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "compute_seconds": list(self.compute_seconds),
+            "gathers": list(self.gathers),
+            "applies": list(self.applies),
+            "shipped": list(self.shipped),
+            "sync_overhead": float(self.sync_overhead),
+            "routing": list(self.routing),
+            "plane": list(self.plane),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any], workers: int) -> "_Accounting":
+        acct = cls(
+            compute_seconds=[float(v) for v in payload["compute_seconds"]],
+            gathers=[int(v) for v in payload["gathers"]],
+            applies=[int(v) for v in payload["applies"]],
+            shipped=[int(v) for v in payload["shipped"]],
+            sync_overhead=float(payload.get("sync_overhead", 0.0)),
+            routing=[float(v) for v in payload.get("routing", [])],
+            plane=[int(v) for v in payload.get("plane", [])],
+        )
+        if len(acct.gathers) != workers:
+            raise EngineError(
+                f"checkpoint accounting covers {len(acct.gathers)} partitions "
+                f"but the executor runs {workers}"
+            )
+        return acct
 
 
 # ----------------------------------------------------------------------
@@ -160,13 +274,55 @@ class ParallelRunOutcome:
 # ----------------------------------------------------------------------
 _WORKER_GRAPH: DiGraph | None = None
 _WORKER_CONFIG: SnapleConfig | None = None
+_WORKER_FAULT: FaultSpec | None = None
+
+#: Environment flags mirrored from the coordinator into every worker.  With
+#: an explicit forkserver/spawn start method, workers would otherwise
+#: inherit the forkserver's (stale) environment rather than the settings in
+#: effect when the pool was created.
+_WORKER_ENV_FLAGS = ("SNAPLE_DICT_STATE", "SNAPLE_PARALLEL_SCALAR")
 
 
-def _init_worker(graph: DiGraph, config: SnapleConfig) -> None:
-    """Pool initializer: install the graph and config once per process."""
-    global _WORKER_GRAPH, _WORKER_CONFIG
+def _worker_env_snapshot() -> dict[str, str]:
+    return {
+        name: os.environ[name]
+        for name in _WORKER_ENV_FLAGS
+        if name in os.environ
+    }
+
+
+def _watch_parent() -> None:
+    """Hard-exit this worker the moment the coordinator process dies.
+
+    A worker blocked on the pool's call queue never sees EOF when the
+    coordinator is killed outright (every sibling worker inherited the
+    queue's write end, so the pipe stays open), which used to leave orphaned
+    workers — and the forkserver they keep alive — running forever after a
+    ``kill -9`` of the driver.  ``parent_process().join()`` waits on the
+    coordinator's death sentinel instead, which fires no matter how the
+    coordinator died.
+    """
+    parent = multiprocessing.parent_process()
+    if parent is None:  # pragma: no cover - only when run as a main process
+        return
+    parent.join()
+    os._exit(3)
+
+
+def _init_worker(graph: DiGraph, config: SnapleConfig,
+                 fault: FaultSpec | None = None,
+                 env: dict[str, str] | None = None) -> None:
+    """Pool initializer: install the graph, config and flags once per process."""
+    global _WORKER_GRAPH, _WORKER_CONFIG, _WORKER_FAULT
     _WORKER_GRAPH = graph
     _WORKER_CONFIG = config
+    _WORKER_FAULT = fault
+    for name in _WORKER_ENV_FLAGS:
+        os.environ.pop(name, None)
+    if env:
+        os.environ.update(env)
+    threading.Thread(target=_watch_parent, name="snaple-parent-watchdog",
+                     daemon=True).start()
 
 
 def _worker_state() -> tuple[DiGraph, SnapleConfig]:
@@ -216,12 +372,12 @@ def _run_gas_step(step: VertexProgram, graph: DiGraph, active: list[int],
     return gathers, len(active)
 
 
-def _gas_step_task(task: tuple[int, list[int], dict[int, dict[str, Any]]]):
+def _gas_step_task(task: tuple[int, int, list[int], dict[int, dict[str, Any]]]):
     """One (partition, superstep) unit of GAS work, run in a worker process.
 
-    ``task`` is ``(step_index, active owned vertices, snapshot slice)``; the
-    result carries the updated owned vertex data, the step's side-channel
-    scores (if any), invocation counts, and the compute time.
+    ``task`` is ``(partition, step_index, active owned vertices, snapshot
+    slice)``; the result carries the updated owned vertex data, the step's
+    side-channel scores (if any), invocation counts, and the compute time.
 
     When the scoring configuration is inside the vectorized design space
     (see :func:`repro.snaple.kernel.kernel_supports`) the partition's work
@@ -234,7 +390,8 @@ def _gas_step_task(task: tuple[int, list[int], dict[int, dict[str, Any]]]):
     from repro.snaple import kernel
     from repro.snaple.program import build_snaple_steps
 
-    step_index, active, data = task
+    partition, step_index, active, data = task
+    maybe_crash(_WORKER_FAULT, step_index, partition)
     graph, config = _worker_state()
     start = time.perf_counter()
     use_kernel = (
@@ -269,15 +426,17 @@ def _gas_step_task(task: tuple[int, list[int], dict[int, dict[str, Any]]]):
 def _gas_step_task_columnar(task):
     """One (partition, superstep) unit of columnar GAS work.
 
-    ``task`` is ``(step_index, active owned vertices (array), payload)``
-    where the payload is the :class:`~repro.runtime.state.StateSlice` (or
-    pair of slices) the step reads.  Everything crossing the process
-    boundary — in both directions — is a handful of flat arrays; the
-    vectorized kernel consumes the slices without per-vertex marshalling.
+    ``task`` is ``(partition, step_index, active owned vertices (array),
+    payload)`` where the payload is the
+    :class:`~repro.runtime.state.StateSlice` (or pair of slices) the step
+    reads.  Everything crossing the process boundary — in both directions —
+    is a handful of flat arrays; the vectorized kernel consumes the slices
+    without per-vertex marshalling.
     """
     from repro.snaple import kernel
 
-    step_index, active, payload = task
+    partition, step_index, active, payload = task
+    maybe_crash(_WORKER_FAULT, step_index, partition)
     graph, config = _worker_state()
     start = time.perf_counter()
     num_vertices = graph.num_vertices
@@ -369,12 +528,13 @@ def _bsp_compute_loop(graph, config, superstep: int, compute_list: list[int],
 def _bsp_step_task(task):
     """One (partition, superstep) unit of BSP work, run in a worker process.
 
-    ``task`` is ``(superstep, owned states, vertices to compute, inboxes,
-    aggregated values)``.  Messages are returned as ``(sender, target,
-    value)`` triples so the coordinator can deliver them in a globally
-    deterministic (sender-sorted) order.
+    ``task`` is ``(partition, superstep, owned states, vertices to compute,
+    inboxes, aggregated values)``.  Messages are returned as ``(sender,
+    target, value)`` triples so the coordinator can deliver them in a
+    globally deterministic (sender-sorted) order.
     """
-    superstep, states, compute_list, inboxes, aggregated = task
+    partition, superstep, states, compute_list, inboxes, aggregated = task
+    maybe_crash(_WORKER_FAULT, superstep, partition)
     graph, config = _worker_state()
     start = time.perf_counter()
     program, sent, halted, contributions, messages_processed = (
@@ -395,12 +555,12 @@ def _bsp_step_task(task):
 def _bsp_step_task_columnar(task):
     """One (partition, superstep) unit of columnar BSP work.
 
-    ``task`` is ``(superstep, state slice, vertices to compute (array),
-    inbox MessageBlock, aggregated values)``.  The vertex programs run
-    unchanged against :class:`~repro.runtime.state.VertexRow` views over a
-    partition-local store (sized to the partition, with vertex ids remapped
-    to local row indices); state and messages cross the process boundary as
-    raw arrays instead of pickled dicts and message-tuple lists.
+    ``task`` is ``(partition, superstep, state slice, vertices to compute
+    (array), inbox MessageBlock, aggregated values)``.  The vertex programs
+    run unchanged against :class:`~repro.runtime.state.VertexRow` views over
+    a partition-local store (sized to the partition, with vertex ids
+    remapped to local row indices); state and messages cross the process
+    boundary as raw arrays instead of pickled dicts and message-tuple lists.
     """
     from repro.snaple.bsp_program import (
         decode_snaple_inboxes,
@@ -408,7 +568,8 @@ def _bsp_step_task_columnar(task):
         snaple_bsp_state_schema,
     )
 
-    superstep, state_slice, compute, inbox_block, aggregated = task
+    partition, superstep, state_slice, compute, inbox_block, aggregated = task
+    maybe_crash(_WORKER_FAULT, superstep, partition)
     graph, config = _worker_state()
     start = time.perf_counter()
     num_local = int(compute.size)
@@ -444,10 +605,28 @@ def _bsp_step_task_columnar(task):
 # ----------------------------------------------------------------------
 # Coordinator
 # ----------------------------------------------------------------------
+_FORKSERVER_PRELOADED = False
+
+
 def _pool_context():
-    """Prefer ``fork`` (cheap, shares the imported modules) when available."""
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+    """An explicit spawn-family start method: forkserver, or spawn fallback.
+
+    Plain ``fork`` is deliberately not used: forking a threaded parent
+    (pytest plugins, coverage, profilers) can deadlock the child, which used
+    to make interrupted test runs hang and leak worker processes.
+    ``forkserver`` keeps fork's cheap per-worker startup by forking from a
+    clean, single-threaded server process; preloading this module there
+    (pulling in numpy and the engine packages once) keeps repeated pool
+    creation fast.
+    """
+    global _FORKSERVER_PRELOADED
+    if "forkserver" in multiprocessing.get_all_start_methods():
+        ctx = multiprocessing.get_context("forkserver")
+        if not _FORKSERVER_PRELOADED:
+            ctx.set_forkserver_preload(["repro.runtime.parallel"])
+            _FORKSERVER_PRELOADED = True
+        return ctx
+    return multiprocessing.get_context("spawn")
 
 
 class ParallelExecutor:
@@ -471,17 +650,83 @@ class ParallelExecutor:
         shipped, never the predictions.
     seed:
         Partitioner seed; defaults to the configuration's seed.
+    checkpoint_dir:
+        Directory for superstep-boundary checkpoints (see
+        :mod:`repro.runtime.checkpoint`).  ``None`` disables checkpointing;
+        crash recovery then replays from scratch.
+    checkpoint_every:
+        Checkpoint cadence in supersteps (default 1 when ``checkpoint_dir``
+        is set).  Requires ``checkpoint_dir``.
+    resume_from:
+        A checkpoint step directory — or a checkpoint root, resolving to its
+        newest step — to restore before executing.  Corruption or a
+        graph/config/workers mismatch raises
+        :class:`~repro.errors.CheckpointError`.
+    max_restarts:
+        Crash recoveries attempted before the failure propagates.
+    worker_timeout:
+        Seconds a superstep may take before its workers are declared hung,
+        killed and recovered (``None`` disables the watchdog).
+    fault:
+        A :class:`~repro.runtime.checkpoint.FaultSpec` crash injection used
+        by the fault-tolerance test harness; never set in production.
     """
 
     def __init__(self, graph: DiGraph, config: SnapleConfig | None = None, *,
                  workers: int, kind: str, partitioner: Any = None,
-                 seed: int | None = None) -> None:
+                 seed: int | None = None,
+                 checkpoint_dir: str | Path | None = None,
+                 checkpoint_every: int | None = None,
+                 resume_from: str | Path | None = None,
+                 max_restarts: int = DEFAULT_MAX_RESTARTS,
+                 worker_timeout: float | None = None,
+                 fault: FaultSpec | None = None) -> None:
         if kind not in ("gas", "bsp"):
             raise ConfigurationError(f"unknown parallel execution kind {kind!r}")
         self._graph = graph
         self._config = config if config is not None else SnapleConfig()
         self._workers = validate_workers(workers)
         self._kind = kind
+        if checkpoint_every is not None:
+            if (isinstance(checkpoint_every, bool)
+                    or not isinstance(checkpoint_every, int)
+                    or checkpoint_every < 1):
+                raise ConfigurationError(
+                    f"checkpoint_every must be a positive integer, got "
+                    f"{checkpoint_every!r}"
+                )
+            if checkpoint_dir is None:
+                raise ConfigurationError(
+                    "checkpoint_every requires a checkpoint_dir to write to"
+                )
+        if isinstance(max_restarts, bool) or not isinstance(max_restarts, int) \
+                or max_restarts < 0:
+            raise ConfigurationError(
+                f"max_restarts must be a non-negative integer, got "
+                f"{max_restarts!r}"
+            )
+        if worker_timeout is not None and (
+                not isinstance(worker_timeout, (int, float))
+                or isinstance(worker_timeout, bool) or worker_timeout <= 0):
+            raise ConfigurationError(
+                f"worker_timeout must be a positive number of seconds, got "
+                f"{worker_timeout!r}"
+            )
+        self._checkpoint_dir = (
+            None if checkpoint_dir is None else Path(checkpoint_dir)
+        )
+        self._checkpoint_every = (
+            checkpoint_every if checkpoint_every is not None
+            else (1 if self._checkpoint_dir is not None else None)
+        )
+        self._resume_from = None if resume_from is None else Path(resume_from)
+        self._max_restarts = max_restarts
+        self._worker_timeout = (
+            None if worker_timeout is None else float(worker_timeout)
+        )
+        self._fault = fault
+        self._ckpt_stats = CheckpointStats()
+        self._vertices_digest = "all"  # stamped per run() from its vertices
         self._owner = self._assign_owners(partitioner,
                                           self._config.seed if seed is None else seed)
         self._owned: list[list[int]] = [[] for _ in range(self._workers)]
@@ -508,6 +753,127 @@ class ParallelExecutor:
         return [int(m) for m in placement.vertex_machine]
 
     # ------------------------------------------------------------------
+    # Pool lifecycle and fault handling
+    # ------------------------------------------------------------------
+    def _make_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self._workers,
+            mp_context=_pool_context(),
+            initializer=_init_worker,
+            initargs=(self._graph, self._config, self._fault,
+                      _worker_env_snapshot()),
+        )
+
+    @staticmethod
+    def _shutdown_pool(pool: ProcessPoolExecutor, *, kill: bool) -> None:
+        """Terminate-safe teardown: never leaves worker processes behind.
+
+        ``kill=True`` (after a crash or watchdog timeout) SIGKILLs whatever
+        workers are still alive before shutting the executor down, so a hung
+        worker cannot block teardown or outlive an interrupted run.
+        """
+        if kill:
+            for process in list(getattr(pool, "_processes", {}).values()):
+                if process.is_alive():
+                    process.kill()
+        pool.shutdown(wait=True, cancel_futures=True)
+
+    def _map(self, pool: ProcessPoolExecutor, fn, tasks: list) -> list:
+        """Run one superstep's tasks; dead/hung workers raise ``WorkerCrashError``.
+
+        The results are materialized in full before the caller merges
+        anything, which is what makes a superstep atomic: a crash mid-map
+        loses the whole superstep, never half of it.
+        """
+        try:
+            return list(pool.map(fn, tasks, timeout=self._worker_timeout))
+        except BrokenProcessPool as exc:
+            raise WorkerCrashError(
+                "a parallel worker process died mid-superstep"
+            ) from exc
+        except FuturesTimeoutError as exc:
+            raise WorkerCrashError(
+                f"a parallel superstep exceeded worker_timeout="
+                f"{self._worker_timeout}s; treating its workers as hung"
+            ) from exc
+
+    def _flavour(self) -> str:
+        """Which state representation this run executes (``dict``/``columnar``)."""
+        if self._kind == "gas":
+            return "columnar" if self._use_columnar_gas() else "dict"
+        return "dict" if dict_state_forced() else "columnar"
+
+    def _fingerprint(self) -> dict[str, Any]:
+        return checkpoint_fingerprint(
+            self._graph, self._config, kind=self._kind,
+            flavour=self._flavour(), workers=self._workers,
+            vertices=self._vertices_digest,
+        )
+
+    def _validate_resume(self, data: CheckpointData) -> None:
+        expected = self._fingerprint()
+        mismatched = {
+            key: (data.fingerprint.get(key), value)
+            for key, value in expected.items()
+            if data.fingerprint.get(key) != value
+        }
+        if mismatched:
+            detail = ", ".join(
+                f"{key}: checkpoint={found!r} != run={wanted!r}"
+                for key, (found, wanted) in sorted(mismatched.items())
+            )
+            raise CheckpointError(
+                f"checkpoint is not resumable by this run ({detail})"
+            )
+
+    def _checkpoint_due(self, next_step: int, num_steps: int | None) -> bool:
+        """Whether the boundary after superstep ``next_step - 1`` persists.
+
+        A checkpoint is never written after a run's known final superstep
+        (``num_steps``): for GAS the merged prediction arrays of the final
+        step live outside the vertex state, so such a snapshot could not be
+        resumed into a complete result.  BSP passes ``num_steps=None`` (its
+        superstep count is dynamic) — its predictions are always
+        reconstructable from the snapshotted state.
+
+        Call sites gate on this *before* materializing the snapshot payload
+        (``store.snapshot()`` copies every state column), so runs without a
+        ``checkpoint_dir`` pay nothing on the hot path.
+        """
+        if self._checkpoint_dir is None:
+            return False
+        if num_steps is not None and next_step >= num_steps:
+            return False
+        return next_step % self._checkpoint_every == 0
+
+    def _write_checkpoint(self, next_step: int, *,
+                          state: Any, scores: Any, acct: _Accounting,
+                          messages: Any = None, active: Any = None,
+                          aggregated: dict[str, Any] | None = None) -> None:
+        """Persist the loop state at a due superstep boundary."""
+        start = time.perf_counter()
+        data = CheckpointData(
+            kind=self._kind,
+            flavour=self._flavour(),
+            superstep=next_step,
+            workers=self._workers,
+            fingerprint=self._fingerprint(),
+            state=state,
+            messages=messages,
+            scores=scores,
+            active=active,
+            aggregated=dict(aggregated or {}),
+            accounting=acct.to_payload(),
+            rng={
+                "seed": int(self._config.seed),
+                "scheme": "per-vertex (seed, step, vertex) streams",
+            },
+        )
+        self._ckpt_stats.bytes += save_checkpoint(self._checkpoint_dir, data)
+        self._ckpt_stats.written += 1
+        self._ckpt_stats.seconds += time.perf_counter() - start
+
+    # ------------------------------------------------------------------
     def run(self, vertices: list[int] | None = None, *,
             targets: list[int] | None = None) -> ParallelRunOutcome:
         """Execute the program and merge per-partition results.
@@ -527,25 +893,65 @@ class ParallelExecutor:
         for GAS, ``SNAPLE_PARALLEL_SCALAR=1`` or an unsupported
         configuration — falls back to the legacy dict path.  Results are
         bit-identical either way.
+
+        Fault handling: a worker death or watchdog timeout discards the
+        pool, respawns it, and replays from the newest valid checkpoint
+        (from scratch when there is none) up to ``max_restarts`` times; the
+        returned outcome is bit-identical to an uninterrupted run.
         """
         start = time.perf_counter()
-        ctx = _pool_context()
-        with ctx.Pool(
-            processes=self._workers,
-            initializer=_init_worker,
-            initargs=(self._graph, self._config),
-        ) as pool:
-            if self._kind == "gas":
-                if self._use_columnar_gas():
-                    outcome = self._run_gas_columnar(pool, vertices, targets)
-                else:
-                    outcome = self._run_gas(pool, vertices, targets)
-            elif dict_state_forced():
-                outcome = self._run_bsp(pool, vertices, targets)
-            else:
-                outcome = self._run_bsp_columnar(pool, vertices, targets)
+        self._ckpt_stats = CheckpointStats()
+        self._vertices_digest = vertices_digest(vertices)
+        resume: CheckpointData | None = None
+        external_resume: CheckpointData | None = None
+        resumed_from: int | None = None
+        if self._resume_from is not None:
+            resume = external_resume = resolve_checkpoint(self._resume_from)
+            self._validate_resume(resume)
+            resumed_from = resume.superstep
+        restarts = 0
+        while True:
+            pool = self._make_pool()
+            crashed = False
+            try:
+                outcome = self._dispatch(pool, vertices, targets, resume)
+                break
+            except WorkerCrashError:
+                crashed = True
+                restarts += 1
+                if restarts > self._max_restarts:
+                    raise
+                resume = None
+                if self._checkpoint_dir is not None:
+                    resume = latest_valid_checkpoint(self._checkpoint_dir)
+                    if resume is not None:
+                        self._validate_resume(resume)
+                # An explicitly supplied resume point stays valid: never
+                # replay the work before it when nothing newer exists.
+                if external_resume is not None and (
+                        resume is None
+                        or resume.superstep < external_resume.superstep):
+                    resume = external_resume
+                resumed_from = 0 if resume is None else resume.superstep
+            finally:
+                self._shutdown_pool(pool, kill=crashed)
         outcome.wall_clock_seconds = time.perf_counter() - start
+        outcome.worker_restarts = restarts
+        outcome.resumed_from = resumed_from
+        outcome.checkpoints_written = self._ckpt_stats.written
+        outcome.checkpoint_bytes = self._ckpt_stats.bytes
+        outcome.checkpoint_seconds = self._ckpt_stats.seconds
         return outcome
+
+    def _dispatch(self, pool, vertices, targets,
+                  resume: CheckpointData | None) -> ParallelRunOutcome:
+        if self._kind == "gas":
+            if self._use_columnar_gas():
+                return self._run_gas_columnar(pool, vertices, targets, resume)
+            return self._run_gas(pool, vertices, targets, resume)
+        if dict_state_forced():
+            return self._run_bsp(pool, vertices, targets, resume)
+        return self._run_bsp_columnar(pool, vertices, targets, resume)
 
     def _use_columnar_gas(self) -> bool:
         """Columnar GAS needs the vectorized kernel and no escape hatches."""
@@ -561,7 +967,8 @@ class ParallelExecutor:
     # GAS coordination
     # ------------------------------------------------------------------
     def _run_gas(self, pool, vertices: list[int] | None,
-                 targets: list[int] | None) -> ParallelRunOutcome:
+                 targets: list[int] | None,
+                 resume: CheckpointData | None) -> ParallelRunOutcome:
         from repro.snaple.program import build_snaple_steps
 
         graph, config = self._graph, self._config
@@ -574,17 +981,19 @@ class ParallelExecutor:
         ]
         data: dict[int, dict[str, Any]] = {u: {} for u in range(graph.num_vertices)}
         scores: dict[int, dict[int, float]] = {}
+        acct = _Accounting.fresh(self._workers)
+        start_step = 0
+        if resume is not None:
+            start_step = resume.superstep
+            data = resume.state
+            scores = resume.scores
+            acct = _Accounting.from_payload(resume.accounting, self._workers)
         # A coordinator-side copy of the steps provides the metadata (gather
         # directions, step count); the computation itself runs in workers.
         steps = build_snaple_steps(config, graph, per_vertex_rng=True)
 
-        compute_seconds = [0.0] * self._workers
-        gathers = [0] * self._workers
-        applies = [0] * self._workers
-        shipped = [0] * self._workers
-        sync_overhead = 0.0
-
-        for step_index, step in enumerate(steps):
+        for step_index in range(start_step, len(steps)):
+            step = steps[step_index]
             step_start = time.perf_counter()
             tasks = []
             for w in range(self._workers):
@@ -594,26 +1003,28 @@ class ParallelExecutor:
                 for v in needed:
                     data_slice[v] = data[v]
                     boundary_bytes += payload_size_bytes(data[v])
-                shipped[w] += boundary_bytes
-                tasks.append((step_index, active_owned[w], data_slice))
-            results = pool.map(_gas_step_task, tasks)
+                acct.shipped[w] += boundary_bytes
+                tasks.append((w, step_index, active_owned[w], data_slice))
+            results = self._map(pool, _gas_step_task, tasks)
             slowest = 0.0
             for w, (updates, step_scores, n_gather, n_apply, elapsed) in enumerate(results):
                 data.update(updates)
                 if step_scores:
                     scores.update(step_scores)
-                gathers[w] += n_gather
-                applies[w] += n_apply
-                compute_seconds[w] += elapsed
+                acct.gathers[w] += n_gather
+                acct.applies[w] += n_apply
+                acct.compute_seconds[w] += elapsed
                 slowest = max(slowest, elapsed)
-            sync_overhead += max(0.0, (time.perf_counter() - step_start) - slowest)
+            acct.sync_overhead += max(
+                0.0, (time.perf_counter() - step_start) - slowest
+            )
+            if self._checkpoint_due(step_index + 1, len(steps)):
+                self._write_checkpoint(step_index + 1, state=data,
+                                       scores=scores, acct=acct)
 
         predictions = {u: list(data[u].get("predicted", [])) for u in targets}
         scores = {u: dict(scores.get(u, {})) for u in targets}
-        return self._merge_outcome(
-            predictions, scores, len(steps), compute_seconds, gathers, applies,
-            shipped, sync_overhead, data,
-        )
+        return self._merge_outcome(predictions, scores, len(steps), acct, data)
 
     def _boundary(self, worker: int, active: list[int],
                   direction: EdgeDirection) -> list[int]:
@@ -647,7 +1058,8 @@ class ParallelExecutor:
         return per_element * int(counts[~own_mask].sum())
 
     def _run_gas_columnar(self, pool, vertices: list[int] | None,
-                          targets: list[int] | None) -> ParallelRunOutcome:
+                          targets: list[int] | None,
+                          resume: CheckpointData | None) -> ParallelRunOutcome:
         """Algorithm 2's three GAS steps over the columnar state plane.
 
         The coordinator keeps one :class:`~repro.runtime.state.StateStore`;
@@ -671,23 +1083,22 @@ class ParallelExecutor:
             for owned in self._owned
         ]
         store = StateStore(num_vertices, snaple_state_schema())
+        acct = _Accounting.fresh(self._workers)
+        start_step = 0
+        if resume is not None:
+            start_step = resume.superstep
+            store.merge(resume.state)
+            acct = _Accounting.from_payload(resume.accounting, self._workers)
         indptr, indices = graph.csr_out_adjacency()
         degrees = np.diff(indptr)
         owner = self._owner_array
 
         workers = self._workers
-        compute_seconds = [0.0] * workers
-        gathers = [0] * workers
-        applies = [0] * workers
-        shipped = [0] * workers
-        sync_overhead = 0.0
-        routing: list[float] = []
-        plane: list[int] = []
         prediction_parts: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
         score_parts: list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
 
         num_steps = 3
-        for step_index in range(num_steps):
+        for step_index in range(start_step, num_steps):
             step_start = time.perf_counter()
             route_seconds = 0.0
             tasks = []
@@ -704,7 +1115,7 @@ class ParallelExecutor:
                     own_mask = owner[rows] == w
                     if step_index == 1:
                         payload = store.extract(rows, ("gamma",))
-                        shipped[w] += self._slice_boundary_bytes(
+                        acct.shipped[w] += self._slice_boundary_bytes(
                             payload, "gamma", own_mask
                         )
                     else:
@@ -712,13 +1123,13 @@ class ParallelExecutor:
                         # own Γ̂ but reads every neighbor's kept map.
                         gamma_slice = store.extract(owned_active, ("gamma",))
                         sims_slice = store.extract(rows, ("sims",))
-                        shipped[w] += self._slice_boundary_bytes(
+                        acct.shipped[w] += self._slice_boundary_bytes(
                             sims_slice, "sims", own_mask
                         )
                         payload = (gamma_slice, sims_slice)
-                tasks.append((step_index, owned_active, payload))
+                tasks.append((w, step_index, owned_active, payload))
             route_seconds += time.perf_counter() - step_start
-            results = pool.map(_gas_step_task_columnar, tasks)
+            results = self._map(pool, _gas_step_task_columnar, tasks)
             merge_start = time.perf_counter()
             slowest = 0.0
             for w, (result, n_gather, n_apply, elapsed) in enumerate(results):
@@ -739,16 +1150,21 @@ class ParallelExecutor:
                     score_parts.append(
                         (owned_active, score_counts, candidates, values)
                     )
-                gathers[w] += n_gather
-                applies[w] += n_apply
-                compute_seconds[w] += elapsed
+                acct.gathers[w] += n_gather
+                acct.applies[w] += n_apply
+                acct.compute_seconds[w] += elapsed
                 slowest = max(slowest, elapsed)
             route_seconds += time.perf_counter() - merge_start
-            routing.append(route_seconds)
-            plane.append(store.nbytes())
-            sync_overhead += max(
+            acct.routing.append(route_seconds)
+            acct.plane.append(store.nbytes())
+            acct.sync_overhead += max(
                 0.0, (time.perf_counter() - step_start) - slowest
             )
+            # GAS columnar scores exist only after the (never-checkpointed)
+            # final step, so snapshots carry an empty score map.
+            if self._checkpoint_due(step_index + 1, num_steps):
+                self._write_checkpoint(step_index + 1, state=store.snapshot(),
+                                       scores={}, acct=acct)
 
         predictions_all: dict[int, list[int]] = {}
         for rows, counts, flat in prediction_parts:
@@ -791,17 +1207,15 @@ class ParallelExecutor:
         else:
             scores = {u: {} for u in targets}
 
-        return self._merge_outcome(
-            predictions, scores, num_steps, compute_seconds, gathers, applies,
-            shipped, sync_overhead, store.rows_mapping(),
-            routing_seconds=routing, state_plane_bytes=plane,
-        )
+        return self._merge_outcome(predictions, scores, num_steps, acct,
+                                   store.rows_mapping())
 
     # ------------------------------------------------------------------
     # BSP coordination
     # ------------------------------------------------------------------
     def _run_bsp(self, pool, vertices: list[int] | None,
-                 targets: list[int] | None) -> ParallelRunOutcome:
+                 targets: list[int] | None,
+                 resume: CheckpointData | None) -> ParallelRunOutcome:
         from repro.snaple.bsp_program import SnapleBspProgram
 
         graph, config = self._graph, self._config
@@ -817,13 +1231,16 @@ class ParallelExecutor:
         inbox: dict[int, list[Any]] = {}
         aggregated: dict[str, Any] = {}
         scores: dict[int, dict[int, float]] = {}
-
-        compute_seconds = [0.0] * self._workers
-        gathers = [0] * self._workers
-        applies = [0] * self._workers
-        shipped = [0] * self._workers
-        sync_overhead = 0.0
+        acct = _Accounting.fresh(self._workers)
         superstep = 0
+        if resume is not None:
+            superstep = resume.superstep
+            state = resume.state
+            active = resume.active
+            inbox = resume.messages
+            aggregated = resume.aggregated
+            scores = resume.scores
+            acct = _Accounting.from_payload(resume.accounting, self._workers)
 
         while superstep < program.max_supersteps:
             if not any(active) and not inbox:
@@ -837,13 +1254,14 @@ class ParallelExecutor:
                 ]
                 compute_lists.append(compute_list)
                 tasks.append((
+                    w,
                     superstep,
                     {u: state[u] for u in compute_list},
                     compute_list,
                     {u: inbox[u] for u in compute_list if u in inbox},
                     aggregated,
                 ))
-            results = pool.map(_bsp_step_task, tasks)
+            results = self._map(pool, _bsp_step_task, tasks)
             slowest = 0.0
             all_messages: list[tuple[int, int, Any]] = []
             contributions: dict[str, Any] = {}
@@ -865,9 +1283,9 @@ class ParallelExecutor:
                         )
                     else:
                         contributions[name] = value
-                gathers[w] += n_messages
-                applies[w] += n_computed
-                compute_seconds[w] += elapsed
+                acct.gathers[w] += n_messages
+                acct.applies[w] += n_computed
+                acct.compute_seconds[w] += elapsed
                 slowest = max(slowest, elapsed)
             # Deliver sender-sorted so floating-point accumulation order in
             # the receivers is independent of the partitioning (the sort is
@@ -877,24 +1295,28 @@ class ParallelExecutor:
             for sender, target, value in all_messages:
                 inbox.setdefault(target, []).append(value)
                 if self._owner[sender] != self._owner[target]:
-                    shipped[self._owner[target]] += payload_size_bytes(value)
+                    acct.shipped[self._owner[target]] += payload_size_bytes(value)
             for target in inbox:
                 active[target] = True
             aggregated = contributions
             superstep += 1
-            sync_overhead += max(0.0, (time.perf_counter() - step_start) - slowest)
+            acct.sync_overhead += max(
+                0.0, (time.perf_counter() - step_start) - slowest
+            )
+            if self._checkpoint_due(superstep, None):
+                self._write_checkpoint(superstep, state=state, scores=scores,
+                                       acct=acct, messages=inbox,
+                                       active=active, aggregated=aggregated)
 
         if targets is None:
             targets = list(graph.vertices()) if vertices is None else list(vertices)
         predictions = {u: list(state[u].get("predicted", [])) for u in targets}
         scores = {u: dict(scores.get(u, {})) for u in targets}
-        return self._merge_outcome(
-            predictions, scores, superstep, compute_seconds, gathers, applies,
-            shipped, sync_overhead, state,
-        )
+        return self._merge_outcome(predictions, scores, superstep, acct, state)
 
     def _run_bsp_columnar(self, pool, vertices: list[int] | None,
-                          targets: list[int] | None) -> ParallelRunOutcome:
+                          targets: list[int] | None,
+                          resume: CheckpointData | None) -> ParallelRunOutcome:
         """The four-superstep BSP port over the columnar state plane.
 
         State ships as :class:`~repro.runtime.state.StateSlice` arrays and
@@ -917,32 +1339,33 @@ class ParallelExecutor:
         schema = snaple_bsp_state_schema()
         store = StateStore(num_vertices, schema)
         field_names = schema.names()
-        for u in range(num_vertices):
-            initial = program.initial_state(u)
-            if initial:
-                row = store.row(u)
-                for key, value in initial.items():
-                    row[key] = value
-
         active = np.zeros(num_vertices, dtype=bool)
-        initial_active = (range(num_vertices) if vertices is None
-                          else list(vertices))
-        if len(initial_active):
-            active[np.asarray(initial_active, dtype=np.int64)] = True
         inbox = MessageBlock.empty(MESSAGE_KINDS)
         aggregated: dict[str, Any] = {}
         scores: dict[int, dict[int, float]] = {}
-        owner = self._owner_array
-
-        workers = self._workers
-        compute_seconds = [0.0] * workers
-        gathers = [0] * workers
-        applies = [0] * workers
-        shipped = [0] * workers
-        sync_overhead = 0.0
-        routing: list[float] = []
-        plane: list[int] = []
+        acct = _Accounting.fresh(self._workers)
         superstep = 0
+        if resume is not None:
+            superstep = resume.superstep
+            store.merge(resume.state)
+            active = resume.active
+            inbox = resume.messages
+            aggregated = resume.aggregated
+            scores = resume.scores
+            acct = _Accounting.from_payload(resume.accounting, self._workers)
+        else:
+            for u in range(num_vertices):
+                initial = program.initial_state(u)
+                if initial:
+                    row = store.row(u)
+                    for key, value in initial.items():
+                        row[key] = value
+            initial_active = (range(num_vertices) if vertices is None
+                              else list(vertices))
+            if len(initial_active):
+                active[np.asarray(initial_active, dtype=np.int64)] = True
+        owner = self._owner_array
+        workers = self._workers
 
         while superstep < program.max_supersteps:
             if not active.any() and inbox.num_messages == 0:
@@ -962,6 +1385,7 @@ class ParallelExecutor:
                 compute_w = owned[active[owned] | has_message[owned]]
                 compute_lists.append(compute_w)
                 tasks.append((
+                    w,
                     superstep,
                     store.extract(compute_w, field_names),
                     compute_w,
@@ -969,7 +1393,7 @@ class ParallelExecutor:
                     aggregated,
                 ))
             route_seconds += time.perf_counter() - step_start
-            results = pool.map(_bsp_step_task_columnar, tasks)
+            results = self._map(pool, _bsp_step_task_columnar, tasks)
             merge_start = time.perf_counter()
             slowest = 0.0
             blocks: list[MessageBlock] = []
@@ -991,9 +1415,9 @@ class ParallelExecutor:
                         )
                     else:
                         contributions[name] = value
-                gathers[w] += n_messages
-                applies[w] += n_computed
-                compute_seconds[w] += elapsed
+                acct.gathers[w] += n_messages
+                acct.applies[w] += n_computed
+                acct.compute_seconds[w] += elapsed
                 slowest = max(slowest, elapsed)
             merged = MessageBlock.concat(blocks)
             if merged.num_messages:
@@ -1008,17 +1432,22 @@ class ParallelExecutor:
                         weights=sizes[cross], minlength=workers,
                     )
                     for w in range(workers):
-                        shipped[w] += int(per_partition[w])
+                        acct.shipped[w] += int(per_partition[w])
                 active[np.unique(merged.receiver)] = True
             inbox = merged
             aggregated = contributions
             superstep += 1
             route_seconds += time.perf_counter() - merge_start
-            routing.append(route_seconds)
-            plane.append(store.nbytes())
-            sync_overhead += max(
+            acct.routing.append(route_seconds)
+            acct.plane.append(store.nbytes())
+            acct.sync_overhead += max(
                 0.0, (time.perf_counter() - step_start) - slowest
             )
+            if self._checkpoint_due(superstep, None):
+                self._write_checkpoint(superstep, state=store.snapshot(),
+                                       scores=scores, acct=acct,
+                                       messages=inbox, active=active,
+                                       aggregated=aggregated)
 
         if targets is None:
             targets = (list(graph.vertices()) if vertices is None
@@ -1026,17 +1455,12 @@ class ParallelExecutor:
         rows = store.rows()
         predictions = {u: list(rows[u].get("predicted", [])) for u in targets}
         scores = {u: dict(scores.get(u, {})) for u in targets}
-        return self._merge_outcome(
-            predictions, scores, superstep, compute_seconds, gathers, applies,
-            shipped, sync_overhead, store.rows_mapping(),
-            routing_seconds=routing, state_plane_bytes=plane,
-        )
+        return self._merge_outcome(predictions, scores, superstep, acct,
+                                   store.rows_mapping())
 
     # ------------------------------------------------------------------
-    def _merge_outcome(self, predictions, scores, supersteps, compute_seconds,
-                       gathers, applies, shipped, sync_overhead,
-                       vertex_data, *, routing_seconds=None,
-                       state_plane_bytes=None) -> ParallelRunOutcome:
+    def _merge_outcome(self, predictions, scores, supersteps,
+                       acct: _Accounting, vertex_data) -> ParallelRunOutcome:
         """Build per-partition reports and derive the merged totals from them."""
         partitions = []
         for w in range(self._workers):
@@ -1050,10 +1474,10 @@ class ParallelExecutor:
                 num_predicted_edges=sum(
                     len(predictions[u]) for u in owned_predictions
                 ),
-                gather_invocations=gathers[w],
-                apply_invocations=applies[w],
-                compute_seconds=compute_seconds[w],
-                shipped_bytes=shipped[w],
+                gather_invocations=acct.gathers[w],
+                apply_invocations=acct.applies[w],
+                compute_seconds=acct.compute_seconds[w],
+                shipped_bytes=acct.shipped[w],
             ))
         return ParallelRunOutcome(
             predictions=predictions,
@@ -1062,11 +1486,11 @@ class ParallelExecutor:
             supersteps=supersteps,
             partitions=partitions,
             wall_clock_seconds=0.0,  # stamped by run()
-            sync_overhead_seconds=sync_overhead,
-            exchanged_bytes=sum(shipped),
+            sync_overhead_seconds=acct.sync_overhead,
+            exchanged_bytes=sum(acct.shipped),
             vertex_data=vertex_data,
-            routing_seconds=list(routing_seconds or []),
-            state_plane_bytes=list(state_plane_bytes or []),
+            routing_seconds=list(acct.routing),
+            state_plane_bytes=list(acct.plane),
         )
 
 
@@ -1077,10 +1501,18 @@ def run_parallel_gas(graph: DiGraph, config: SnapleConfig | None = None, *,
                      workers: int, partitioner: Any = None,
                      vertices: list[int] | None = None,
                      targets: list[int] | None = None,
-                     seed: int | None = None) -> ParallelRunOutcome:
-    """Run Algorithm 2's GAS steps with partitions in parallel processes."""
+                     seed: int | None = None,
+                     **fault_tolerance: Any) -> ParallelRunOutcome:
+    """Run Algorithm 2's GAS steps with partitions in parallel processes.
+
+    ``fault_tolerance`` forwards the checkpoint/recovery options
+    (``checkpoint_dir``, ``checkpoint_every``, ``resume_from``,
+    ``max_restarts``, ``worker_timeout``, ``fault``) to
+    :class:`ParallelExecutor`.
+    """
     executor = ParallelExecutor(graph, config, workers=workers, kind="gas",
-                                partitioner=partitioner, seed=seed)
+                                partitioner=partitioner, seed=seed,
+                                **fault_tolerance)
     return executor.run(vertices=vertices, targets=targets)
 
 
@@ -1088,8 +1520,14 @@ def run_parallel_bsp(graph: DiGraph, config: SnapleConfig | None = None, *,
                      workers: int, partitioner: Any = None,
                      vertices: list[int] | None = None,
                      targets: list[int] | None = None,
-                     seed: int | None = None) -> ParallelRunOutcome:
-    """Run the four-superstep BSP port with partitions in parallel processes."""
+                     seed: int | None = None,
+                     **fault_tolerance: Any) -> ParallelRunOutcome:
+    """Run the four-superstep BSP port with partitions in parallel processes.
+
+    ``fault_tolerance`` forwards the checkpoint/recovery options to
+    :class:`ParallelExecutor` as in :func:`run_parallel_gas`.
+    """
     executor = ParallelExecutor(graph, config, workers=workers, kind="bsp",
-                                partitioner=partitioner, seed=seed)
+                                partitioner=partitioner, seed=seed,
+                                **fault_tolerance)
     return executor.run(vertices=vertices, targets=targets)

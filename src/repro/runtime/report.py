@@ -40,8 +40,12 @@ class RunReport:
     ``simulated_seconds``, ``network_bytes``, ``peak_memory_bytes`` and
     ``supersteps`` are ``None`` for backends that do not simulate a cluster
     (e.g. ``local``); ``extra`` carries backend-specific counters (such as
-    the random-walk backends' ``walk_steps``) and ``native`` keeps the
-    backend's own result object for callers that need engine internals.
+    the random-walk backends' ``walk_steps``, the state plane's
+    ``state_columnar`` / ``state_plane_peak_bytes``, and — on checkpointed
+    parallel runs — ``checkpoints_written`` / ``checkpoint_bytes`` /
+    ``checkpoint_seconds``, ``worker_restarts`` and
+    ``resumed_from_superstep``) and ``native`` keeps the backend's own
+    result object for callers that need engine internals.
 
     ``scores`` is a mapping from vertex to its candidate score map.  Most
     backends return a plain dict; the vectorized ``local`` mode returns a

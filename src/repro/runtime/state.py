@@ -509,6 +509,17 @@ class StateStore:
                 out.ragged[name] = column.gather(rows)
         return out
 
+    def snapshot(self) -> StateSlice:
+        """A :class:`StateSlice` of every field for every vertex.
+
+        This is the unit the checkpoint subsystem persists: restoring into a
+        fresh store via :meth:`merge` reproduces the live state exactly
+        (present masks included), which is what makes a resumed run
+        bit-identical to an uninterrupted one.
+        """
+        rows = np.arange(self._num_vertices, dtype=np.int64)
+        return self.extract(rows, self._schema.names())
+
     def merge(self, state_slice: StateSlice) -> None:
         """Write a slice's fields back into the store (bulk, per field)."""
         rows = state_slice.rows

@@ -81,7 +81,9 @@ class SnapleLinkPredictor:
     # ------------------------------------------------------------------
     def predict(self, graph: DiGraph, *, backend: str | None = None,
                 mode: str | None = None, vertices: list[int] | None = None,
-                workers: int | None = None, **options):
+                workers: int | None = None,
+                checkpoint_dir=None, checkpoint_every: int | None = None,
+                resume_from=None, **options):
         """Run SNAPLE scoring on the named execution backend.
 
         Parameters
@@ -109,6 +111,15 @@ class SnapleLinkPredictor:
             (``gas``, ``bsp``) accept it; other backends raise
             :class:`~repro.errors.ConfigurationError`.  Predictions are
             identical for every worker count.
+        checkpoint_dir, checkpoint_every, resume_from:
+            Fault tolerance for ``workers=N`` runs (see
+            :mod:`repro.runtime.checkpoint`): persist the loop state to
+            ``checkpoint_dir`` every ``checkpoint_every`` supersteps
+            (default 1), and/or restore from ``resume_from`` (a checkpoint
+            step directory or a checkpoint root, which resolves to its
+            newest snapshot) before executing.  A resumed run's predictions
+            are bit-identical to an uninterrupted one; corrupt checkpoints
+            raise :class:`~repro.errors.CheckpointError`.
         **options:
             Backend-specific options (e.g. ``cluster=`` / ``partitioner=`` /
             ``enforce_memory=`` for the simulated engines).  Unknown backends
@@ -124,6 +135,12 @@ class SnapleLinkPredictor:
 
         if workers is not None:
             options["workers"] = workers
+        if checkpoint_dir is not None:
+            options["checkpoint_dir"] = checkpoint_dir
+        if checkpoint_every is not None:
+            options["checkpoint_every"] = checkpoint_every
+        if resume_from is not None:
+            options["resume_from"] = resume_from
         if mode is not None and backend is None and mode in available_backends():
             warnings.warn(
                 "predict(mode=<backend name>) is deprecated; use "

@@ -12,7 +12,6 @@ from repro.bsp.partition import (
     partition_vertices,
 )
 from repro.errors import PartitionError
-from repro.graph import generators
 from repro.graph.digraph import DiGraph
 
 
@@ -119,10 +118,10 @@ class TestVertexPartitionMetrics:
         partition = partition_vertices(small_social_graph, 4, seed=2)
         assert partition.load_imbalance(small_social_graph) >= 1.0
 
-    def test_block_placement_keeps_generator_locality(self):
+    def test_block_placement_keeps_generator_locality(self, random_graph):
         # Power-law-cluster graphs attach new vertices to earlier ones, so a
         # block placement cuts fewer edges than a hash placement.
-        graph = generators.powerlaw_cluster(400, 4, 0.5, seed=13)
+        graph = random_graph(400, 4, 0.5, seed=13)
         hashed = partition_vertices(graph, 4, seed=1)
         blocked = partition_vertices(
             graph, 4, partitioner=BlockVertexPartitioner(), seed=1

@@ -11,7 +11,6 @@ from repro.bsp.programs import (
     ShortestPathsProgram,
 )
 from repro.gas.cluster import TYPE_II, cluster_of
-from repro.graph import generators
 from repro.graph.digraph import DiGraph
 from repro.graph.traversal import bfs_distances, weakly_connected_components
 
@@ -48,8 +47,8 @@ class TestPageRank:
 
 
 class TestConnectedComponents:
-    def test_matches_traversal_components_on_symmetric_graph(self):
-        graph = generators.powerlaw_cluster(200, 3, 0.4, seed=5)
+    def test_matches_traversal_components_on_symmetric_graph(self, random_graph):
+        graph = random_graph(200, 3, 0.4, seed=5)
         expected = weakly_connected_components(graph)
         expected_label = {}
         for component in expected:
@@ -74,8 +73,8 @@ class TestConnectedComponents:
 
 
 class TestShortestPaths:
-    def test_matches_bfs_distances(self):
-        graph = generators.powerlaw_cluster(150, 3, 0.4, seed=9)
+    def test_matches_bfs_distances(self, random_graph):
+        graph = random_graph(150, 3, 0.4, seed=9)
         source = 0
         expected = bfs_distances(graph, source)
         result = BspEngine(graph=graph, cluster=cluster_of(TYPE_II, 4)).run(

@@ -2,11 +2,29 @@
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
+
 import pytest
+from hypothesis import HealthCheck
+from hypothesis import settings as hypothesis_settings
 
 from repro.graph import generators
 from repro.graph.builder import GraphBuilder
 from repro.graph.digraph import DiGraph
+from repro.runtime.checkpoint import FaultSpec, list_checkpoint_dirs
+
+# Property-test settings are registered centrally: examples that spawn real
+# worker processes are slow by nature, so the suite-wide profile disables
+# the per-example deadline and the too_slow health check instead of every
+# test file repeating them.  Select another profile (e.g. hypothesis's
+# built-in "ci") with HYPOTHESIS_PROFILE=<name>.
+hypothesis_settings.register_profile(
+    "snaple",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "snaple"))
 
 
 @pytest.fixture
@@ -59,3 +77,107 @@ def star_graph() -> DiGraph:
         sources += [0, leaf]
         targets += [leaf, 0]
     return DiGraph(11, sources, targets)
+
+
+@pytest.fixture(scope="session")
+def random_graph():
+    """Session-cached factory for the seeded random graphs the suites share.
+
+    Replaces the per-suite graph builders that used to live in tests/gas,
+    tests/bsp, tests/snaple and tests/runtime: the same ``(model,
+    parameters, seed)`` tuple now builds one :class:`DiGraph` per session
+    and hands the immutable instance to every caller.
+
+    ``random_graph(n, edges_per_vertex, triangle_probability, seed=...)``
+    builds a clustered power-law graph (the default model);
+    ``random_graph(n, edge_probability=p, model="erdos_renyi", seed=...)``
+    builds a G(n, p) graph.
+    """
+    cache: dict[tuple, DiGraph] = {}
+
+    def make(num_vertices: int = 150, edges_per_vertex: int = 3,
+             triangle_probability: float = 0.3, *, seed: int = 11,
+             model: str = "powerlaw_cluster",
+             edge_probability: float | None = None) -> DiGraph:
+        key = (model, num_vertices, edges_per_vertex, triangle_probability,
+               edge_probability, seed)
+        if key not in cache:
+            if model == "powerlaw_cluster":
+                cache[key] = generators.powerlaw_cluster(
+                    num_vertices, edges_per_vertex, triangle_probability,
+                    seed=seed,
+                )
+            elif model == "erdos_renyi":
+                if edge_probability is None:
+                    raise ValueError(
+                        "erdos_renyi graphs need edge_probability="
+                    )
+                cache[key] = generators.erdos_renyi(
+                    num_vertices, edge_probability, seed=seed
+                )
+            else:
+                raise ValueError(f"unknown random-graph model {model!r}")
+        return cache[key]
+
+    return make
+
+
+class FaultInjector:
+    """Drives deterministic failures against the parallel execution stack.
+
+    Three failure modes, matching what commodity clusters actually do:
+
+    * :meth:`kill_worker` — a one-shot
+      :class:`~repro.runtime.checkpoint.FaultSpec` that hard-kills the
+      worker running partition N's task at superstep K (pass it as the
+      ``fault=`` option of a parallel backend/executor);
+    * :meth:`corrupt_shard` — flips a byte in a written checkpoint shard,
+      which must surface as a checksum
+      :class:`~repro.errors.CheckpointError` on resume;
+    * :meth:`truncate_manifest` — cuts a checkpoint manifest short, which
+      must surface as a parse :class:`~repro.errors.CheckpointError`.
+    """
+
+    def __init__(self, tmp_path: Path) -> None:
+        self._tmp_path = tmp_path
+        self._tokens = 0
+
+    def kill_worker(self, superstep: int, partition: int) -> FaultSpec:
+        """A fault that kills ``partition``'s worker at ``superstep``, once."""
+        self._tokens += 1
+        token = self._tmp_path / f"fault-token-{self._tokens}"
+        return FaultSpec(superstep=superstep, partition=partition,
+                         token_path=str(token))
+
+    @staticmethod
+    def _step_dir(checkpoint_root: Path, step: int | None) -> Path:
+        steps = list_checkpoint_dirs(checkpoint_root)
+        assert steps, f"no checkpoints under {checkpoint_root}"
+        if step is None:
+            return steps[-1]
+        by_number = {int(path.name.split("-")[-1]): path for path in steps}
+        return by_number[step]
+
+    def corrupt_shard(self, checkpoint_root: Path, *,
+                      shard: str = "state.bin",
+                      step: int | None = None) -> Path:
+        """Flip one byte in the middle of a checkpoint shard."""
+        path = self._step_dir(Path(checkpoint_root), step) / shard
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        return path
+
+    def truncate_manifest(self, checkpoint_root: Path, *,
+                          step: int | None = None,
+                          keep_bytes: int = 25) -> Path:
+        """Cut a checkpoint manifest down to ``keep_bytes`` bytes."""
+        path = self._step_dir(Path(checkpoint_root), step) / "manifest.json"
+        path.write_bytes(path.read_bytes()[:keep_bytes])
+        return path
+
+
+@pytest.fixture
+def fault_injector(tmp_path: Path) -> FaultInjector:
+    """Crash/corruption injection harness for fault-tolerance tests."""
+    return FaultInjector(tmp_path)

@@ -12,7 +12,6 @@ from repro.gas.partition import (
     RandomVertexCut,
     partition_graph,
 )
-from repro.graph import generators
 
 
 class TestHdrfVertexCut:
@@ -64,8 +63,8 @@ class TestPartitionerOrdering:
     """The replication-factor ordering the partitioning ablation relies on."""
 
     @pytest.fixture(scope="class")
-    def clustered_graph(self):
-        return generators.powerlaw_cluster(600, 4, 0.5, seed=3)
+    def clustered_graph(self, random_graph):
+        return random_graph(600, 4, 0.5, seed=3)
 
     def test_hdrf_replicates_less_than_greedy_and_random(self, clustered_graph):
         factors = {}

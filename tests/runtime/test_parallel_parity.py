@@ -21,7 +21,6 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.gas.cluster import TYPE_I, cluster_of
 from repro.gas.partition import GreedyVertexCut
-from repro.graph.generators import erdos_renyi, powerlaw_cluster
 from repro.runtime import available_backends, backend_capabilities, get_backend
 from repro.runtime.report import RunReport
 from repro.snaple.config import SnapleConfig
@@ -48,8 +47,10 @@ SERIAL_BACKENDS = [
 ]
 
 
-def small_graph():
-    return powerlaw_cluster(150, 3, 0.3, seed=11)
+@pytest.fixture(scope="module")
+def small_graph(random_graph):
+    """The 150-vertex parity graph, shared session-wide via random_graph."""
+    return random_graph(150, 3, 0.3, seed=11)
 
 
 def assert_reports_identical(left: RunReport, right: RunReport) -> None:
@@ -83,8 +84,8 @@ class TestWorkersParity:
 
     @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
     @pytest.mark.parametrize("workers", PARITY_WORKERS)
-    def test_parity_on_seeded_graph(self, backend, workers):
-        graph = small_graph()
+    def test_parity_on_seeded_graph(self, backend, workers, small_graph):
+        graph = small_graph
         config = SnapleConfig.paper_default(seed=3, k_local=10)
         predictor = SnapleLinkPredictor(config)
         baseline = predictor.predict(graph, backend=backend, workers=1)
@@ -96,9 +97,9 @@ class TestWorkersParity:
         assert run.sync_overhead_seconds >= 0.0
 
     @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
-    def test_parity_with_truncation_randomness(self, backend):
+    def test_parity_with_truncation_randomness(self, backend, random_graph):
         """Per-vertex RNG keeps runs identical even when truncation fires."""
-        graph = powerlaw_cluster(200, 4, 0.3, seed=7)
+        graph = random_graph(200, 4, 0.3, seed=7)
         config = SnapleConfig.paper_default(
             seed=9, k_local=6, truncation_threshold=5
         )
@@ -108,9 +109,10 @@ class TestWorkersParity:
                                 workers=max(PARITY_WORKERS))
         assert_reports_identical(baseline, run)
 
-    def test_gas_parity_on_1k_vertex_graph(self):
+    @pytest.mark.slow
+    def test_gas_parity_on_1k_vertex_graph(self, random_graph):
         """The acceptance graph: 1k vertices, workers=4 == workers=1."""
-        graph = powerlaw_cluster(1000, 3, 0.2, seed=42)
+        graph = random_graph(1000, 3, 0.2, seed=42)
         config = SnapleConfig.paper_default(seed=42, k_local=10)
         predictor = SnapleLinkPredictor(config)
         baseline = predictor.predict(graph, backend="gas", workers=1)
@@ -119,9 +121,11 @@ class TestWorkersParity:
         assert run.predictions  # non-degenerate
 
     @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
-    def test_serial_matches_parallel_without_randomness(self, backend):
+    def test_serial_matches_parallel_without_randomness(self, backend,
+                                                       random_graph):
         """When no truncation randomness fires, serial == parallel exactly."""
-        graph = erdos_renyi(120, 0.06, seed=5)
+        graph = random_graph(120, model="erdos_renyi", edge_probability=0.06,
+                             seed=5)
         config = SnapleConfig.paper_default(seed=1, k_local=8)
         predictor = SnapleLinkPredictor(config)
         serial = predictor.predict(graph, backend=backend)
@@ -129,9 +133,9 @@ class TestWorkersParity:
                                      workers=min(PARITY_WORKERS))
         assert_reports_identical(serial, parallel)
 
-    def test_partitioner_does_not_change_predictions(self):
+    def test_partitioner_does_not_change_predictions(self, small_graph):
         """Ownership placement affects traffic only, never the answer."""
-        graph = small_graph()
+        graph = small_graph
         config = SnapleConfig.paper_default(seed=3, k_local=10)
         predictor = SnapleLinkPredictor(config)
         random_cut = predictor.predict(graph, backend="gas", workers=2)
@@ -139,8 +143,8 @@ class TestWorkersParity:
                                        partitioner=GreedyVertexCut())
         assert_reports_identical(random_cut, greedy_cut)
 
-    def test_gas_vertex_subset_parity(self):
-        graph = small_graph()
+    def test_gas_vertex_subset_parity(self, small_graph):
+        graph = small_graph
         subset = list(range(40))
         predictor = SnapleLinkPredictor(SnapleConfig.paper_default(seed=3))
         baseline = predictor.predict(graph, backend="gas", workers=1,
@@ -155,8 +159,8 @@ class TestPartitionAccounting:
     """RunReport totals must equal the sum of the per-partition reports."""
 
     @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
-    def test_parallel_accounting_sums(self, backend):
-        graph = small_graph()
+    def test_parallel_accounting_sums(self, backend, small_graph):
+        graph = small_graph
         predictor = SnapleLinkPredictor(SnapleConfig.paper_default(seed=3))
         run = predictor.predict(graph, backend=backend,
                                 workers=min(PARITY_WORKERS))
@@ -167,23 +171,23 @@ class TestPartitionAccounting:
         ) == graph.num_vertices
 
     @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
-    def test_serial_accounting_sums(self, backend):
-        graph = small_graph()
+    def test_serial_accounting_sums(self, backend, small_graph):
+        graph = small_graph
         predictor = SnapleLinkPredictor(SnapleConfig.paper_default(seed=3))
         run = predictor.predict(graph, backend=backend)
         assert run.workers is None
         assert_partition_totals(run)
         assert len(run.partition_reports) == 1
 
-    def test_subset_accounting_sums(self):
-        graph = small_graph()
+    def test_subset_accounting_sums(self, small_graph):
+        graph = small_graph
         predictor = SnapleLinkPredictor(SnapleConfig.paper_default(seed=3))
         run = predictor.predict(graph, backend="gas", workers=3,
                                 vertices=list(range(50)))
         assert_partition_totals(run)
 
-    def test_report_to_dict_carries_parallel_fields(self):
-        graph = small_graph()
+    def test_report_to_dict_carries_parallel_fields(self, small_graph):
+        graph = small_graph
         predictor = SnapleLinkPredictor(SnapleConfig.paper_default(seed=3))
         run = predictor.predict(graph, backend="gas", workers=2)
         payload = run.to_dict()

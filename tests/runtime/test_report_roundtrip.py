@@ -1,0 +1,137 @@
+"""JSON round-trip coverage for :class:`~repro.runtime.report.RunReport`.
+
+``RunReport.to_dict`` is the machine-readable boundary of every run — the
+CLI's ``--json`` output, the benchmark JSON records, and anything a driver
+persists.  These tests pin that the payload (a) survives a real
+``json.dumps``/``json.loads`` round trip without loss, and (b) carries the
+accounting added by the parallel/state-plane/checkpoint layers: the PR 4
+``extra`` state-plane keys and the checkpoint/recovery fields.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.snaple.config import SnapleConfig
+from repro.snaple.predictor import SnapleLinkPredictor
+
+
+def roundtrip(payload):
+    """Through real JSON text and back."""
+    return json.loads(json.dumps(payload))
+
+
+def assert_json_clean(payload, path="$"):
+    """Only JSON-native types anywhere in the payload (no numpy leaks)."""
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            assert isinstance(key, (str, int, float, bool)) or key is None
+            assert_json_clean(value, f"{path}.{key}")
+    elif isinstance(payload, (list, tuple)):
+        for index, value in enumerate(payload):
+            assert_json_clean(value, f"{path}[{index}]")
+    else:
+        assert payload is None or isinstance(
+            payload, (str, int, float, bool)
+        ), f"non-JSON value {payload!r} of type {type(payload)} at {path}"
+
+
+@pytest.fixture(scope="module")
+def graph(request):
+    from repro.graph.generators import powerlaw_cluster
+
+    return powerlaw_cluster(80, 3, 0.3, seed=11)
+
+
+@pytest.fixture(scope="module")
+def predictor():
+    return SnapleLinkPredictor(SnapleConfig.paper_default(seed=3, k_local=6))
+
+
+class TestSerialReportRoundtrip:
+    def test_local_report(self, graph, predictor):
+        report = predictor.predict(graph, backend="local")
+        payload = report.to_dict()
+        assert_json_clean(payload)
+        restored = roundtrip(payload)
+        assert restored["backend"] == "local"
+        assert restored["num_vertices"] == len(report.predictions)
+        assert restored["extra"]["kernel_vectorized"] == 1.0
+        assert "prepare_seconds" in restored["extra"]
+        # JSON stringifies int keys; the content must survive unchanged.
+        assert restored["predictions"] == {
+            str(u): targets for u, targets in payload["predictions"].items()
+        }
+
+    def test_scores_included_on_request(self, graph, predictor):
+        report = predictor.predict(graph, backend="local")
+        payload = report.to_dict(include_scores=True)
+        assert_json_clean(payload)
+        restored = roundtrip(payload)
+        some_vertex = next(iter(report.scores))
+        assert restored["scores"][str(some_vertex)] == {
+            str(candidate): score
+            for candidate, score in dict(report.scores[some_vertex]).items()
+        }
+
+    def test_serial_gas_carries_state_plane_extras(self, graph, predictor):
+        report = predictor.predict(graph, backend="gas")
+        restored = roundtrip(report.to_dict())
+        assert restored["extra"]["state_columnar"] == 1.0
+        assert restored["extra"]["state_plane_peak_bytes"] > 0.0
+        assert restored["simulated_seconds"] > 0.0
+
+
+class TestParallelReportRoundtrip:
+    def test_parallel_report_with_state_plane_keys(self, graph, predictor):
+        report = predictor.predict(graph, backend="gas", workers=2)
+        payload = report.to_dict()
+        assert_json_clean(payload)
+        restored = roundtrip(payload)
+        assert restored["workers"] == 2
+        assert len(restored["per_partition_seconds"]) == 2
+        assert len(restored["partitions"]) == 2
+        for entry in restored["partitions"]:
+            assert set(entry) >= {
+                "partition", "num_vertices", "num_predictions",
+                "num_predicted_edges", "gather_invocations",
+                "apply_invocations", "compute_seconds", "shipped_bytes",
+            }
+        # PR 4's per-superstep state-plane accounting.
+        assert restored["extra"]["state_columnar"] == 1.0
+        assert restored["extra"]["state_plane_peak_bytes"] > 0.0
+        for step in range(restored["supersteps"]):
+            assert f"state_plane_bytes_step{step}" in restored["extra"]
+            assert f"routing_seconds_step{step}" in restored["extra"]
+        assert restored["extra"]["worker_restarts"] == 0.0
+
+    def test_checkpointed_report_fields(self, graph, predictor, tmp_path):
+        report = predictor.predict(graph, backend="gas", workers=2,
+                                   checkpoint_dir=tmp_path / "ckpt")
+        restored = roundtrip(report.to_dict())
+        assert restored["extra"]["checkpoints_written"] == 2.0
+        assert restored["extra"]["checkpoint_bytes"] > 0.0
+        assert restored["extra"]["checkpoint_seconds"] >= 0.0
+        assert "resumed_from_superstep" not in restored["extra"]
+
+    def test_resumed_report_fields(self, graph, predictor, tmp_path):
+        first = predictor.predict(graph, backend="bsp", workers=2,
+                                  checkpoint_dir=tmp_path / "ckpt")
+        resumed = predictor.predict(graph, backend="bsp", workers=2,
+                                    resume_from=tmp_path / "ckpt")
+        restored = roundtrip(resumed.to_dict())
+        assert restored["extra"]["resumed_from_superstep"] == float(
+            first.supersteps
+        )
+        assert restored["predictions"] == {
+            str(u): targets for u, targets in first.predictions.items()
+        }
+
+    def test_roundtrip_is_stable(self, graph, predictor):
+        """dumps(loads(dumps(x))) == dumps(loads(x)): no drift on re-encode."""
+        payload = predictor.predict(graph, backend="gas", workers=2).to_dict()
+        once = roundtrip(payload)
+        twice = roundtrip(once)
+        assert once == twice

@@ -14,7 +14,6 @@ import numpy as np
 import pytest
 
 from repro.gas.vertex_program import payload_size_bytes
-from repro.graph.generators import powerlaw_cluster
 from repro.runtime.state import (
     FieldKind,
     MessageBlock,
@@ -209,8 +208,10 @@ class TestMessageBlock:
 # ----------------------------------------------------------------------
 # Dict-path parity: {dict, columnar} × {gas, bsp} × {serial, 1, 4 workers}
 # ----------------------------------------------------------------------
-def parity_graph():
-    return powerlaw_cluster(150, 3, 0.3, seed=11)
+@pytest.fixture(scope="module", name="parity_graph")
+def parity_graph_fixture(random_graph):
+    """The 150-vertex parity graph, shared session-wide via random_graph."""
+    return random_graph(150, 3, 0.3, seed=11)
 
 
 def half_jaccard(left, right):
@@ -255,8 +256,8 @@ class TestDictColumnarParity:
     @pytest.mark.parametrize("backend", ["gas", "bsp"])
     @pytest.mark.parametrize("workers", [None, 1, 4])
     def test_bit_identical_predictions_and_scores(self, backend, workers,
-                                                  monkeypatch):
-        graph = parity_graph()
+                                                  monkeypatch, parity_graph):
+        graph = parity_graph
         config = truncating_config()
         columnar = predict(graph, config, backend, workers, monkeypatch,
                            dict_state=False)
@@ -267,14 +268,15 @@ class TestDictColumnarParity:
         assert columnar.supersteps == legacy.supersteps
 
     @pytest.mark.parametrize("backend", ["gas", "bsp"])
-    def test_parity_with_unsupported_kernel_config(self, backend, monkeypatch):
+    def test_parity_with_unsupported_kernel_config(self, backend, monkeypatch,
+                                                   parity_graph):
         """Configs outside the vectorized kernel still agree across paths.
 
         The columnar GAS executor requires the kernel, so it falls back to
         the dict path for such configurations; the BSP executor runs them
         columnar.  Either way the answers must be identical.
         """
-        graph = parity_graph()
+        graph = parity_graph
         config = unsupported_kernel_config()
         columnar = predict(graph, config, backend, 4, monkeypatch,
                            dict_state=False)
@@ -283,11 +285,12 @@ class TestDictColumnarParity:
         assert columnar.predictions == legacy.predictions
         assert columnar.scores == legacy.scores
 
-    def test_simulated_accounting_identical_across_paths(self, monkeypatch):
+    def test_simulated_accounting_identical_across_paths(self, monkeypatch,
+                                                         parity_graph):
         """Network/memory/simulated-time numbers must not drift either."""
         from repro.gas.cluster import TYPE_I, cluster_of
 
-        graph = parity_graph()
+        graph = parity_graph
         config = truncating_config()
         for backend in ("gas", "bsp"):
             predictor = SnapleLinkPredictor(config)
@@ -303,8 +306,9 @@ class TestDictColumnarParity:
 
 
 class TestEscapeHatch:
-    def test_reports_record_which_state_path_ran(self, monkeypatch):
-        graph = parity_graph()
+    def test_reports_record_which_state_path_ran(self, monkeypatch,
+                                                 parity_graph):
+        graph = parity_graph
         config = truncating_config()
         predictor = SnapleLinkPredictor(config)
         monkeypatch.delenv("SNAPLE_DICT_STATE", raising=False)
@@ -319,11 +323,12 @@ class TestEscapeHatch:
             report = predictor.predict(graph, backend="gas", **options)
             assert report.extra["state_columnar"] == 0.0
 
-    def test_engine_exposes_state_store_only_on_columnar_path(self, monkeypatch):
+    def test_engine_exposes_state_store_only_on_columnar_path(self, monkeypatch,
+                                                              parity_graph):
         from repro.gas.engine import GasEngine
         from repro.snaple.program import build_snaple_steps
 
-        graph = parity_graph()
+        graph = parity_graph
         config = truncating_config()
         monkeypatch.delenv("SNAPLE_DICT_STATE", raising=False)
         engine = GasEngine(graph=graph)
@@ -337,9 +342,10 @@ class TestEscapeHatch:
         engine.run(build_snaple_steps(config, graph))
         assert engine.state_store is None
 
-    def test_parallel_reports_routing_overhead_per_superstep(self, monkeypatch):
+    def test_parallel_reports_routing_overhead_per_superstep(self, monkeypatch,
+                                                             parity_graph):
         monkeypatch.delenv("SNAPLE_DICT_STATE", raising=False)
-        graph = parity_graph()
+        graph = parity_graph
         report = SnapleLinkPredictor(truncating_config()).predict(
             graph, backend="bsp", workers=2
         )

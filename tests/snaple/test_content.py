@@ -9,7 +9,6 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.eval.metrics import evaluate_predictions
 from repro.eval.protocol import remove_random_edges
-from repro.graph import generators
 from repro.graph.attributes import generate_profiles
 from repro.snaple.config import SnapleConfig
 from repro.snaple.content import (
@@ -83,8 +82,9 @@ class TestTopologicalEquivalence:
 
 
 class TestContentAwarePrediction:
-    def test_rejects_profiles_that_do_not_cover_the_graph(self, small_social_graph):
-        tiny_graph = generators.powerlaw_cluster(50, 2, 0.3, seed=2)
+    def test_rejects_profiles_that_do_not_cover_the_graph(self, small_social_graph,
+                                                          random_graph):
+        tiny_graph = random_graph(50, 2, 0.3, seed=2)
         profiles = generate_profiles(tiny_graph, seed=2)
         with pytest.raises(ConfigurationError):
             ContentAwareLinkPredictor().predict(small_social_graph, profiles)

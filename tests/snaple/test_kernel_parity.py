@@ -18,7 +18,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import ConfigurationError
-from repro.graph.generators import erdos_renyi, powerlaw_cluster
+from repro.graph.generators import erdos_renyi
 from repro.runtime import get_backend
 from repro.snaple.aggregators import get_aggregator
 from repro.snaple.combinators import get_combinator
@@ -65,8 +65,8 @@ def score_for_similarity(similarity_name: str) -> ScoreConfig:
 
 class TestKernelParityAcrossDesignSpace:
     @pytest.mark.parametrize("similarity_name", sorted(SIMILARITIES))
-    def test_every_similarity(self, similarity_name):
-        graph = powerlaw_cluster(150, 3, 0.3, seed=11)
+    def test_every_similarity(self, similarity_name, random_graph):
+        graph = random_graph(150, 3, 0.3, seed=11)
         config = SnapleConfig(
             k=5,
             score=score_for_similarity(similarity_name),
@@ -79,8 +79,8 @@ class TestKernelParityAcrossDesignSpace:
         assert_parity(graph, config)
 
     @pytest.mark.parametrize("score_name", sorted(PAPER_SCORES))
-    def test_every_paper_score(self, score_name):
-        graph = powerlaw_cluster(150, 3, 0.3, seed=11)
+    def test_every_paper_score(self, score_name, random_graph):
+        graph = random_graph(150, 3, 0.3, seed=11)
         config = SnapleConfig(
             k=5,
             score=PAPER_SCORES[score_name],
@@ -93,8 +93,8 @@ class TestKernelParityAcrossDesignSpace:
 
     @pytest.mark.parametrize("sampler_name", ["max", "min", "rnd"])
     @pytest.mark.parametrize("threshold", [math.inf, 4])
-    def test_samplers_and_truncation(self, sampler_name, threshold):
-        graph = powerlaw_cluster(120, 3, 0.3, seed=5)
+    def test_samplers_and_truncation(self, sampler_name, threshold, random_graph):
+        graph = random_graph(120, 3, 0.3, seed=5)
         config = SnapleConfig(
             k=4,
             score=PAPER_SCORES["linearSum"],
@@ -105,15 +105,16 @@ class TestKernelParityAcrossDesignSpace:
         )
         assert_parity(graph, config)
 
-    def test_unsampled_run(self):
-        graph = erdos_renyi(90, 0.08, seed=2)
+    def test_unsampled_run(self, random_graph):
+        graph = random_graph(90, model="erdos_renyi", edge_probability=0.08,
+                             seed=2)
         config = SnapleConfig.paper_default(
             seed=1, k_local=math.inf, truncation_threshold=math.inf
         )
         assert_parity(graph, config)
 
-    def test_vertex_subset_and_batching(self):
-        graph = powerlaw_cluster(150, 3, 0.3, seed=11)
+    def test_vertex_subset_and_batching(self, random_graph):
+        graph = random_graph(150, 3, 0.3, seed=11)
         config = SnapleConfig.paper_default(seed=3, k_local=10)
         subset = list(range(0, 150, 4))
         assert_parity(graph, config, vertices=subset)
@@ -127,9 +128,10 @@ class TestKernelParityAcrossDesignSpace:
             merged.update(batch_backend.run(vertices=batch).predictions)
         assert merged == full.predictions
 
-    def test_acceptance_1k_vertex_graph(self):
+    @pytest.mark.slow
+    def test_acceptance_1k_vertex_graph(self, random_graph):
         """Fixed-seed 1k-vertex case mirroring test_parallel_parity."""
-        graph = powerlaw_cluster(1000, 3, 0.2, seed=42)
+        graph = random_graph(1000, 3, 0.2, seed=42)
         config = SnapleConfig.paper_default(seed=42, k_local=10)
         reference = run_mode(graph, config, "reference")
         vectorized = run_mode(graph, config, "vectorized")
@@ -177,8 +179,9 @@ class TestModeSelection:
         capabilities = get_backend("local").capabilities()
         assert "mode" in capabilities.options
 
-    def test_unsupported_config_falls_back_to_reference(self):
-        graph = erdos_renyi(40, 0.1, seed=1)
+    def test_unsupported_config_falls_back_to_reference(self, random_graph):
+        graph = random_graph(40, model="erdos_renyi", edge_probability=0.1,
+                             seed=1)
         custom = ScoreConfig(
             name="custom",
             similarity_name="jaccard",
@@ -194,20 +197,21 @@ class TestModeSelection:
 
 
 class TestLazyScores:
-    def graph_report(self):
-        graph = powerlaw_cluster(80, 3, 0.3, seed=4)
+    @pytest.fixture
+    def reports(self, random_graph):
+        graph = random_graph(80, 3, 0.3, seed=4)
         config = SnapleConfig.paper_default(seed=4, k_local=6)
         return (run_mode(graph, config, "vectorized"),
                 run_mode(graph, config, "reference"))
 
-    def test_scores_are_lazy_but_equal_both_ways(self):
-        vectorized, reference = self.graph_report()
+    def test_scores_are_lazy_but_equal_both_ways(self, reports):
+        vectorized, reference = reports
         assert isinstance(vectorized.scores, LazyScores)
         assert vectorized.scores == reference.scores
         assert reference.scores == vectorized.scores
 
-    def test_mapping_protocol(self):
-        vectorized, reference = self.graph_report()
+    def test_mapping_protocol(self, reports):
+        vectorized, reference = reports
         scores = vectorized.scores
         assert len(scores) == len(reference.scores)
         assert list(scores) == list(reference.scores)
@@ -219,8 +223,8 @@ class TestLazyScores:
         assert dict(scores) == reference.scores
         assert scores.materialize() == reference.scores
 
-    def test_length_mismatch_not_equal(self):
-        vectorized, reference = self.graph_report()
+    def test_length_mismatch_not_equal(self, reports):
+        vectorized, reference = reports
         smaller = dict(reference.scores)
         smaller.popitem()
         assert vectorized.scores != smaller

@@ -68,10 +68,8 @@ class TestSupervisedConfig:
 
 class TestSupervisedPredictor:
     @pytest.fixture(scope="class")
-    def outcome(self):
-        from repro.graph.generators import powerlaw_cluster
-
-        graph = powerlaw_cluster(800, 4, 0.5, seed=11)
+    def outcome(self, random_graph):
+        graph = random_graph(800, 4, 0.5, seed=11)
         split = remove_random_edges(graph, seed=5)
         config = SupervisedConfig(
             feature_scores=("linearSum", "counter", "PPR"),
