@@ -22,7 +22,6 @@ import os
 import platform
 import time
 
-from repro.graph.generators import powerlaw_cluster
 from repro.runtime.checkpoint import FaultSpec
 from repro.snaple.config import SnapleConfig
 from repro.snaple.predictor import SnapleLinkPredictor
@@ -43,10 +42,11 @@ def _timed_predict(predictor, graph, iterations: int, backend: str, **options):
     return best, report
 
 
-def test_bench_checkpoint_overhead(save_json, save_result, tmp_path):
+def test_bench_checkpoint_overhead(save_json, save_result, tmp_path,
+                                   bench_graph):
     iterations = int(os.environ.get("SNAPLE_BENCH_ITERATIONS", "3"))
     num_vertices = int(os.environ.get("SNAPLE_BENCH_VERTICES", "1000"))
-    graph = powerlaw_cluster(num_vertices, 3, 0.2, seed=BENCH_SEED)
+    graph = bench_graph(num_vertices, 3, 0.2, seed=BENCH_SEED)
     config = SnapleConfig.paper_default(seed=BENCH_SEED, k_local=10)
     predictor = SnapleLinkPredictor(config)
 

@@ -23,7 +23,6 @@ import os
 import platform
 import time
 
-from repro.graph.generators import powerlaw_cluster
 from repro.snaple.config import SnapleConfig
 from repro.snaple.predictor import SnapleLinkPredictor
 
@@ -43,7 +42,8 @@ def _timed_predict(predictor, graph, iterations: int, **options):
     return best, report
 
 
-def test_bench_parallel_scaling(save_json, save_result, monkeypatch):
+def test_bench_parallel_scaling(save_json, save_result, monkeypatch,
+                                bench_graph):
     # Force the scalar per-partition steps: workers=N would otherwise run
     # the vectorized kernel (repro.snaple.kernel) while the serial gas
     # engine stays scalar, and speedup_vs_serial would conflate kernel
@@ -52,7 +52,7 @@ def test_bench_parallel_scaling(save_json, save_result, monkeypatch):
     monkeypatch.setenv("SNAPLE_PARALLEL_SCALAR", "1")
     iterations = int(os.environ.get("SNAPLE_BENCH_ITERATIONS", "3"))
     num_vertices = int(os.environ.get("SNAPLE_BENCH_VERTICES", "1000"))
-    graph = powerlaw_cluster(num_vertices, 3, 0.2, seed=BENCH_SEED)
+    graph = bench_graph(num_vertices, 3, 0.2, seed=BENCH_SEED)
     config = SnapleConfig.paper_default(seed=BENCH_SEED, k_local=10)
     predictor = SnapleLinkPredictor(config)
 

@@ -33,7 +33,6 @@ import os
 import platform
 import time
 
-from repro.graph.generators import powerlaw_cluster
 from repro.snaple.config import SnapleConfig
 from repro.snaple.predictor import SnapleLinkPredictor
 
@@ -63,7 +62,7 @@ def _timed_predict(predictor, graph, mode, iterations):
     return best, report
 
 
-def test_bench_scoring_kernel(save_json, save_result):
+def test_bench_scoring_kernel(save_json, save_result, bench_graph):
     iterations = int(os.environ.get("SNAPLE_BENCH_ITERATIONS", "3"))
     sizes = _sizes()
     config = SnapleConfig.paper_default(seed=BENCH_SEED, k_local=BENCH_K_LOCAL)
@@ -71,7 +70,7 @@ def test_bench_scoring_kernel(save_json, save_result):
 
     runs = []
     for num_vertices in sizes:
-        graph = powerlaw_cluster(
+        graph = bench_graph(
             num_vertices, BENCH_EDGES_PER_VERTEX, BENCH_TRIANGLE_PROBABILITY,
             seed=BENCH_SEED,
         )

@@ -1,0 +1,169 @@
+"""Online serving benchmark: incremental rescoring and load/latency curves.
+
+Two claims are measured on the acceptance-scale power-law graph:
+
+1. **Incremental beats batch.** Applying a single absent edge to a warm
+   :class:`~repro.serving.IncrementalIndex` (dirty-region rescoring) must be
+   faster than rebuilding the index from scratch — the batch recompute a
+   system without the delta overlay would have to run.  This is the hard
+   gate; the recorded speedup is the headline number.
+
+2. **Throughput/latency vs offered load.** One long-lived
+   :class:`~repro.serving.PredictorService` is driven by the closed-loop
+   load generator at several client counts; each level reports stable-window
+   throughput and p50/p99 latency, memtier-style.
+
+Environment knobs (all optional):
+
+- ``SNAPLE_BENCH_SERVING_VERTICES`` (default ``10000``)
+- ``SNAPLE_BENCH_SERVING_CLIENTS`` (default ``1,2,4``)
+- ``SNAPLE_BENCH_SERVING_WINDOWS`` (default ``4``)
+- ``SNAPLE_BENCH_SERVING_WINDOW_SECONDS`` (default ``1.0``)
+- ``SNAPLE_BENCH_SERVING_UPDATES`` (default ``5``)
+- ``SNAPLE_BENCH_SERVING_INGEST_FRACTION`` (default ``0.05``)
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import statistics
+import time
+
+import numpy as np
+
+from repro.serving import (
+    IncrementalIndex,
+    LoadConfig,
+    LoadGenerator,
+    PredictorService,
+    ServingConfig,
+)
+from repro.snaple.config import SnapleConfig
+
+from conftest import BENCH_SEED
+
+BENCH_K_LOCAL = 10
+
+
+def _absent_edges(graph, count: int, seed: int) -> list[tuple[int, int]]:
+    """``count`` distinct edges not present in ``graph``."""
+    rng = np.random.default_rng(seed)
+    edges: list[tuple[int, int]] = []
+    seen: set[tuple[int, int]] = set()
+    while len(edges) < count:
+        u = int(rng.integers(graph.num_vertices))
+        v = int(rng.integers(graph.num_vertices))
+        if u != v and (u, v) not in seen and not graph.has_edge(u, v):
+            edges.append((u, v))
+            seen.add((u, v))
+    return edges
+
+
+def test_bench_serving(save_json, save_result, bench_graph):
+    num_vertices = int(os.environ.get("SNAPLE_BENCH_SERVING_VERTICES",
+                                      "10000"))
+    client_levels = [
+        int(value) for value in
+        os.environ.get("SNAPLE_BENCH_SERVING_CLIENTS", "1,2,4").split(",")
+        if value
+    ]
+    windows = int(os.environ.get("SNAPLE_BENCH_SERVING_WINDOWS", "4"))
+    window_seconds = float(
+        os.environ.get("SNAPLE_BENCH_SERVING_WINDOW_SECONDS", "1.0")
+    )
+    updates = int(os.environ.get("SNAPLE_BENCH_SERVING_UPDATES", "5"))
+    ingest_fraction = float(
+        os.environ.get("SNAPLE_BENCH_SERVING_INGEST_FRACTION", "0.05")
+    )
+
+    graph = bench_graph(num_vertices, 3, 0.2, seed=BENCH_SEED)
+    config = SnapleConfig.paper_default(seed=BENCH_SEED,
+                                        k_local=BENCH_K_LOCAL)
+
+    # --- Claim 1: single-edge dirty-region rescoring vs full batch rebuild.
+    start = time.perf_counter()
+    index = IncrementalIndex(graph, config)
+    batch_seconds = time.perf_counter() - start
+
+    update_seconds: list[float] = []
+    rescored_counts: list[int] = []
+    for edge in _absent_edges(graph, updates, BENCH_SEED + 1):
+        start = time.perf_counter()
+        applied = index.apply_edges([edge])
+        update_seconds.append(time.perf_counter() - start)
+        rescored_counts.append(applied.num_rescored)
+    median_update = statistics.median(update_seconds)
+    speedup = batch_seconds / median_update
+
+    # Hard gate: a single-edge update must beat rebuilding the whole index.
+    assert median_update < batch_seconds, (
+        f"incremental update ({median_update:.3f}s) did not beat the batch "
+        f"rebuild ({batch_seconds:.3f}s)"
+    )
+
+    # --- Claim 2: one service, several offered-load levels.
+    levels = []
+    serving_config = ServingConfig(workers=2, queue_bound=256,
+                                   compact_every=4096)
+    with PredictorService(graph, config, serving=serving_config) as service:
+        for clients in client_levels:
+            load = LoadGenerator(service, LoadConfig(
+                clients=clients,
+                windows=windows,
+                window_seconds=window_seconds,
+                warmup_windows=1 if windows > 1 else 0,
+                ingest_fraction=ingest_fraction,
+                seed=BENCH_SEED + clients,
+            )).run()
+            levels.append(load.to_dict())
+        stats = service.stats()
+
+    payload = {
+        "experiment": "serving",
+        "generator": "powerlaw_cluster",
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "k_local": BENCH_K_LOCAL,
+        "seed": BENCH_SEED,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "batch_build_seconds": batch_seconds,
+        "incremental_update_seconds": update_seconds,
+        "incremental_update_median_seconds": median_update,
+        "incremental_rescored_vertices": rescored_counts,
+        "incremental_speedup_vs_batch": speedup,
+        "load_levels": levels,
+        "service_stats": {
+            "requests_served": stats.requests_served,
+            "edges_ingested": stats.edges_ingested,
+            "dirty_vertices_rescored": stats.dirty_vertices_rescored,
+            "cache_hits": stats.cache_hits,
+            "cache_misses": stats.cache_misses,
+            "pair_cache_hits": stats.pair_cache_hits,
+            "pair_cache_misses": stats.pair_cache_misses,
+            "compactions": stats.compactions,
+        },
+    }
+    save_json("BENCH_serving", payload)
+
+    lines = [
+        f"Online serving ({num_vertices:,} vertices, "
+        f"{graph.num_edges:,} edges, k_local={BENCH_K_LOCAL})",
+        "",
+        f"batch index build        {batch_seconds:8.3f} s",
+        f"single-edge update (med) {median_update:8.4f} s   "
+        f"({speedup:,.0f}x faster, "
+        f"median {int(statistics.median(rescored_counts))} "
+        f"vertices rescored)",
+        "",
+        f"{'clients':>8} {'ops/s':>10} {'p50 ms':>9} {'p99 ms':>9}",
+    ]
+    for level in levels:
+        lines.append(
+            f"{level['offered_clients']:>8} "
+            f"{level['stable_throughput_ops']:>10.0f} "
+            f"{level['stable_p50_ms']:>9.3f} "
+            f"{level['stable_p99_ms']:>9.3f}"
+        )
+    save_result("BENCH_serving", "\n".join(lines))

@@ -26,7 +26,6 @@ import os
 import platform
 import time
 
-from repro.graph.generators import powerlaw_cluster
 from repro.snaple.config import SnapleConfig
 from repro.snaple.predictor import SnapleLinkPredictor
 
@@ -55,11 +54,11 @@ def _timed_predict(predictor, graph, iterations: int, *, dict_state: bool,
     return best, report
 
 
-def test_bench_state_plane(save_json, save_result, monkeypatch):
+def test_bench_state_plane(save_json, save_result, monkeypatch, bench_graph):
     iterations = int(os.environ.get("SNAPLE_BENCH_ITERATIONS", "3"))
     num_vertices = int(os.environ.get("SNAPLE_BENCH_VERTICES",
                                       str(ACCEPTANCE_VERTICES)))
-    graph = powerlaw_cluster(num_vertices, 3, 0.2, seed=BENCH_SEED)
+    graph = bench_graph(num_vertices, 3, 0.2, seed=BENCH_SEED)
     config = SnapleConfig.paper_default(seed=BENCH_SEED, k_local=10)
     predictor = SnapleLinkPredictor(config)
 

@@ -24,6 +24,33 @@ BENCH_SCALE = 0.5
 BENCH_SEED = 42
 
 
+@pytest.fixture(scope="session")
+def bench_graph():
+    """Session-cached factory for the benchmarks' power-law graphs.
+
+    Every benchmark used to call ``powerlaw_cluster`` itself with its own
+    copy of the parameters; this factory is the single place those graphs
+    are built, and identical ``(num_vertices, m, p, seed)`` requests across
+    benchmarks share one instance instead of regenerating it.
+    """
+    from repro.graph.generators import powerlaw_cluster
+
+    cache: dict[tuple[int, int, float, int], object] = {}
+
+    def _build(num_vertices: int, edges_per_vertex: int = 3,
+               triangle_probability: float = 0.2, *,
+               seed: int = BENCH_SEED):
+        key = (num_vertices, edges_per_vertex, triangle_probability, seed)
+        if key not in cache:
+            cache[key] = powerlaw_cluster(
+                num_vertices, edges_per_vertex, triangle_probability,
+                seed=seed,
+            )
+        return cache[key]
+
+    return _build
+
+
 def pytest_collection_modifyitems(items) -> None:
     """Mark every benchmark test ``bench`` (registered in pyproject.toml)."""
     for item in items:

@@ -20,6 +20,12 @@ then resume from the newest checkpoint after an interruption::
     snaple ablation-engines --engine gas --workers 4 --checkpoint-dir ckpt
     snaple ablation-engines --engine gas --workers 4 --checkpoint-dir ckpt --resume
 
+Serve predictions from a long-lived process, ingest an edge, and watch the
+answer change (the online-serving demo loop)::
+
+    snaple serve --demo
+    snaple serve --vertex 5 --ingest 5:42 --workers 4 --json
+
 List the available experiments, dataset analogs and execution backends::
 
     snaple list
@@ -49,12 +55,23 @@ __all__ = ["main", "build_parser"]
 def _experiment_argument(value: str) -> str:
     """Normalize an experiment name (``_`` and ``-`` are interchangeable)."""
     key = value.replace("_", "-")
-    if key == "list" or key in EXPERIMENTS:
+    if key in ("list", "serve") or key in EXPERIMENTS:
         return key
-    known = ", ".join(sorted(EXPERIMENTS) + ["list"])
+    known = ", ".join(sorted(EXPERIMENTS) + ["list", "serve"])
     raise argparse.ArgumentTypeError(
         f"unknown experiment {value!r} (choose from: {known})"
     )
+
+
+def _edge_argument(value: str) -> tuple[int, int]:
+    """Parse an ``--ingest U:V`` directed-edge argument."""
+    try:
+        source, _, target = value.partition(":")
+        return int(source), int(target)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer edge 'U:V', got {value!r}"
+        ) from None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -150,6 +167,73 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the result as machine-readable JSON instead of a table",
     )
+    serving = parser.add_argument_group(
+        "online serving ('serve' only)",
+        "run a long-lived predictor service over a generated graph; "
+        "--workers sets the service's worker-thread count and --scale/--seed "
+        "size and seed the graph",
+    )
+    serving.add_argument(
+        "--queue-bound",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bounded job-queue capacity of the service (default 64)",
+    )
+    serving.add_argument(
+        "--compact-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "fold the delta overlay back into the CSR base every N ingested "
+            "edges (default 1024)"
+        ),
+    )
+    serving.add_argument(
+        "--vertex",
+        type=int,
+        default=None,
+        metavar="U",
+        help="issue a top-k request for vertex U (re-issued after --ingest)",
+    )
+    serving.add_argument(
+        "--ingest",
+        type=_edge_argument,
+        action="append",
+        default=None,
+        metavar="U:V",
+        help="stream the directed edge U->V into the service (repeatable)",
+    )
+    serving.add_argument(
+        "--demo",
+        action="store_true",
+        help=(
+            "demo loop: query a vertex, ingest its top prediction as a real "
+            "edge, and show the changed answer"
+        ),
+    )
+    serving.add_argument(
+        "--load-clients",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the closed-loop load generator with N clients",
+    )
+    serving.add_argument(
+        "--load-windows",
+        type=int,
+        default=3,
+        metavar="N",
+        help="instrumentation windows for --load-clients (default 3)",
+    )
+    serving.add_argument(
+        "--load-window-seconds",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="window length in seconds for --load-clients (default 1.0)",
+    )
     return parser
 
 
@@ -163,6 +247,10 @@ def _render_listing() -> str:
     lines = ["Available experiments:"]
     for name in sorted(EXPERIMENTS):
         lines.append(f"  {name:10s} {_experiment_summary(name)}")
+    lines.append(
+        "  serve      online predictor service with streamed edge ingest "
+        "(see 'snaple serve --help')"
+    )
     lines.append("")
     lines.append("Dataset analogs:")
     for name in dataset_names():
@@ -219,6 +307,171 @@ def _result_payload(result: Any) -> Any:
     return {"rendered": result.render()}
 
 
+def _run_serve(args: argparse.Namespace,
+               parser: argparse.ArgumentParser) -> int:
+    """The ``snaple serve`` session: start, request, ingest, shut down."""
+    from repro.graph.generators import powerlaw_cluster
+    from repro.serving import (
+        LoadConfig,
+        LoadGenerator,
+        PredictorService,
+        ServingConfig,
+    )
+    from repro.snaple.config import SnapleConfig
+
+    for flag, value in (("--engine", args.engine), ("--mode", args.mode),
+                        ("--checkpoint-dir", args.checkpoint_dir),
+                        ("--checkpoint-every", args.checkpoint_every)):
+        if value is not None:
+            parser.error(f"{flag} is not supported by 'serve'")
+    if args.resume:
+        parser.error("--resume is not supported by 'serve'")
+
+    # Up-front validation (ConfigurationError), before any graph work.
+    serving_config = ServingConfig(
+        workers=args.workers if args.workers is not None else 2,
+        queue_bound=(args.queue_bound
+                     if args.queue_bound is not None else 64),
+        compact_every=(args.compact_every
+                       if args.compact_every is not None else 1024),
+    )
+    num_vertices = max(60, int(round(1000 * args.scale)))
+    graph = powerlaw_cluster(num_vertices, 4, 0.4, seed=args.seed)
+    config = SnapleConfig.paper_default(seed=args.seed)
+
+    events: list[dict[str, Any]] = []
+
+    def top_k_event(service: PredictorService, vertex: int) -> dict[str, Any]:
+        answer = service.top_k(vertex)
+        return {
+            "op": "top_k",
+            "vertex": vertex,
+            "predicted": answer.predicted,
+            "scores": answer.scores,
+            "from_cache": answer.from_cache,
+        }
+
+    load_payload: dict[str, Any] | None = None
+    with PredictorService(graph, config, serving=serving_config) as service:
+        if args.vertex is not None:
+            events.append(top_k_event(service, args.vertex))
+        for source, target in args.ingest or []:
+            outcome = service.ingest([(source, target)])
+            events.append({
+                "op": "ingest",
+                "edge": [source, target],
+                "added": len(outcome.added),
+                "rescored": outcome.rescored,
+                "compacted": outcome.compacted,
+            })
+        if args.ingest and args.vertex is not None:
+            events.append(top_k_event(service, args.vertex))
+        if args.demo:
+            # Ingest a vertex's top prediction as a real edge: the candidate
+            # joins Γ̂(u), is excluded from candidacy, and the answer changes.
+            subject = next(
+                (u for u in range(service.num_vertices)
+                 if service.top_k(u).predicted), None,
+            )
+            if subject is None:
+                parser.error("demo graph produced no predictions; "
+                             "raise --scale")
+            before = service.top_k(subject)
+            ingested = before.predicted[0]
+            service.ingest([(subject, ingested)])
+            after = service.top_k(subject)
+            events.append({
+                "op": "demo",
+                "vertex": subject,
+                "ingested_edge": [subject, ingested],
+                "before": before.predicted,
+                "after": after.predicted,
+                "answer_changed": after.predicted != before.predicted,
+            })
+        if args.load_clients is not None:
+            load_config = LoadConfig(
+                clients=args.load_clients,
+                windows=args.load_windows,
+                window_seconds=args.load_window_seconds,
+                warmup_windows=1 if args.load_windows > 1 else 0,
+                seed=args.seed,
+            )
+            load_payload = LoadGenerator(service, load_config).run().to_dict()
+        stats = service.stats()
+        report = service.report()
+
+    if args.json:
+        payload = {
+            "experiment": "serve",
+            "scale": args.scale,
+            "seed": args.seed,
+            "serving": dataclasses.asdict(serving_config),
+            "graph": {
+                "num_vertices": graph.num_vertices,
+                "num_edges": graph.num_edges,
+            },
+            "events": events,
+            "load": load_payload,
+            "stats": dataclasses.asdict(stats),
+            "extra": report.extra,
+            "uptime_seconds": report.wall_clock_seconds,
+        }
+        print(json.dumps(payload, indent=2, default=_json_default))
+        return 0
+    lines = [
+        f"Online serving: |V|={graph.num_vertices:,} "
+        f"|E|={graph.num_edges:,}, workers={serving_config.workers}, "
+        f"queue bound={serving_config.queue_bound}, "
+        f"compact every={serving_config.compact_every}",
+    ]
+    for event in events:
+        if event["op"] == "top_k":
+            lines.append(
+                f"  top-k({event['vertex']}) -> {event['predicted']}"
+                + ("  [cached]" if event["from_cache"] else "")
+            )
+        elif event["op"] == "ingest":
+            source, target = event["edge"]
+            lines.append(
+                f"  ingest {source}->{target}: added={event['added']} "
+                f"rescored={event['rescored']} vertices"
+                + (" (compacted)" if event["compacted"] else "")
+            )
+        else:
+            lines.append(
+                f"  demo: top-k({event['vertex']}) {event['before']} "
+                f"-> ingest {event['ingested_edge'][0]}->"
+                f"{event['ingested_edge'][1]} -> {event['after']} "
+                f"(answer changed: {event['answer_changed']})"
+            )
+    if load_payload is not None:
+        lines.append(
+            f"  load: {load_payload['offered_clients']} clients, "
+            f"stable {load_payload['stable_throughput_ops']:.0f} ops/s, "
+            f"p50 {load_payload['stable_p50_ms']:.3f} ms, "
+            f"p99 {load_payload['stable_p99_ms']:.3f} ms"
+        )
+    lines.append(
+        f"  stats: served={stats.requests_served} "
+        f"ingested={stats.edges_ingested} "
+        f"rescored={stats.dirty_vertices_rescored} "
+        f"cache {stats.cache_hits}/{stats.cache_hits + stats.cache_misses} "
+        f"compactions={stats.compactions}"
+    )
+    print("\n".join(lines))
+    return 0
+
+
+#: Serve-only flags rejected for batch experiments (dest, rendered flag).
+_SERVE_ONLY_FLAGS = (
+    ("queue_bound", "--queue-bound"),
+    ("compact_every", "--compact-every"),
+    ("vertex", "--vertex"),
+    ("ingest", "--ingest"),
+    ("load_clients", "--load-clients"),
+)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for the ``snaple`` console script."""
     parser = build_parser()
@@ -229,6 +482,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         else:
             print(_render_listing())
         return 0
+    if args.experiment == "serve":
+        return _run_serve(args, parser)
+    for dest, flag in _SERVE_ONLY_FLAGS:
+        if getattr(args, dest) is not None:
+            parser.error(
+                f"{flag} is only supported by the 'serve' experiment"
+            )
+    if args.demo:
+        parser.error("--demo is only supported by the 'serve' experiment")
     experiment = EXPERIMENTS[args.experiment]
     kwargs: dict[str, Any] = {"scale": args.scale, "seed": args.seed}
     parameters = inspect.signature(experiment).parameters

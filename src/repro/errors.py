@@ -78,5 +78,15 @@ class ConfigurationError(ReproError):
     """Raised when a predictor or experiment configuration is invalid."""
 
 
+class ServingError(ReproError):
+    """Raised when the online predictor service is misused.
+
+    Covers submitting work to a service that was never started (or already
+    stopped) and job submissions that time out against the bounded queue.
+    Invalid service *configurations* raise :class:`ConfigurationError`
+    up front instead, consistent with the rest of the repo.
+    """
+
+
 class EvaluationError(ReproError):
     """Raised when an evaluation protocol cannot be applied to a graph."""

@@ -44,7 +44,11 @@ class RunReport:
     ``state_columnar`` / ``state_plane_peak_bytes``, and — on checkpointed
     parallel runs — ``checkpoints_written`` / ``checkpoint_bytes`` /
     ``checkpoint_seconds``, ``worker_restarts`` and
-    ``resumed_from_superstep``) and ``native`` keeps the backend's own
+    ``resumed_from_superstep``, and — on the online ``serving`` backend —
+    ``requests_served``, ``edges_ingested``, ``dirty_vertices_rescored``,
+    ``cache_hits`` / ``cache_misses``, ``pair_cache_hits`` /
+    ``pair_cache_misses``, ``compactions`` and ``delta_edges``) and
+    ``native`` keeps the backend's own
     result object for callers that need engine internals.
 
     ``scores`` is a mapping from vertex to its candidate score map.  Most

@@ -1,0 +1,343 @@
+"""Incremental SNAPLE index: dirty-region rescoring over a :class:`GraphDelta`.
+
+A cold batch run executes Algorithm 2's three phases for every vertex.  When
+one edge ``a -> b`` streams in, almost all of that work is still valid; the
+per-vertex RNG discipline (``vertex_rng(seed, salt, vertex)``, PRs 2–5) makes
+each vertex's random draws independent of every other vertex, so the affected
+region can be recomputed *exactly* without replaying anyone else's stream.
+
+The dirty closure follows the data-flow of the kernel phases:
+
+* ``Γ̂(u)`` depends only on ``u``'s raw out-adjacency and ``u``'s own RNG
+  stream → only the edge *sources* are gamma-dirty;
+* ``sims(w)`` (phase 2+3a) reads ``Γ̂(w)``, ``Γ̂(x)`` for ``x ∈ Γ(w)`` and
+  ``w``'s raw adjacency → dirty when ``w`` is gamma-dirty or points at a
+  gamma-dirty vertex: one reverse hop;
+* the ranked scores of ``t`` (phase 3b) read ``sims(t)``, ``sims(v)`` for
+  ``v ∈ Γ(t)``, ``Γ̂(t)`` and ``t``'s raw adjacency → dirty within one more
+  reverse hop.
+
+So a single edge rescores the 2-reverse-hop region around its source — the
+k-hop dirty set — through the same vectorized kernel calls a batch run uses
+(``gas_sample_step_columnar`` / ``edge_similarities`` / ``select_klocal`` /
+``combine_and_rank_columnar`` with ``rng_mode="per_vertex"`` and GAS fold
+order), which is why the result is bit-identical to a cold batch ``predict``
+on the final graph with the parallel ``gas``/``bsp`` backends.
+
+:class:`PairSimilarityCache` persists the expensive unordered-pair
+intersections across refreshes through the ``pair_cache`` hook of
+:func:`repro.snaple.kernel.edge_similarities`, invalidating only the pairs
+touching a gamma-dirty vertex.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import VertexNotFoundError
+from repro.graph.digraph import DiGraph
+from repro.runtime.state import indptr_from_counts
+from repro.serving.delta import GraphDelta
+from repro.snaple import kernel
+from repro.snaple.config import SnapleConfig
+
+__all__ = ["AppliedUpdate", "IncrementalIndex", "PairSimilarityCache"]
+
+#: Bits reserved for the high vertex id in a packed pair key.
+_PAIR_SHIFT = 32
+
+
+class PairSimilarityCache:
+    """Unordered-pair intersection cache with per-vertex invalidation.
+
+    Implements the ``lookup``/``store`` protocol of
+    :func:`repro.snaple.kernel.edge_similarities`.  Keys pack the unordered
+    vertex pair as ``low << 32 | high`` (graphs stay far below 2^31
+    vertices); a reverse map from vertex to its cached keys makes
+    :meth:`invalidate` proportional to the invalidated pairs, not the cache.
+    """
+
+    __slots__ = ("_inter", "_by_vertex", "hits", "misses", "invalidated")
+
+    def __init__(self) -> None:
+        self._inter: dict[int, int] = {}
+        self._by_vertex: dict[int, set[int]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidated = 0
+
+    def __len__(self) -> int:
+        return len(self._inter)
+
+    def lookup(self, low: np.ndarray, high: np.ndarray
+               ) -> tuple[np.ndarray, np.ndarray]:
+        """Cached intersections for each pair plus the found-mask."""
+        inter = np.zeros(low.size, dtype=np.int64)
+        known = np.zeros(low.size, dtype=bool)
+        table = self._inter
+        for position, (a, b) in enumerate(zip(low.tolist(), high.tolist())):
+            value = table.get((a << _PAIR_SHIFT) | b)
+            if value is not None:
+                inter[position] = value
+                known[position] = True
+        found = int(known.sum())
+        self.hits += found
+        self.misses += low.size - found
+        return inter, known
+
+    def store(self, low: np.ndarray, high: np.ndarray,
+              inter: np.ndarray) -> None:
+        table = self._inter
+        by_vertex = self._by_vertex
+        for a, b, value in zip(low.tolist(), high.tolist(), inter.tolist()):
+            key = (a << _PAIR_SHIFT) | b
+            table[key] = value
+            by_vertex.setdefault(a, set()).add(key)
+            if b != a:
+                by_vertex.setdefault(b, set()).add(key)
+
+    def invalidate(self, vertices) -> int:
+        """Drop every cached pair touching any of ``vertices``."""
+        dropped = 0
+        for v in vertices:
+            v = int(v)
+            keys = self._by_vertex.pop(v, None)
+            if not keys:
+                continue
+            for key in keys:
+                if self._inter.pop(key, None) is not None:
+                    dropped += 1
+                low, high = key >> _PAIR_SHIFT, key & ((1 << _PAIR_SHIFT) - 1)
+                other = high if low == v else low
+                partner = self._by_vertex.get(other)
+                if partner is not None:
+                    partner.discard(key)
+                    if not partner:
+                        del self._by_vertex[other]
+        self.invalidated += dropped
+        return dropped
+
+    def clear(self) -> None:
+        self._inter.clear()
+        self._by_vertex.clear()
+
+
+@dataclass(frozen=True)
+class AppliedUpdate:
+    """Outcome of one :meth:`IncrementalIndex.apply_edges` call."""
+
+    added: list[tuple[int, int]]
+    gamma_dirty: np.ndarray = field(repr=False)
+    rescored: np.ndarray = field(repr=False)
+
+    @property
+    def num_rescored(self) -> int:
+        return int(self.rescored.size)
+
+
+class _ScoresView(Mapping):
+    """Read-only ``vertex -> {candidate: score}`` view over the index arrays."""
+
+    __slots__ = ("_index",)
+
+    def __init__(self, index: "IncrementalIndex") -> None:
+        self._index = index
+
+    def __getitem__(self, u: int) -> dict[int, float]:
+        if not 0 <= u < self._index.num_vertices:
+            raise KeyError(u)
+        return self._index.scores(u)
+
+    def __iter__(self):
+        return iter(range(self._index.num_vertices))
+
+    def __len__(self) -> int:
+        return self._index.num_vertices
+
+
+class IncrementalIndex:
+    """Maintains every vertex's Γ̂, kept neighbors, and ranked predictions.
+
+    Construction runs a cold build (equivalent to a batch run over the whole
+    graph); :meth:`apply_edges` then keeps the state exact under streamed
+    edge additions by rescoring only the dirty closure.  All randomness is
+    per-vertex (``rng_mode="per_vertex"``, GAS fold order), so the
+    maintained predictions and scores are bit-identical to a cold batch
+    ``predict(backend="gas"/"bsp", workers=N)`` on the current merged graph.
+    """
+
+    def __init__(self, graph: DiGraph | GraphDelta, config: SnapleConfig,
+                 *, use_pair_cache: bool = True) -> None:
+        self._graph = (graph if isinstance(graph, GraphDelta)
+                       else GraphDelta(graph))
+        self._config = config
+        self.pair_cache = PairSimilarityCache() if use_pair_cache else None
+        self.rescored_total = 0
+        self.refreshes = 0
+        self._gamma_rows: list[np.ndarray] = []
+        self._kept_ids: list[np.ndarray] = []
+        self._kept_sims: list[np.ndarray] = []
+        self._pred_rows: list[list[int]] = []
+        self._score_ids: list[np.ndarray] = []
+        self._score_vals: list[np.ndarray] = []
+        self._grow_to(self._graph.num_vertices)
+        everything = np.arange(self._graph.num_vertices, dtype=np.int64)
+        self._refresh(everything, everything, everything)
+
+    # ------------------------------------------------------------------
+    # Read surface
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> GraphDelta:
+        return self._graph
+
+    @property
+    def config(self) -> SnapleConfig:
+        return self._config
+
+    @property
+    def num_vertices(self) -> int:
+        return self._graph.num_vertices
+
+    def _check_vertex(self, u: int) -> None:
+        if not 0 <= u < self._graph.num_vertices:
+            raise VertexNotFoundError(u, self._graph.num_vertices)
+
+    def predictions(self, u: int) -> list[int]:
+        """The ranked top-``k`` predicted targets of ``u``."""
+        self._check_vertex(u)
+        return list(self._pred_rows[u])
+
+    def scores(self, u: int) -> dict[int, float]:
+        """The full candidate score map of ``u`` (materialized on demand)."""
+        self._check_vertex(u)
+        return dict(zip(self._score_ids[u].tolist(),
+                        self._score_vals[u].tolist()))
+
+    def prediction_scores(self, u: int) -> list[float]:
+        """Scores aligned with :meth:`predictions` (candidates are sorted
+        ascending inside each score row, so each lookup is a binary search)."""
+        self._check_vertex(u)
+        ids = self._score_ids[u]
+        vals = self._score_vals[u]
+        out: list[float] = []
+        for candidate in self._pred_rows[u]:
+            position = int(np.searchsorted(ids, candidate))
+            out.append(float(vals[position]))
+        return out
+
+    def all_predictions(self) -> dict[int, list[int]]:
+        return {u: list(row) for u, row in enumerate(self._pred_rows)}
+
+    def scores_view(self) -> Mapping:
+        """Lazy mapping over every vertex's score map (for RunReport)."""
+        return _ScoresView(self)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def apply_edges(self, edges) -> AppliedUpdate:
+        """Absorb streamed edges and rescore exactly the dirty closure."""
+        added = self._graph.add_edges(edges)
+        if not added:
+            return AppliedUpdate(added=[],
+                                 gamma_dirty=np.empty(0, dtype=np.int64),
+                                 rescored=np.empty(0, dtype=np.int64))
+        self._grow_to(self._graph.num_vertices)
+        gamma_dirty = np.unique(
+            np.asarray([u for u, _ in added], dtype=np.int64)
+        )
+        sims_dirty = self._reverse_closure(gamma_dirty)
+        targets = self._reverse_closure(sims_dirty)
+        self._refresh(gamma_dirty, sims_dirty, targets)
+        self.rescored_total += int(targets.size)
+        return AppliedUpdate(added=added, gamma_dirty=gamma_dirty,
+                             rescored=targets)
+
+    def compact(self) -> DiGraph:
+        """Fold the delta overlay into a fresh CSR base (no rescoring:
+        the merged adjacency — and therefore every maintained row — is
+        unchanged by compaction)."""
+        return self._graph.compact()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _grow_to(self, n: int) -> None:
+        while len(self._gamma_rows) < n:
+            self._gamma_rows.append(np.empty(0, dtype=np.int64))
+            self._kept_ids.append(np.empty(0, dtype=np.int64))
+            self._kept_sims.append(np.empty(0, dtype=np.float64))
+            self._pred_rows.append([])
+            self._score_ids.append(np.empty(0, dtype=np.int64))
+            self._score_vals.append(np.empty(0, dtype=np.float64))
+
+    def _reverse_closure(self, vertices: np.ndarray) -> np.ndarray:
+        """``vertices`` plus their in-neighbors on the merged graph, sorted."""
+        parts = [vertices]
+        for u in vertices.tolist():
+            parts.append(np.asarray(self._graph.in_neighbors(u),
+                                    dtype=np.int64))
+        return np.unique(np.concatenate(parts))
+
+    def _build_gamma(self) -> kernel.NeighborhoodCSR:
+        n = self._graph.num_vertices
+        counts = np.fromiter((row.size for row in self._gamma_rows),
+                             dtype=np.int64, count=n)
+        flat = (np.concatenate(self._gamma_rows) if n
+                else np.empty(0, dtype=np.int64))
+        return kernel.NeighborhoodCSR.from_rows(n, counts, flat)
+
+    def _build_kept(self) -> kernel.KeptNeighbors:
+        n = self._graph.num_vertices
+        counts = np.fromiter((row.size for row in self._kept_ids),
+                             dtype=np.int64, count=n)
+        if n:
+            ids = np.concatenate(self._kept_ids)
+            sims = np.concatenate(self._kept_sims)
+        else:
+            ids = np.empty(0, dtype=np.int64)
+            sims = np.empty(0, dtype=np.float64)
+        return kernel.KeptNeighbors(indptr=indptr_from_counts(counts),
+                                    ids=ids, sims=sims)
+
+    def _refresh(self, gamma_dirty: np.ndarray, sims_dirty: np.ndarray,
+                 targets: np.ndarray) -> None:
+        """Recompute phases 1/2+3a/3b for the given (nested) dirty sets."""
+        graph, config = self._graph, self._config
+        counts, flat, _gathers = kernel.gas_sample_step_columnar(
+            graph, config, gamma_dirty
+        )
+        offsets = indptr_from_counts(counts)
+        for position, u in enumerate(gamma_dirty.tolist()):
+            self._gamma_rows[u] = flat[offsets[position]:
+                                       offsets[position + 1]].copy()
+        if self.pair_cache is not None:
+            self.pair_cache.invalidate(gamma_dirty.tolist())
+        gamma = self._build_gamma()
+        edges = kernel.edge_similarities(graph, gamma, config,
+                                         rows=sims_dirty,
+                                         pair_cache=self.pair_cache)
+        kept = kernel.select_klocal(edges, config, rng_mode="per_vertex",
+                                    rows=sims_dirty)
+        for u in sims_dirty.tolist():
+            start, end = int(kept.indptr[u]), int(kept.indptr[u + 1])
+            self._kept_ids[u] = kept.ids[start:end].copy()
+            self._kept_sims[u] = kept.sims[start:end].copy()
+        kept_full = self._build_kept()
+        (pred_counts, pred_flat, score_counts, score_candidates,
+         score_values) = kernel.combine_and_rank_columnar(
+            graph, gamma, kept_full, config, targets, neighbor_order="csr"
+        )
+        pred_offsets = indptr_from_counts(pred_counts)
+        score_offsets = indptr_from_counts(score_counts)
+        for position, u in enumerate(targets.tolist()):
+            self._pred_rows[u] = pred_flat[pred_offsets[position]:
+                                           pred_offsets[position + 1]].tolist()
+            start, end = score_offsets[position], score_offsets[position + 1]
+            self._score_ids[u] = score_candidates[start:end].copy()
+            self._score_vals[u] = score_values[start:end].copy()
+        self.refreshes += 1

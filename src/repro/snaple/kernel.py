@@ -449,12 +449,22 @@ def _pairwise_intersections(gamma: NeighborhoodCSR, left: np.ndarray,
 
 def edge_similarities(graph: DiGraph, gamma: NeighborhoodCSR,
                       config: SnapleConfig, *,
-                      rows: np.ndarray | None = None) -> EdgeSimilarities:
+                      rows: np.ndarray | None = None,
+                      pair_cache: Any | None = None) -> EdgeSimilarities:
     """Phase 2: path + selection similarities for every edge in one pass.
 
     The intersection — the only expensive part, shared by every similarity in
     the table — is computed once per *unordered* vertex pair (the
     edge-symmetric cache) and broadcast back to the directed edges.
+
+    ``pair_cache`` optionally persists those per-pair intersections across
+    calls.  It must provide ``lookup(low, high) -> (inter, known)`` — the
+    cached ``|Γ̂(low[i]) ∩ Γ̂(high[i])|`` values plus a boolean mask of which
+    entries were found — and ``store(low, high, inter)`` for the entries
+    computed here.  The serving layer's
+    :class:`~repro.serving.index.PairSimilarityCache` implements the
+    protocol with per-vertex invalidation; batch callers pass ``None`` and
+    keep the one-shot behaviour.
     """
     num_vertices = graph.num_vertices
     indptr, indices = graph.csr_out_adjacency()
@@ -476,9 +486,21 @@ def edge_similarities(graph: DiGraph, gamma: NeighborhoodCSR,
         distinct, representative, inverse = np.unique(
             pair_keys, return_index=True, return_inverse=True
         )
-        inter = _pairwise_intersections(
-            gamma, low[representative], high[representative]
-        )[inverse]
+        rep_low = low[representative]
+        rep_high = high[representative]
+        if pair_cache is None:
+            rep_inter = _pairwise_intersections(gamma, rep_low, rep_high)
+        else:
+            rep_inter, known = pair_cache.lookup(rep_low, rep_high)
+            missing = np.flatnonzero(~known)
+            if missing.size:
+                computed = _pairwise_intersections(
+                    gamma, rep_low[missing], rep_high[missing]
+                )
+                rep_inter[missing] = computed
+                pair_cache.store(rep_low[missing], rep_high[missing],
+                                 computed)
+        inter = rep_inter[inverse]
 
     size_u = gamma.sizes[row_id] if flat.size else np.zeros(0, dtype=np.int64)
     size_v = gamma.sizes[flat] if flat.size else np.zeros(0, dtype=np.int64)

@@ -94,3 +94,105 @@ class TestEngineAndJsonFlags:
         payload = json.loads(captured.out)
         assert payload["experiment"] == "figure9"
         assert "result" in payload
+
+
+class TestServeParser:
+    def test_serve_flags_parse(self):
+        args = build_parser().parse_args([
+            "serve", "--queue-bound", "8", "--compact-every", "16",
+            "--workers", "3", "--vertex", "5", "--ingest", "1:2",
+            "--ingest", "3:4", "--demo",
+        ])
+        assert args.experiment == "serve"
+        assert args.queue_bound == 8
+        assert args.compact_every == 16
+        assert args.workers == 3
+        assert args.vertex == 5
+        assert args.ingest == [(1, 2), (3, 4)]
+        assert args.demo
+
+    def test_load_flags_parse(self):
+        args = build_parser().parse_args([
+            "serve", "--load-clients", "4", "--load-windows", "2",
+            "--load-window-seconds", "0.5",
+        ])
+        assert args.load_clients == 4
+        assert args.load_windows == 2
+        assert args.load_window_seconds == 0.5
+
+    @pytest.mark.parametrize("edge", ["bad", "1:", ":2", "1:2:3", "a:b"])
+    def test_malformed_ingest_edge_rejected(self, edge):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--ingest", edge])
+
+    def test_list_mentions_serve(self, capsys):
+        main(["list"])
+        assert "serve" in capsys.readouterr().out
+
+
+class TestServeMain:
+    def test_serve_only_flags_rejected_elsewhere(self):
+        for argv in (["figure9", "--queue-bound", "4"],
+                     ["figure9", "--compact-every", "4"],
+                     ["figure9", "--vertex", "1"],
+                     ["figure9", "--ingest", "1:2"],
+                     ["figure9", "--load-clients", "2"],
+                     ["figure9", "--demo"]):
+            with pytest.raises(SystemExit):
+                main(argv + ["--scale", "0.2"])
+
+    def test_batch_flags_rejected_for_serve(self):
+        for argv in (["serve", "--engine", "gas"],
+                     ["serve", "--mode", "reference"],
+                     ["serve", "--checkpoint-dir", "/tmp/ckpt"],
+                     ["serve", "--resume"]):
+            with pytest.raises(SystemExit):
+                main(argv)
+
+    @pytest.mark.parametrize("argv", [
+        ["serve", "--queue-bound", "0"],
+        ["serve", "--workers", "0"],
+        ["serve", "--compact-every", "0"],
+    ])
+    def test_invalid_serving_config_surfaces(self, argv):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(argv)
+
+    def test_query_and_ingest_session(self, capsys):
+        exit_code = main(["serve", "--scale", "0.08", "--vertex", "3",
+                          "--ingest", "3:7", "--workers", "1"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Online serving" in captured.out
+        assert "top-k(3)" in captured.out
+        assert "ingest 3->7" in captured.out
+        assert "stats:" in captured.out
+
+    def test_demo_json_shows_changed_answer(self, capsys):
+        exit_code = main(["serve", "--demo", "--json", "--scale", "0.08"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        payload = json.loads(captured.out)
+        assert payload["experiment"] == "serve"
+        demo = next(event for event in payload["events"]
+                    if event["op"] == "demo")
+        assert demo["answer_changed"] is True
+        assert demo["before"] != demo["after"]
+        assert demo["ingested_edge"][1] == demo["before"][0]
+        assert payload["stats"]["edges_ingested"] == 1
+        assert payload["extra"]["requests_served"] >= 2.0
+
+    def test_load_generator_json(self, capsys):
+        exit_code = main(["serve", "--json", "--scale", "0.08",
+                          "--load-clients", "2", "--load-windows", "2",
+                          "--load-window-seconds", "0.1"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        payload = json.loads(captured.out)
+        load = payload["load"]
+        assert load["offered_clients"] == 2
+        assert len(load["windows"]) == 2
+        assert load["stable_windows"] == 1
+        assert load["total_operations"] > 0

@@ -135,3 +135,49 @@ class TestParallelReportRoundtrip:
         once = roundtrip(payload)
         twice = roundtrip(once)
         assert once == twice
+
+
+class TestServingReportRoundtrip:
+    @pytest.fixture(scope="class")
+    def serving_report(self, graph):
+        from repro.serving import PredictorService, ServingConfig
+
+        config = SnapleConfig.paper_default(seed=3, k_local=6)
+        with PredictorService(graph, config,
+                              serving=ServingConfig(workers=2,
+                                                    compact_every=1)
+                              ) as service:
+            service.top_k(0)
+            service.top_k(0)  # result-cache hit
+            u = next(w for w in range(service.num_vertices)
+                     if service.top_k(w).predicted)
+            service.ingest_edge(u, service.top_k(u).predicted[0])
+            return service.report()
+
+    def test_serving_extras(self, serving_report):
+        payload = serving_report.to_dict()
+        assert_json_clean(payload)
+        restored = roundtrip(payload)
+        assert restored["backend"] == "serving"
+        extra = restored["extra"]
+        assert extra["requests_served"] >= 3.0
+        assert extra["edges_ingested"] == 1.0
+        assert extra["dirty_vertices_rescored"] > 0.0
+        assert extra["cache_hits"] >= 1.0
+        assert extra["cache_misses"] >= 1.0
+        assert extra["compactions"] == 1.0
+        assert extra["delta_edges"] == 0.0
+        assert restored["workers"] == 2
+        assert restored["wall_clock_seconds"] > 0.0
+
+    def test_serving_scores_roundtrip(self, serving_report):
+        payload = serving_report.to_dict(include_scores=True)
+        assert_json_clean(payload)
+        restored = roundtrip(payload)
+        some_vertex = next(
+            u for u, targets in serving_report.predictions.items() if targets
+        )
+        assert restored["scores"][str(some_vertex)] == {
+            str(candidate): score
+            for candidate, score in serving_report.scores[some_vertex].items()
+        }

@@ -1,0 +1,147 @@
+"""IncrementalIndex: dirty-region rescoring stays exact and bounded."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import VertexNotFoundError
+from repro.graph.digraph import DiGraph
+from repro.serving import GraphDelta, IncrementalIndex
+from repro.snaple.config import SnapleConfig
+
+
+def _absent_edges(graph, count, seed):
+    rng = np.random.default_rng(seed)
+    edges, seen = [], set()
+    while len(edges) < count:
+        u = int(rng.integers(graph.num_vertices))
+        v = int(rng.integers(graph.num_vertices))
+        if u != v and (u, v) not in seen and not graph.has_edge(u, v):
+            edges.append((u, v))
+            seen.add((u, v))
+    return edges
+
+
+def _final_graph(base: DiGraph, stream) -> DiGraph:
+    src, dst = base.edge_arrays()
+    return DiGraph(
+        max(base.num_vertices, max((max(u, v) for u, v in stream),
+                                   default=-1) + 1),
+        np.concatenate([src, np.asarray([u for u, _ in stream])]),
+        np.concatenate([dst, np.asarray([v for _, v in stream])]),
+    )
+
+
+def _assert_same_state(index: IncrementalIndex, other: IncrementalIndex):
+    assert index.all_predictions() == other.all_predictions()
+    for u in range(index.num_vertices):
+        assert index.scores(u) == other.scores(u)
+
+
+@pytest.fixture(scope="module")
+def config() -> SnapleConfig:
+    return SnapleConfig.paper_default(seed=3, k_local=6)
+
+
+class TestIncrementalEqualsCold:
+    def test_one_edge_at_a_time(self, random_graph, config):
+        base = random_graph(90, 3, 0.3, seed=7)
+        stream = _absent_edges(base, 12, seed=1)
+        index = IncrementalIndex(base, config)
+        for edge in stream:
+            index.apply_edges([edge])
+        _assert_same_state(index, IncrementalIndex(_final_graph(base, stream),
+                                                   config))
+
+    def test_batched_with_compaction(self, random_graph, config):
+        base = random_graph(90, 3, 0.3, seed=7)
+        stream = _absent_edges(base, 12, seed=2)
+        index = IncrementalIndex(base, config)
+        index.apply_edges(stream[:5])
+        index.compact()
+        assert index.graph.num_delta_edges == 0
+        index.apply_edges(stream[5:])
+        _assert_same_state(index, IncrementalIndex(_final_graph(base, stream),
+                                                   config))
+
+    def test_truncating_config(self, random_graph):
+        config = SnapleConfig.paper_default(seed=5, k=4, k_local=3,
+                                            truncation_threshold=4)
+        base = random_graph(90, 3, 0.3, seed=7)
+        stream = _absent_edges(base, 8, seed=3)
+        index = IncrementalIndex(base, config)
+        for edge in stream:
+            index.apply_edges([edge])
+        _assert_same_state(index, IncrementalIndex(_final_graph(base, stream),
+                                                   config))
+
+    def test_without_pair_cache(self, random_graph, config):
+        base = random_graph(60, 3, 0.3, seed=8)
+        stream = _absent_edges(base, 6, seed=4)
+        cached = IncrementalIndex(base, config)
+        uncached = IncrementalIndex(GraphDelta(base), config,
+                                    use_pair_cache=False)
+        assert uncached.pair_cache is None
+        for edge in stream:
+            cached.apply_edges([edge])
+            uncached.apply_edges([edge])
+        _assert_same_state(cached, uncached)
+
+
+class TestDirtyTracking:
+    def test_rescored_covers_sources(self, random_graph, config):
+        base = random_graph(90, 3, 0.3, seed=7)
+        index = IncrementalIndex(base, config)
+        (u, v), = _absent_edges(base, 1, seed=5)
+        update = index.apply_edges([(u, v)])
+        assert update.added == [(u, v)]
+        assert u in update.gamma_dirty.tolist()
+        rescored = set(update.rescored.tolist())
+        assert set(update.gamma_dirty.tolist()) <= rescored
+        # The dirty closure stays a region, not the whole graph.
+        assert update.num_rescored < index.num_vertices
+        assert index.rescored_total == update.num_rescored
+
+    def test_duplicate_only_batch_is_noop(self, random_graph, config):
+        base = random_graph(60, 3, 0.3, seed=8)
+        index = IncrementalIndex(base, config)
+        before = index.all_predictions()
+        src, dst = base.edge_arrays()
+        update = index.apply_edges([(int(src[0]), int(dst[0]))])
+        assert update.added == []
+        assert update.num_rescored == 0
+        assert index.all_predictions() == before
+
+    def test_growth_and_bad_vertex(self, random_graph, config):
+        base = random_graph(60, 3, 0.3, seed=8)
+        index = IncrementalIndex(base, config)
+        with pytest.raises(VertexNotFoundError):
+            index.predictions(base.num_vertices)
+        index.apply_edges([(0, base.num_vertices + 2)])
+        assert index.num_vertices == base.num_vertices + 3
+        assert index.predictions(base.num_vertices + 2) == []
+
+
+class TestPairCache:
+    def test_hits_accumulate_and_invalidate(self, random_graph, config):
+        base = random_graph(90, 3, 0.3, seed=7)
+        index = IncrementalIndex(base, config)
+        cache = index.pair_cache
+        assert cache.misses > 0 and cache.hits == 0  # cold build
+        cold_misses = cache.misses
+        (edge,) = _absent_edges(base, 1, seed=6)
+        index.apply_edges([edge])
+        # The rescored region re-reads mostly unchanged pairs.
+        assert cache.hits > 0
+        assert cache.invalidated > 0
+        assert cache.misses - cold_misses < cold_misses
+
+    def test_scores_view_matches_scores(self, random_graph, config):
+        base = random_graph(60, 3, 0.3, seed=8)
+        index = IncrementalIndex(base, config)
+        view = index.scores_view()
+        assert len(view) == index.num_vertices
+        assert view[3] == index.scores(3)
+        with pytest.raises(KeyError):
+            view[index.num_vertices]

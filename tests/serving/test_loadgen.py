@@ -1,0 +1,90 @@
+"""Load generator: config validation and windowed accounting invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serving import (
+    LoadConfig,
+    LoadGenerator,
+    PredictorService,
+    ServingConfig,
+)
+from repro.snaple.config import SnapleConfig
+
+
+class TestLoadConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"clients": 0},
+        {"windows": 0},
+        {"window_seconds": 0.0},
+        {"window_seconds": -1.0},
+        {"ingest_fraction": -0.1},
+        {"ingest_fraction": 1.5},
+        {"warmup_windows": -1},
+        {"cooldown_windows": -1},
+        # Stable cut empty: warmup + cooldown consume every window.
+        {"windows": 3, "warmup_windows": 2, "cooldown_windows": 1},
+    ])
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            LoadConfig(**kwargs)
+
+
+class TestRunAccounting:
+    @pytest.fixture(scope="class")
+    def result(self, random_graph):
+        graph = random_graph(100, 3, 0.3, seed=13)
+        config = SnapleConfig.paper_default(seed=3, k_local=6)
+        load = LoadConfig(clients=2, windows=3, window_seconds=0.15,
+                          warmup_windows=1, ingest_fraction=0.2, seed=5)
+        with PredictorService(graph, config,
+                              serving=ServingConfig(workers=2)) as service:
+            return LoadGenerator(service, load).run(), service.stats()
+
+    def test_window_trajectory(self, result):
+        run, _stats = result
+        assert len(run.windows) == 3
+        assert [w.window for w in run.windows] == [0, 1, 2]
+        for window in run.windows:
+            assert window.operations == window.queries + window.ingests
+            assert window.throughput_ops == pytest.approx(
+                window.operations / run.window_seconds
+            )
+            if window.operations:
+                assert 0 <= window.p50_ms <= window.p99_ms
+
+    def test_totals_are_sums(self, result):
+        run, _stats = result
+        assert run.total_operations == sum(w.operations for w in run.windows)
+        assert run.total_ingests == sum(w.ingests for w in run.windows)
+        assert run.total_queries == run.total_operations - run.total_ingests
+        assert run.total_operations > 0
+
+    def test_stable_cut_excludes_warmup(self, result):
+        run, _stats = result
+        assert run.stable_windows == 2
+        stable_ops = sum(w.operations for w in run.windows[1:])
+        assert run.stable_operations == stable_ops
+        assert run.stable_throughput_ops == pytest.approx(
+            stable_ops / (2 * run.window_seconds)
+        )
+        if run.stable_operations:
+            assert 0 <= run.stable_p50_ms <= run.stable_p99_ms
+
+    def test_mix_reached_the_service(self, result):
+        run, stats = result
+        # Operations completing after the last window still hit the service,
+        # so the service-side counters bound the windowed totals from above.
+        assert stats.requests_served >= run.total_queries
+        assert run.total_ingests > 0
+
+    def test_to_dict_is_json_ready(self, result):
+        import json
+
+        run, _stats = result
+        payload = run.to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["offered_clients"] == 2
+        assert len(payload["windows"]) == 3
