@@ -98,6 +98,59 @@ class DiGraph:
             num_vertices, dst, src
         )
 
+    @classmethod
+    def from_csr_arrays(
+        cls,
+        num_vertices: int,
+        *,
+        out_indptr: np.ndarray,
+        out_indices: np.ndarray,
+        out_order: np.ndarray,
+        in_indptr: np.ndarray,
+        in_indices: np.ndarray,
+        in_order: np.ndarray,
+        edge_src: np.ndarray,
+        edge_dst: np.ndarray,
+    ) -> "DiGraph":
+        """Adopt prebuilt CSR arrays without re-deriving them.
+
+        This is how parallel workers reconstruct the graph over
+        shared-memory views (:func:`repro.runtime.shm.attach_graph`): the
+        arrays are adopted as-is — no copy, no sort, only shape checks — so
+        the caller guarantees they came from a real :class:`DiGraph`.
+        """
+        if num_vertices < 0:
+            raise GraphError("num_vertices must be non-negative")
+        if (out_indptr.size != num_vertices + 1
+                or in_indptr.size != num_vertices + 1):
+            raise GraphError(
+                "indptr arrays must have num_vertices + 1 entries"
+            )
+        num_edges = int(edge_src.size)
+        for label, array, expected in (
+            ("edge_dst", edge_dst, num_edges),
+            ("out_indices", out_indices, num_edges),
+            ("out_order", out_order, num_edges),
+            ("in_indices", in_indices, num_edges),
+            ("in_order", in_order, num_edges),
+        ):
+            if array.size != expected:
+                raise GraphError(
+                    f"{label} must have one entry per edge "
+                    f"({array.size} != {expected})"
+                )
+        graph = object.__new__(cls)
+        graph._num_vertices = int(num_vertices)
+        graph._out_indptr = out_indptr
+        graph._out_indices = out_indices
+        graph._out_order = out_order
+        graph._in_indptr = in_indptr
+        graph._in_indices = in_indices
+        graph._in_order = in_order
+        graph._edge_src = edge_src
+        graph._edge_dst = edge_dst
+        return graph
+
     # ------------------------------------------------------------------
     # Basic properties
     # ------------------------------------------------------------------

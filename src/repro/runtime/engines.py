@@ -122,6 +122,10 @@ def _parallel_report(backend_name: str,
             extra[f"state_plane_bytes_step{index}"] = float(num_bytes)
         for index, seconds in enumerate(outcome.routing_seconds):
             extra[f"routing_seconds_step{index}"] = float(seconds)
+        extra["shm_enabled"] = float(outcome.shm_enabled)
+        extra["transport_bytes"] = float(sum(outcome.transport_bytes))
+        for index, num_bytes in enumerate(outcome.transport_bytes):
+            extra[f"transport_bytes_step{index}"] = float(num_bytes)
     return RunReport(
         extra=extra,
         backend=backend_name,

@@ -114,6 +114,20 @@ from repro.runtime.checkpoint import (
     save_checkpoint,
     vertices_digest,
 )
+from repro.runtime.shm import (
+    ShmColumnAllocator,
+    ShmGraphHandle,
+    ShmMessageRange,
+    ShmRegistry,
+    ShmSliceHandle,
+    attach_graph,
+    attachment_cache,
+    message_block_handle,
+    share_graph,
+    shm_available,
+    shm_disabled,
+    state_slice_handle,
+)
 from repro.runtime.state import (
     MessageBlock,
     StateSlice,
@@ -192,6 +206,15 @@ class ParallelRunOutcome:
     counts pool respawns after worker crashes and ``resumed_from`` is the
     superstep the run (last) resumed at — ``0`` for a from-scratch replay,
     ``None`` when the run never resumed.
+
+    ``shm_enabled`` records whether the run hosted graph + state columns in
+    shared memory; ``transport_bytes`` carries the bytes that actually
+    crossed the process boundary per executed superstep (descriptors + row
+    indices on the shm path, the slice/message arrays themselves on the
+    pickled path).  Unlike the deterministic ``shipped``/``exchanged``
+    accounting — which is transport-independent by design — transport bytes
+    are a measurement of the wire, so they are *not* checkpointed: a
+    resumed run reports entries only for the supersteps it replayed.
     """
 
     predictions: dict[int, list[int]]
@@ -210,6 +233,8 @@ class ParallelRunOutcome:
     checkpoint_seconds: float = 0.0
     worker_restarts: int = 0
     resumed_from: int | None = None
+    shm_enabled: bool = False
+    transport_bytes: list[int] = field(default_factory=list)
 
     @property
     def per_partition_seconds(self) -> list[float]:
@@ -280,7 +305,8 @@ _WORKER_FAULT: FaultSpec | None = None
 #: an explicit forkserver/spawn start method, workers would otherwise
 #: inherit the forkserver's (stale) environment rather than the settings in
 #: effect when the pool was created.
-_WORKER_ENV_FLAGS = ("SNAPLE_DICT_STATE", "SNAPLE_PARALLEL_SCALAR")
+_WORKER_ENV_FLAGS = ("SNAPLE_DICT_STATE", "SNAPLE_PARALLEL_SCALAR",
+                     "SNAPLE_NO_SHM")
 
 
 def _worker_env_snapshot() -> dict[str, str]:
@@ -309,11 +335,20 @@ def _watch_parent() -> None:
     os._exit(3)
 
 
-def _init_worker(graph: DiGraph, config: SnapleConfig,
+def _init_worker(graph: DiGraph | ShmGraphHandle, config: SnapleConfig,
                  fault: FaultSpec | None = None,
                  env: dict[str, str] | None = None) -> None:
-    """Pool initializer: install the graph, config and flags once per process."""
+    """Pool initializer: install the graph, config and flags once per process.
+
+    On the shared-memory path the coordinator passes a
+    :class:`~repro.runtime.shm.ShmGraphHandle` instead of the graph itself:
+    the worker maps the coordinator's CSR segment once (read-only views,
+    pinned for the process lifetime) rather than unpickling an edge-array
+    copy per pool spawn.
+    """
     global _WORKER_GRAPH, _WORKER_CONFIG, _WORKER_FAULT
+    if isinstance(graph, ShmGraphHandle):
+        graph = attach_graph(graph, attachment_cache())
     _WORKER_GRAPH = graph
     _WORKER_CONFIG = config
     _WORKER_FAULT = fault
@@ -329,6 +364,70 @@ def _worker_state() -> tuple[DiGraph, SnapleConfig]:
     if _WORKER_GRAPH is None or _WORKER_CONFIG is None:
         raise EngineError("parallel worker used before initialization")
     return _WORKER_GRAPH, _WORKER_CONFIG
+
+
+def _collect_segments(payload: Any, names: set[str]) -> None:
+    if isinstance(payload, tuple):
+        for part in payload:
+            _collect_segments(part, names)
+    elif isinstance(payload, (ShmSliceHandle, ShmMessageRange)):
+        names |= payload.segments()
+
+
+def _materialize_payload(payload: Any) -> Any:
+    """Resolve shared-memory descriptors in a task payload into arrays.
+
+    Plain payloads (``None``, :class:`StateSlice`, :class:`MessageBlock`,
+    tuples thereof) pass through untouched, so the worker task bodies are
+    identical on the pickled and shared-memory transports — which is what
+    keeps the two bit-identical.  Before materializing, attachments to
+    segments the payload no longer references are dropped (state columns
+    migrate to fresh segments when they grow).
+    """
+    names: set[str] = set()
+    _collect_segments(payload, names)
+    if not names:
+        return payload
+    cache = attachment_cache()
+    cache.retain(names)
+    return _resolve_payload(payload, cache)
+
+
+def _resolve_payload(payload: Any, cache) -> Any:
+    if isinstance(payload, tuple):
+        return tuple(_resolve_payload(part, cache) for part in payload)
+    if isinstance(payload, (ShmSliceHandle, ShmMessageRange)):
+        return payload.materialize(cache)
+    return payload
+
+
+def _transport_nbytes(payload: Any) -> int:
+    """Bytes a task payload actually ships across the process boundary.
+
+    On the shared-memory path this is descriptors plus row indices; on the
+    pickled path it is the arrays themselves (array body bytes — pickle
+    framing overhead is ignored on both sides).  The per-superstep totals
+    surface as ``transport_bytes`` in the run report so the two transports
+    can be compared directly.
+    """
+    if payload is None:
+        return 0
+    if isinstance(payload, tuple):
+        return sum(_transport_nbytes(part) for part in payload)
+    if isinstance(payload, (ShmSliceHandle, ShmMessageRange)):
+        return payload.transport_nbytes()
+    if isinstance(payload, StateSlice):
+        total = int(payload.rows.nbytes)
+        for counts, ids, vals, present in payload.ragged.values():
+            total += int(counts.nbytes) + int(ids.nbytes) + int(present.nbytes)
+            if vals is not None:
+                total += int(vals.nbytes)
+        for values, present in payload.scalars.values():
+            total += int(values.nbytes) + int(present.nbytes)
+        return total
+    if isinstance(payload, MessageBlock):
+        return payload.nbytes()
+    return 0
 
 
 def _gather_neighbors(graph: DiGraph, vertex: int,
@@ -439,6 +538,7 @@ def _gas_step_task_columnar(task):
     maybe_crash(_WORKER_FAULT, step_index, partition)
     graph, config = _worker_state()
     start = time.perf_counter()
+    payload = _materialize_payload(payload)
     num_vertices = graph.num_vertices
     if step_index == 0:
         counts, flat, gathers = kernel.gas_sample_step_columnar(
@@ -572,6 +672,7 @@ def _bsp_step_task_columnar(task):
     maybe_crash(_WORKER_FAULT, superstep, partition)
     graph, config = _worker_state()
     start = time.perf_counter()
+    state_slice, inbox_block = _materialize_payload((state_slice, inbox_block))
     num_local = int(compute.size)
     local_rows = np.arange(num_local, dtype=np.int64)
     # ``extract`` emits rows in ascending id order and ``compute`` is
@@ -735,6 +836,9 @@ class ParallelExecutor:
         self._owner_array = np.asarray(self._owner, dtype=np.int64)
         self._owned_arrays = [np.asarray(owned, dtype=np.int64)
                               for owned in self._owned]
+        # Shared-memory plane, alive only inside run() (see _use_shm).
+        self._registry: ShmRegistry | None = None
+        self._graph_handle: ShmGraphHandle | None = None
 
     def _assign_owners(self, partitioner: Any, seed: int) -> list[int]:
         """One owning partition per vertex, from the engine's own partitioner."""
@@ -756,11 +860,15 @@ class ParallelExecutor:
     # Pool lifecycle and fault handling
     # ------------------------------------------------------------------
     def _make_pool(self) -> ProcessPoolExecutor:
+        graph_arg: DiGraph | ShmGraphHandle = (
+            self._graph_handle if self._graph_handle is not None
+            else self._graph
+        )
         return ProcessPoolExecutor(
             max_workers=self._workers,
             mp_context=_pool_context(),
             initializer=_init_worker,
-            initargs=(self._graph, self._config, self._fault,
+            initargs=(graph_arg, self._config, self._fault,
                       _worker_env_snapshot()),
         )
 
@@ -802,6 +910,21 @@ class ParallelExecutor:
         if self._kind == "gas":
             return "columnar" if self._use_columnar_gas() else "dict"
         return "dict" if dict_state_forced() else "columnar"
+
+    def _use_shm(self) -> bool:
+        """Whether this run hosts the graph and state columns in shared memory.
+
+        Requires the columnar flavour (shm is a transport for column
+        buffers), no ``SNAPLE_NO_SHM=1`` escape hatch, and a platform that
+        can actually create segments.  The flavour — and therefore the
+        checkpoint fingerprint — is unchanged by shm: checkpoints written
+        with it resume without it and vice versa.
+        """
+        return (
+            self._flavour() == "columnar"
+            and not shm_disabled()
+            and shm_available()
+        )
 
     def _fingerprint(self) -> dict[str, Any]:
         return checkpoint_fingerprint(
@@ -910,31 +1033,45 @@ class ParallelExecutor:
             self._validate_resume(resume)
             resumed_from = resume.superstep
         restarts = 0
-        while True:
-            pool = self._make_pool()
-            crashed = False
-            try:
-                outcome = self._dispatch(pool, vertices, targets, resume)
-                break
-            except WorkerCrashError:
-                crashed = True
-                restarts += 1
-                if restarts > self._max_restarts:
-                    raise
-                resume = None
-                if self._checkpoint_dir is not None:
-                    resume = latest_valid_checkpoint(self._checkpoint_dir)
-                    if resume is not None:
-                        self._validate_resume(resume)
-                # An explicitly supplied resume point stays valid: never
-                # replay the work before it when nothing newer exists.
-                if external_resume is not None and (
-                        resume is None
-                        or resume.superstep < external_resume.superstep):
-                    resume = external_resume
-                resumed_from = 0 if resume is None else resume.superstep
-            finally:
-                self._shutdown_pool(pool, kill=crashed)
+        try:
+            if self._use_shm():
+                # One registry per run owns every segment; the graph is
+                # packed once and survives pool respawns after crashes.
+                self._registry = ShmRegistry()
+                self._graph_handle = share_graph(self._registry, self._graph)
+            while True:
+                pool = self._make_pool()
+                crashed = False
+                try:
+                    outcome = self._dispatch(pool, vertices, targets, resume)
+                    break
+                except WorkerCrashError:
+                    crashed = True
+                    restarts += 1
+                    if restarts > self._max_restarts:
+                        raise
+                    resume = None
+                    if self._checkpoint_dir is not None:
+                        resume = latest_valid_checkpoint(self._checkpoint_dir)
+                        if resume is not None:
+                            self._validate_resume(resume)
+                    # An explicitly supplied resume point stays valid: never
+                    # replay the work before it when nothing newer exists.
+                    if external_resume is not None and (
+                            resume is None
+                            or resume.superstep < external_resume.superstep):
+                        resume = external_resume
+                    resumed_from = 0 if resume is None else resume.superstep
+                finally:
+                    self._shutdown_pool(pool, kill=crashed)
+        finally:
+            # Crash-safe cleanup: every segment is unlinked here no matter
+            # how the run ended (success, exhausted restarts, KeyboardInterrupt).
+            registry = self._registry
+            self._registry = None
+            self._graph_handle = None
+            if registry is not None:
+                registry.close()
         outcome.wall_clock_seconds = time.perf_counter() - start
         outcome.worker_restarts = restarts
         outcome.resumed_from = resumed_from
@@ -1050,12 +1187,18 @@ class ParallelExecutor:
         return np.unique(remote)
 
     @staticmethod
-    def _slice_boundary_bytes(state_slice: StateSlice, name: str,
-                              own_mask: np.ndarray) -> int:
-        """Payload bytes of a slice's rows that are boundary (not owned)."""
-        counts, _ids, vals, _present = state_slice.ragged[name]
-        per_element = 8 if vals is None else 16
-        return per_element * int(counts[~own_mask].sum())
+    def _boundary_bytes(store: StateStore, name: str, rows: np.ndarray,
+                        own_mask: np.ndarray) -> int:
+        """Payload bytes of the boundary (not owned) rows of one field.
+
+        Computed from the live column's lengths so the pickled-slice and
+        shared-memory transports account *identically* — ``shipped`` is the
+        logical boundary payload, part of the deterministic accounting the
+        parity and resume suites compare bit-for-bit across flavours.
+        """
+        column = store._column(name)
+        per_element = 8 if column._vals is None else 16
+        return per_element * int(column.lengths[rows[~own_mask]].sum())
 
     def _run_gas_columnar(self, pool, vertices: list[int] | None,
                           targets: list[int] | None,
@@ -1082,7 +1225,12 @@ class ParallelExecutor:
             np.asarray([u for u in owned if u in active_set], dtype=np.int64)
             for owned in self._owned
         ]
-        store = StateStore(num_vertices, snaple_state_schema())
+        use_shm = self._registry is not None
+        store = StateStore(
+            num_vertices, snaple_state_schema(),
+            allocator=ShmColumnAllocator(self._registry) if use_shm else None,
+        )
+        transport: list[int] = []
         acct = _Accounting.fresh(self._workers)
         start_step = 0
         if resume is not None:
@@ -1101,6 +1249,7 @@ class ParallelExecutor:
         for step_index in range(start_step, num_steps):
             step_start = time.perf_counter()
             route_seconds = 0.0
+            step_transport = 0
             tasks = []
             for w in range(workers):
                 owned_active = active_owned[w]
@@ -1114,19 +1263,32 @@ class ParallelExecutor:
                     rows.sort()
                     own_mask = owner[rows] == w
                     if step_index == 1:
-                        payload = store.extract(rows, ("gamma",))
-                        acct.shipped[w] += self._slice_boundary_bytes(
-                            payload, "gamma", own_mask
+                        payload = (
+                            state_slice_handle(store, rows, ("gamma",))
+                            if use_shm else store.extract(rows, ("gamma",))
+                        )
+                        acct.shipped[w] += self._boundary_bytes(
+                            store, "gamma", rows, own_mask
                         )
                     else:
                         # The recommendation step probes only the targets'
                         # own Γ̂ but reads every neighbor's kept map.
-                        gamma_slice = store.extract(owned_active, ("gamma",))
-                        sims_slice = store.extract(rows, ("sims",))
-                        acct.shipped[w] += self._slice_boundary_bytes(
-                            sims_slice, "sims", own_mask
+                        if use_shm:
+                            gamma_slice: Any = state_slice_handle(
+                                store, owned_active, ("gamma",)
+                            )
+                            sims_slice: Any = state_slice_handle(
+                                store, rows, ("sims",)
+                            )
+                        else:
+                            gamma_slice = store.extract(owned_active,
+                                                        ("gamma",))
+                            sims_slice = store.extract(rows, ("sims",))
+                        acct.shipped[w] += self._boundary_bytes(
+                            store, "sims", rows, own_mask
                         )
                         payload = (gamma_slice, sims_slice)
+                step_transport += _transport_nbytes(payload)
                 tasks.append((w, step_index, owned_active, payload))
             route_seconds += time.perf_counter() - step_start
             results = self._map(pool, _gas_step_task_columnar, tasks)
@@ -1157,6 +1319,7 @@ class ParallelExecutor:
             route_seconds += time.perf_counter() - merge_start
             acct.routing.append(route_seconds)
             acct.plane.append(store.nbytes())
+            transport.append(step_transport)
             acct.sync_overhead += max(
                 0.0, (time.perf_counter() - step_start) - slowest
             )
@@ -1207,8 +1370,11 @@ class ParallelExecutor:
         else:
             scores = {u: {} for u in targets}
 
-        return self._merge_outcome(predictions, scores, num_steps, acct,
-                                   store.rows_mapping())
+        outcome = self._merge_outcome(predictions, scores, num_steps, acct,
+                                      store.rows_mapping())
+        outcome.shm_enabled = use_shm
+        outcome.transport_bytes = transport
+        return outcome
 
     # ------------------------------------------------------------------
     # BSP coordination
@@ -1337,8 +1503,13 @@ class ParallelExecutor:
         aggregator_fns = program.aggregators()
         num_vertices = graph.num_vertices
         schema = snaple_bsp_state_schema()
-        store = StateStore(num_vertices, schema)
+        use_shm = self._registry is not None
+        store = StateStore(
+            num_vertices, schema,
+            allocator=ShmColumnAllocator(self._registry) if use_shm else None,
+        )
         field_names = schema.names()
+        transport: list[int] = []
         active = np.zeros(num_vertices, dtype=bool)
         inbox = MessageBlock.empty(MESSAGE_KINDS)
         aggregated: dict[str, Any] = {}
@@ -1372,10 +1543,32 @@ class ParallelExecutor:
                 break
             step_start = time.perf_counter()
             route_seconds = 0.0
+            step_transport = 0
+            inbox_segment: str | None = None
             has_message = np.zeros(num_vertices, dtype=bool)
             if inbox.num_messages:
                 has_message[np.unique(inbox.receiver)] = True
-                inbox_parts = inbox.split_by(owner[inbox.receiver], workers)
+                keys = owner[inbox.receiver]
+                if use_shm:
+                    # Same routing as split_by — stable owner sort + one
+                    # searchsorted pass — but the ordered block is packed
+                    # into one per-superstep segment and each partition
+                    # receives only its [start, end) range over it.
+                    order = np.argsort(keys, kind="stable")
+                    ordered = inbox.take(order)
+                    bounds = np.searchsorted(
+                        keys[order], np.arange(workers + 1, dtype=np.int64)
+                    )
+                    block_handle = message_block_handle(self._registry,
+                                                        ordered)
+                    inbox_segment = block_handle.segment
+                    inbox_parts: list[Any] = [
+                        ShmMessageRange(ordered.kinds, block_handle,
+                                        int(bounds[w]), int(bounds[w + 1]))
+                        for w in range(workers)
+                    ]
+                else:
+                    inbox_parts = inbox.split_by(keys, workers)
             else:
                 inbox_parts = [MessageBlock.empty(MESSAGE_KINDS)] * workers
             tasks = []
@@ -1384,16 +1577,26 @@ class ParallelExecutor:
                 owned = self._owned_arrays[w]
                 compute_w = owned[active[owned] | has_message[owned]]
                 compute_lists.append(compute_w)
+                state_payload = (
+                    state_slice_handle(store, compute_w, field_names)
+                    if use_shm else store.extract(compute_w, field_names)
+                )
+                step_transport += _transport_nbytes(state_payload)
+                step_transport += _transport_nbytes(inbox_parts[w])
                 tasks.append((
                     w,
                     superstep,
-                    store.extract(compute_w, field_names),
+                    state_payload,
                     compute_w,
                     inbox_parts[w],
                     aggregated,
                 ))
             route_seconds += time.perf_counter() - step_start
             results = self._map(pool, _bsp_step_task_columnar, tasks)
+            if inbox_segment is not None:
+                # The superstep is over (results fully materialized), so the
+                # per-superstep message segment can be unlinked immediately.
+                self._registry.release(inbox_segment)
             merge_start = time.perf_counter()
             slowest = 0.0
             blocks: list[MessageBlock] = []
@@ -1440,6 +1643,7 @@ class ParallelExecutor:
             route_seconds += time.perf_counter() - merge_start
             acct.routing.append(route_seconds)
             acct.plane.append(store.nbytes())
+            transport.append(step_transport)
             acct.sync_overhead += max(
                 0.0, (time.perf_counter() - step_start) - slowest
             )
@@ -1455,8 +1659,11 @@ class ParallelExecutor:
         rows = store.rows()
         predictions = {u: list(rows[u].get("predicted", [])) for u in targets}
         scores = {u: dict(scores.get(u, {})) for u in targets}
-        return self._merge_outcome(predictions, scores, superstep, acct,
-                                   store.rows_mapping())
+        outcome = self._merge_outcome(predictions, scores, superstep, acct,
+                                      store.rows_mapping())
+        outcome.shm_enabled = use_shm
+        outcome.transport_bytes = transport
+        return outcome
 
     # ------------------------------------------------------------------
     def _merge_outcome(self, predictions, scores, supersteps,

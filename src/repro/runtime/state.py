@@ -46,6 +46,7 @@ import numpy as np
 from repro.errors import EngineError
 
 __all__ = [
+    "ArrayAllocator",
     "FieldKind",
     "StateField",
     "StateSchema",
@@ -212,14 +213,36 @@ def common_state_schema(programs: Iterable[Any]) -> StateSchema | None:
 # ----------------------------------------------------------------------
 # Columns
 # ----------------------------------------------------------------------
+class ArrayAllocator:
+    """Default column-buffer allocator: process-private ``np.empty``.
+
+    The allocator seam is what lets the shared-nothing executor host
+    column buffers in POSIX shared memory (:mod:`repro.runtime.shm`)
+    without the columns knowing: every buffer (re)allocation — initial
+    construction, :meth:`_RaggedColumn._reserve` growth and compaction —
+    funnels through :meth:`empty` / :meth:`free`.  Buffers from
+    :meth:`empty` are uninitialized; callers fill them.
+    """
+
+    def empty(self, length: int, dtype: Any) -> np.ndarray:
+        return np.empty(int(length), dtype=np.dtype(dtype))
+
+    def free(self, array: np.ndarray) -> None:
+        """Release a buffer obtained from :meth:`empty` (no-op here)."""
+
+
 class _ScalarColumn:
     """One fixed-width value per vertex plus a present mask."""
 
-    __slots__ = ("values", "present", "_num_present")
+    __slots__ = ("values", "present", "_num_present", "_alloc")
 
-    def __init__(self, num_vertices: int, dtype: np.dtype) -> None:
-        self.values = np.zeros(num_vertices, dtype=dtype)
-        self.present = np.zeros(num_vertices, dtype=bool)
+    def __init__(self, num_vertices: int, dtype: np.dtype,
+                 alloc: ArrayAllocator | None = None) -> None:
+        self._alloc = alloc if alloc is not None else ArrayAllocator()
+        self.values = self._alloc.empty(num_vertices, dtype)
+        self.values[:] = 0
+        self.present = self._alloc.empty(num_vertices, bool)
+        self.present[:] = False
         self._num_present = 0
 
     def set(self, u: int, value: Any) -> None:
@@ -248,13 +271,18 @@ class _RaggedColumn:
     ``float64`` value buffer sharing the id buffer's offsets.
     """
 
-    __slots__ = ("starts", "lengths", "_ids", "_vals", "_used", "_live")
+    __slots__ = ("starts", "lengths", "_ids", "_vals", "_used", "_live",
+                 "_alloc")
 
-    def __init__(self, num_vertices: int, *, with_values: bool) -> None:
-        self.starts = np.full(num_vertices, -1, dtype=np.int64)
-        self.lengths = np.zeros(num_vertices, dtype=np.int64)
-        self._ids = np.empty(0, dtype=np.int64)
-        self._vals = np.empty(0, dtype=np.float64) if with_values else None
+    def __init__(self, num_vertices: int, *, with_values: bool,
+                 alloc: ArrayAllocator | None = None) -> None:
+        self._alloc = alloc if alloc is not None else ArrayAllocator()
+        self.starts = self._alloc.empty(num_vertices, np.int64)
+        self.starts[:] = -1
+        self.lengths = self._alloc.empty(num_vertices, np.int64)
+        self.lengths[:] = 0
+        self._ids = self._alloc.empty(0, np.int64)
+        self._vals = self._alloc.empty(0, np.float64) if with_values else None
         self._used = 0
         self._live = 0
 
@@ -264,25 +292,37 @@ class _RaggedColumn:
         if needed <= self._ids.size:
             return
         capacity = max(needed, 2 * self._ids.size, 64)
-        ids = np.empty(capacity, dtype=np.int64)
+        ids = self._alloc.empty(capacity, np.int64)
         ids[: self._used] = self._ids[: self._used]
+        self._alloc.free(self._ids)
         self._ids = ids
         if self._vals is not None:
-            vals = np.empty(capacity, dtype=np.float64)
+            vals = self._alloc.empty(capacity, np.float64)
             vals[: self._used] = self._vals[: self._used]
+            self._alloc.free(self._vals)
             self._vals = vals
 
     def _maybe_compact(self) -> None:
         if self._used > 256 and self._used > 4 * max(self._live, 1):
+            # Compaction implies garbage (used > live), so csr() took the
+            # gather path and ids/vals are fresh arrays of the live payload.
             counts, ids, vals = self.csr()
             self._used = self._live = int(counts.sum())
             present = self.starts >= 0
             indptr = _indptr_from_counts(counts)
-            self.starts = np.where(present, indptr[:-1], np.int64(-1))
-            self.lengths = counts
-            self._ids = ids.copy()
+            # starts/lengths are fixed-size: rewrite in place so shm-backed
+            # buffers keep their segments (counts IS self.lengths here).
+            np.copyto(self.starts, np.where(present, indptr[:-1],
+                                            np.int64(-1)))
+            new_ids = self._alloc.empty(self._used, np.int64)
+            new_ids[:] = ids[: self._used]
+            self._alloc.free(self._ids)
+            self._ids = new_ids
             if self._vals is not None:
-                self._vals = vals.copy()
+                new_vals = self._alloc.empty(self._used, np.float64)
+                new_vals[:] = vals[: self._used]
+                self._alloc.free(self._vals)
+                self._vals = new_vals
 
     # -- writes --------------------------------------------------------
     def set_row(self, u: int, ids: np.ndarray,
@@ -425,19 +465,24 @@ class StateStore:
     :meth:`extract` / :meth:`merge`.
     """
 
-    def __init__(self, num_vertices: int, schema: StateSchema) -> None:
+    def __init__(self, num_vertices: int, schema: StateSchema,
+                 allocator: ArrayAllocator | None = None) -> None:
         if num_vertices < 0:
             raise EngineError("num_vertices must be non-negative")
         self._num_vertices = int(num_vertices)
         self._schema = schema
+        self._allocator = allocator if allocator is not None else ArrayAllocator()
         self._columns: dict[str, Any] = {}
         for spec in schema:
             if spec.kind is FieldKind.SCALAR:
-                column: Any = _ScalarColumn(num_vertices, spec.numpy_dtype())
+                column: Any = _ScalarColumn(
+                    num_vertices, spec.numpy_dtype(), self._allocator
+                )
             else:
                 column = _RaggedColumn(
                     num_vertices,
                     with_values=spec.kind is FieldKind.INT_FLOAT_MAP,
+                    alloc=self._allocator,
                 )
             self._columns[spec.name] = column
         self._row_views: list[VertexRow | None] = [None] * self._num_vertices
@@ -450,6 +495,10 @@ class StateStore:
     @property
     def schema(self) -> StateSchema:
         return self._schema
+
+    @property
+    def allocator(self) -> ArrayAllocator:
+        return self._allocator
 
     def _column(self, name: str):
         try:

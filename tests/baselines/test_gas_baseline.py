@@ -61,12 +61,13 @@ class TestBaselineCost:
         baseline = GasBaselinePredictor().predict_gas(
             medium_social_graph, cluster=cluster, enforce_memory=False
         )
-        snaple = SnapleLinkPredictor(SnapleConfig(k_local=20)).predict_gas(
-            medium_social_graph, cluster=cluster, enforce_memory=False
+        snaple = SnapleLinkPredictor(SnapleConfig(k_local=20)).predict(
+            medium_social_graph, backend="gas", cluster=cluster,
+            enforce_memory=False
         )
         assert (
             baseline.gas_result.metrics.total_network_bytes
-            > snaple.gas_result.metrics.total_network_bytes
+            > snaple.native.metrics.total_network_bytes
         )
 
     def test_baseline_uses_more_memory_than_snaple(self, medium_social_graph):
@@ -74,12 +75,13 @@ class TestBaselineCost:
         baseline = GasBaselinePredictor().predict_gas(
             medium_social_graph, cluster=cluster, enforce_memory=False
         )
-        snaple = SnapleLinkPredictor(SnapleConfig(k_local=20)).predict_gas(
-            medium_social_graph, cluster=cluster, enforce_memory=False
+        snaple = SnapleLinkPredictor(SnapleConfig(k_local=20)).predict(
+            medium_social_graph, backend="gas", cluster=cluster,
+            enforce_memory=False
         )
         assert (
             baseline.gas_result.metrics.peak_machine_memory_bytes
-            > snaple.gas_result.metrics.peak_machine_memory_bytes
+            > snaple.native.metrics.peak_machine_memory_bytes
         )
 
     def test_baseline_slower_than_snaple_in_simulated_time(self, medium_social_graph):
@@ -87,8 +89,9 @@ class TestBaselineCost:
         baseline = GasBaselinePredictor().predict_gas(
             medium_social_graph, cluster=cluster, enforce_memory=False
         )
-        snaple = SnapleLinkPredictor(SnapleConfig(k_local=20)).predict_gas(
-            medium_social_graph, cluster=cluster, enforce_memory=False
+        snaple = SnapleLinkPredictor(SnapleConfig(k_local=20)).predict(
+            medium_social_graph, backend="gas", cluster=cluster,
+            enforce_memory=False
         )
         assert baseline.simulated_seconds > snaple.simulated_seconds
 
@@ -102,7 +105,8 @@ class TestBaselineCost:
             GasBaselinePredictor().predict_gas(
                 medium_social_graph, cluster=constrained, enforce_memory=True
             )
-        snaple = SnapleLinkPredictor(SnapleConfig(k_local=20)).predict_gas(
-            medium_social_graph, cluster=constrained, enforce_memory=True
+        snaple = SnapleLinkPredictor(SnapleConfig(k_local=20)).predict(
+            medium_social_graph, backend="gas", cluster=constrained,
+            enforce_memory=True
         )
         assert snaple.predictions

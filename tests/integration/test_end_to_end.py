@@ -38,7 +38,7 @@ class TestFullPipeline:
         graph = read_edge_list(path)
         split = remove_random_edges(graph, seed=3)
         config = SnapleConfig.paper_default("linearSum", k_local=20, seed=3)
-        result = SnapleLinkPredictor(config).predict_local(split.train_graph)
+        result = SnapleLinkPredictor(config).predict(split.train_graph)
         report = evaluate_predictions(result.predictions, split)
         assert report.recall > 0.05
         assert report.hits <= report.num_removed
@@ -47,8 +47,8 @@ class TestFullPipeline:
         graph = repro.load_dataset("gowalla", scale=0.3, seed=5)
         split = remove_random_edges(graph, seed=5)
         config = SnapleConfig.paper_default("counter", k_local=20, seed=5)
-        result = SnapleLinkPredictor(config).predict_gas(
-            split.train_graph, cluster=cluster_of(TYPE_I, 4)
+        result = SnapleLinkPredictor(config).predict(
+            split.train_graph, backend="gas", cluster=cluster_of(TYPE_I, 4)
         )
         report = evaluate_predictions(result.predictions, split)
         assert report.recall > 0.05
@@ -58,7 +58,7 @@ class TestFullPipeline:
         split = remove_random_edges(medium_social_graph, seed=9)
         snaple = SnapleLinkPredictor(
             SnapleConfig.paper_default("linearSum", k_local=20, seed=9)
-        ).predict_local(split.train_graph)
+        ).predict(split.train_graph)
         baseline = GasBaselinePredictor().predict_gas(
             split.train_graph, enforce_memory=False
         )
@@ -85,6 +85,6 @@ class TestFullPipeline:
         graph = repro.load_dataset("gowalla", scale=0.25, seed=11)
         config = SnapleConfig(k_local=15, truncation_threshold=math.inf, seed=11)
         predictor = SnapleLinkPredictor(config)
-        local = predictor.predict_local(graph)
-        gas = predictor.predict_gas(graph, cluster=cluster_of(TYPE_I, 4))
+        local = predictor.predict(graph)
+        gas = predictor.predict(graph, backend="gas", cluster=cluster_of(TYPE_I, 4))
         assert local.predictions == gas.predictions

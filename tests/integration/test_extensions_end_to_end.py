@@ -46,11 +46,12 @@ def config():
 class TestAllExecutionPathsAgree:
     @pytest.fixture(scope="class")
     def local_result(self, split, config):
-        return SnapleLinkPredictor(config).predict_local(split.train_graph)
+        return SnapleLinkPredictor(config).predict(split.train_graph)
 
     def test_gas_with_hdrf_partitioning_matches_local(self, split, config, local_result):
-        gas = SnapleLinkPredictor(config).predict_gas(
+        gas = SnapleLinkPredictor(config).predict(
             split.train_graph,
+            backend="gas",
             cluster=cluster_of(TYPE_I, 4),
             partitioner=HdrfVertexCut(),
         )

@@ -85,7 +85,7 @@ class TestPredictorProperties:
     @settings(max_examples=20, deadline=None)
     def test_predictions_are_valid_new_edges(self, graph, k, k_local):
         config = SnapleConfig(k=k, k_local=k_local)
-        result = SnapleLinkPredictor(config).predict_local(graph)
+        result = SnapleLinkPredictor(config).predict(graph)
         for u, targets in result.predictions.items():
             assert len(targets) <= k
             assert len(set(targets)) == len(targets)
@@ -99,7 +99,7 @@ class TestPredictorProperties:
     @settings(max_examples=15, deadline=None)
     def test_predicted_candidates_lie_in_two_hop_neighborhood(self, graph, k_local):
         config = SnapleConfig(k_local=k_local)
-        result = SnapleLinkPredictor(config).predict_local(graph)
+        result = SnapleLinkPredictor(config).predict(graph)
         for u, targets in result.predictions.items():
             two_hop = graph.two_hop_neighbors(u)
             assert set(targets) <= two_hop

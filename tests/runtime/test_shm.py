@@ -1,0 +1,444 @@
+"""Lifecycle and parity tests for the shared-memory state plane.
+
+The zero-copy transport (:mod:`repro.runtime.shm`) maps the CSR graph and
+the columnar state columns into ``multiprocessing.shared_memory`` segments
+so parallel supersteps exchange descriptors instead of pickled arrays.
+Three guarantees are pinned here:
+
+* **lifecycle** — every segment the coordinator creates is unlinked again,
+  whether the run succeeds, a worker crashes, or the run resumes from a
+  checkpoint; ``list_segments()`` doubles as the CI leak check;
+* **parity** — predictions, scores and deterministic accounting are
+  bit-identical across the three state planes (dict, columnar-pickled,
+  columnar-shm) and across worker counts;
+* **economy** — the bytes actually crossing the pipe shrink when the
+  transport switches from pickled slices to descriptors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import EngineError, WorkerCrashError
+from repro.runtime.shm import (
+    AttachmentCache,
+    ShmColumnAllocator,
+    ShmMessageRange,
+    ShmRegistry,
+    attach_graph,
+    list_segments,
+    message_block_handle,
+    share_graph,
+    shm_available,
+    state_slice_handle,
+)
+from repro.runtime.state import (
+    FieldKind,
+    MessageBlockBuilder,
+    StateField,
+    StateSchema,
+    StateStore,
+)
+from repro.snaple.config import SnapleConfig
+from repro.snaple.predictor import SnapleLinkPredictor
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="platform lacks POSIX shared memory"
+)
+
+
+def parity_graph(random_graph):
+    return random_graph(150, 3, 0.3, seed=11)
+
+
+def parity_config() -> SnapleConfig:
+    return SnapleConfig.paper_default(seed=3, k_local=10)
+
+
+def assert_no_leaked_segments() -> None:
+    assert list_segments() == [], (
+        "shared-memory segments leaked: " + ", ".join(list_segments())
+    )
+
+
+@pytest.fixture(autouse=True)
+def shm_leak_guard():
+    """Every test in this module must leave /dev/shm clean."""
+    assert_no_leaked_segments()
+    yield
+    assert_no_leaked_segments()
+
+
+# ----------------------------------------------------------------------
+# Registry lifecycle
+# ----------------------------------------------------------------------
+class TestRegistryLifecycle:
+    def test_create_and_close_unlinks_everything(self):
+        registry = ShmRegistry()
+        registry.create(1024)
+        registry.create(4096)
+        assert registry.num_segments == 2
+        assert len(list_segments()) == 2
+        registry.close()
+        assert registry.num_segments == 0
+        assert_no_leaked_segments()
+
+    def test_context_manager_cleans_up_on_error(self):
+        with pytest.raises(RuntimeError):
+            with ShmRegistry() as registry:
+                registry.create(512)
+                raise RuntimeError("boom")
+        assert_no_leaked_segments()
+
+    def test_release_unlinks_one_segment(self):
+        with ShmRegistry() as registry:
+            keep = registry.create(64)
+            drop = registry.create(64)
+            registry.release(drop.name)
+            assert registry.num_segments == 1
+            assert list_segments() == [keep.name]
+
+    def test_close_is_idempotent(self):
+        registry = ShmRegistry()
+        registry.create(64)
+        registry.close()
+        registry.close()
+
+    def test_release_with_live_view_defers_close_but_unlinks(self):
+        with ShmRegistry() as registry:
+            segment = registry.create(256)
+            view = np.frombuffer(segment.buf, dtype=np.uint8)
+            registry.release(segment.name)
+            # The name is gone (no leak) even though the view still reads.
+            assert_no_leaked_segments()
+            assert view[0] == 0
+
+    def test_accounting(self):
+        with ShmRegistry() as registry:
+            registry.create(100)
+            registry.create(200)
+            assert registry.created_bytes == 300
+            assert registry.live_bytes() == 300
+
+    def test_segment_names_carry_the_leak_check_prefix(self):
+        with ShmRegistry() as registry:
+            segment = registry.create(16)
+            assert segment.name.startswith("snpl")
+            assert len(segment.name) <= 31  # macOS shm name limit
+
+
+class TestArraySharing:
+    def test_share_array_roundtrip(self):
+        data = np.arange(37, dtype=np.float64) * 1.5
+        cache = AttachmentCache()
+        with ShmRegistry() as registry:
+            handle = registry.share_array(data)
+            view = cache.view(handle)
+            np.testing.assert_array_equal(view, data)
+            assert not view.flags.writeable
+            del view  # release the buffer export so the mapping can close
+            cache.retain(set())
+
+    def test_share_arrays_packs_one_segment(self):
+        arrays = {
+            "a": np.arange(10, dtype=np.int64),
+            "b": np.linspace(0.0, 1.0, 7),
+            "c": np.array([], dtype=np.int32),
+        }
+        cache = AttachmentCache()
+        with ShmRegistry() as registry:
+            block = registry.share_arrays(arrays)
+            assert registry.num_segments == 1
+            for key, original in arrays.items():
+                np.testing.assert_array_equal(
+                    cache.view(block.specs[key]), original
+                )
+            cache.retain(set())
+
+    def test_attaching_a_released_segment_raises_engine_error(self):
+        cache = AttachmentCache()
+        with ShmRegistry() as registry:
+            handle = registry.share_array(np.arange(4))
+            registry.release(handle.segment)
+            with pytest.raises(EngineError, match="vanished"):
+                cache.view(handle)
+
+
+class TestGraphSharing:
+    def test_attached_graph_matches_original(self, random_graph):
+        graph = parity_graph(random_graph)
+        cache = AttachmentCache()
+        with ShmRegistry() as registry:
+            handle = share_graph(registry, graph)
+            attached = attach_graph(handle, cache)
+            assert attached.num_vertices == graph.num_vertices
+            assert attached.num_edges == graph.num_edges
+            for u in range(0, graph.num_vertices, 17):
+                np.testing.assert_array_equal(
+                    attached.out_neighbors(u), graph.out_neighbors(u)
+                )
+                np.testing.assert_array_equal(
+                    attached.in_neighbors(u), graph.in_neighbors(u)
+                )
+            # Drop the cache's pinned mapping before the registry unlinks.
+            cache._pinned.clear()
+            del attached
+            cache.retain(set())
+
+
+# ----------------------------------------------------------------------
+# Shm-backed StateStore columns and slice handles
+# ----------------------------------------------------------------------
+def _parity_schema() -> StateSchema:
+    return StateSchema([
+        StateField("gamma", FieldKind.INT_LIST),
+        StateField("sims", FieldKind.INT_FLOAT_MAP),
+    ])
+
+
+def _fill_store(store: StateStore, seed: int = 5) -> None:
+    rng = np.random.default_rng(seed)
+    for vertex in range(store.num_vertices):
+        size = int(rng.integers(0, 9))
+        ids = np.sort(rng.choice(200, size=size, replace=False))
+        store.set_rows("gamma", np.array([vertex]), np.array([size]),
+                       ids.astype(np.int64))
+        store.set_rows("sims", np.array([vertex]), np.array([size]),
+                       ids.astype(np.int64), rng.random(size))
+
+
+class TestShmStateStore:
+    def _store(self, registry: ShmRegistry) -> StateStore:
+        return StateStore(40, _parity_schema(),
+                          allocator=ShmColumnAllocator(registry))
+
+    def test_slice_handle_materializes_like_extract(self):
+        cache = AttachmentCache()
+        with ShmRegistry() as registry:
+            store = self._store(registry)
+            _fill_store(store)
+            rows = np.array([3, 7, 11, 29], dtype=np.int64)
+            expected = store.extract(rows, ("gamma", "sims"))
+            handle = state_slice_handle(store, rows, ("gamma", "sims"))
+            actual = handle.materialize(cache)
+            np.testing.assert_array_equal(actual.rows, expected.rows)
+            for name in ("gamma", "sims"):
+                exp_counts, exp_ids, exp_vals, exp_present = \
+                    expected.ragged[name]
+                act_counts, act_ids, act_vals, act_present = \
+                    actual.ragged[name]
+                np.testing.assert_array_equal(act_counts, exp_counts)
+                np.testing.assert_array_equal(act_present, exp_present)
+                np.testing.assert_array_equal(act_ids, exp_ids)
+                if exp_vals is None:
+                    assert act_vals is None
+                else:
+                    np.testing.assert_array_equal(act_vals, exp_vals)
+            # Descriptors travel, not arrays: the transport payload is just
+            # the row-index vector.
+            assert handle.transport_nbytes() == rows.nbytes
+            cache.retain(set())
+            del store
+
+    def test_snapshot_copies_out_of_shared_memory(self):
+        registry = ShmRegistry()
+        store = self._store(registry)
+        _fill_store(store)
+        snapshot = store.snapshot()
+        column = store._column("sims")
+        _counts, snap_ids, snap_vals, _present = snapshot.ragged["sims"]
+        assert not np.shares_memory(snap_ids, column._ids)
+        assert not np.shares_memory(snap_vals, column._vals)
+        before = tuple(array.copy() if array is not None else None
+                       for array in store.field_csr("sims"))
+        registry.close()
+        # The snapshot (what checkpoints persist) survives the unlink.
+        restored = StateStore(40, _parity_schema())
+        restored.merge(snapshot)
+        after = restored.field_csr("sims")
+        for expected, actual in zip(before, after):
+            np.testing.assert_array_equal(actual, expected)
+
+    def test_growth_migrates_buffers_without_leaking(self):
+        with ShmRegistry() as registry:
+            store = self._store(registry)
+            rng = np.random.default_rng(9)
+            # Repeated writes force _reserve/_maybe_compact to reallocate
+            # buffers many times over; every stale segment must be released.
+            for _ in range(6):
+                for vertex in range(40):
+                    size = int(rng.integers(1, 40))
+                    ids = np.sort(rng.choice(500, size=size, replace=False))
+                    store.set_rows("sims", np.array([vertex]),
+                                   np.array([size]), ids.astype(np.int64),
+                                   rng.random(size))
+            # Only the registry's live segments remain in /dev/shm.
+            assert set(list_segments()) == set(registry._segments)
+            del store
+        assert_no_leaked_segments()
+
+
+class TestMessageBlockHandle:
+    def test_range_materializes_exact_slices(self):
+        cache = AttachmentCache()
+        kinds = ("register", "gamma", "sims")
+        rng = np.random.default_rng(3)
+        builder = MessageBlockBuilder(kinds)
+        for sender in range(30):
+            size = int(rng.integers(1, 6))
+            ids = np.sort(rng.choice(90, size=size, replace=False))
+            builder.append(sender, (sender * 7) % 12, "gamma",
+                           ids=ids.tolist(), vals=rng.random(size).tolist())
+        block = builder.build()
+        with ShmRegistry() as registry:
+            handle = message_block_handle(registry, block)
+            cuts = [0, 17, block.num_messages]
+            for lo, hi in zip(cuts, cuts[1:]):
+                sub = ShmMessageRange(kinds, handle, lo, hi).materialize(cache)
+                expected = block.take(np.arange(lo, hi, dtype=np.int64))
+                for name in ("sender", "receiver", "kind", "ids_indptr",
+                             "ids", "vals_indptr", "vals"):
+                    np.testing.assert_array_equal(
+                        getattr(sub, name), getattr(expected, name)
+                    )
+                assert sub.kinds == expected.kinds
+            cache.retain(set())
+
+
+# ----------------------------------------------------------------------
+# End-to-end lifecycle through the parallel executor
+# ----------------------------------------------------------------------
+class TestRunLifecycle:
+    @pytest.mark.parametrize("backend", ["gas", "bsp"])
+    def test_no_segments_after_successful_run(self, backend, random_graph):
+        graph = parity_graph(random_graph)
+        predictor = SnapleLinkPredictor(parity_config())
+        report = predictor.predict(graph, backend=backend, workers=2)
+        assert report.extra.get("shm_enabled") == 1.0
+        assert report.extra.get("transport_bytes", 0.0) > 0.0
+        assert_no_leaked_segments()
+
+    def test_no_segments_after_worker_crash(self, fault_injector,
+                                            random_graph):
+        graph = parity_graph(random_graph)
+        predictor = SnapleLinkPredictor(parity_config())
+        fault = fault_injector.kill_worker(1, partition=0)
+        with pytest.raises(WorkerCrashError):
+            predictor.predict(graph, backend="gas", workers=2,
+                              max_restarts=0, fault=fault)
+        assert_no_leaked_segments()
+
+    def test_no_segments_after_crash_recovery(self, fault_injector, tmp_path,
+                                              random_graph):
+        graph = parity_graph(random_graph)
+        predictor = SnapleLinkPredictor(parity_config())
+        baseline = predictor.predict(graph, backend="gas", workers=2)
+        fault = fault_injector.kill_worker(1, partition=1)
+        recovered = predictor.predict(
+            graph, backend="gas", workers=2,
+            checkpoint_dir=tmp_path / "ckpt", fault=fault,
+        )
+        assert recovered.extra["worker_restarts"] == 1.0
+        assert recovered.predictions == baseline.predictions
+        assert_no_leaked_segments()
+
+    def test_no_segments_after_checkpoint_resume(self, fault_injector,
+                                                 tmp_path, random_graph):
+        graph = parity_graph(random_graph)
+        predictor = SnapleLinkPredictor(parity_config())
+        baseline = predictor.predict(graph, backend="bsp", workers=2)
+        checkpoint_dir = tmp_path / "ckpt"
+        fault = fault_injector.kill_worker(2, partition=0)
+        with pytest.raises(WorkerCrashError):
+            predictor.predict(graph, backend="bsp", workers=2,
+                              checkpoint_dir=checkpoint_dir,
+                              max_restarts=0, fault=fault)
+        assert_no_leaked_segments()
+        resumed = predictor.predict(graph, backend="bsp", workers=2,
+                                    resume_from=checkpoint_dir)
+        assert resumed.predictions == baseline.predictions
+        assert dict(resumed.scores) == dict(baseline.scores)
+        assert_no_leaked_segments()
+
+    def test_no_shm_escape_hatch(self, monkeypatch, random_graph):
+        graph = parity_graph(random_graph)
+        predictor = SnapleLinkPredictor(parity_config())
+        with_shm = predictor.predict(graph, backend="gas", workers=2)
+        monkeypatch.setenv("SNAPLE_NO_SHM", "1")
+        without = predictor.predict(graph, backend="gas", workers=2)
+        assert with_shm.extra["shm_enabled"] == 1.0
+        assert without.extra["shm_enabled"] == 0.0
+        assert without.predictions == with_shm.predictions
+        assert dict(without.scores) == dict(with_shm.scores)
+        assert_no_leaked_segments()
+
+    @pytest.mark.parametrize("backend", ["gas", "bsp"])
+    def test_descriptor_transport_ships_fewer_bytes(self, backend,
+                                                    monkeypatch,
+                                                    random_graph):
+        graph = parity_graph(random_graph)
+        predictor = SnapleLinkPredictor(parity_config())
+        shm_run = predictor.predict(graph, backend=backend, workers=2)
+        monkeypatch.setenv("SNAPLE_NO_SHM", "1")
+        pickled = predictor.predict(graph, backend=backend, workers=2)
+        assert shm_run.extra["transport_bytes"] < \
+            pickled.extra["transport_bytes"]
+        # The accounting metric (shipped boundary bytes) is
+        # transport-independent: both runs must agree exactly.
+        for left, right in zip(shm_run.partition_reports,
+                               pickled.partition_reports):
+            assert left.shipped_bytes == right.shipped_bytes
+
+
+# ----------------------------------------------------------------------
+# Three-plane parity grid
+# ----------------------------------------------------------------------
+@pytest.fixture(params=["dict", "columnar", "shm"])
+def state_plane(request, monkeypatch):
+    """dict / columnar-pickled / columnar-shm, via the two escape hatches."""
+    monkeypatch.delenv("SNAPLE_DICT_STATE", raising=False)
+    monkeypatch.delenv("SNAPLE_NO_SHM", raising=False)
+    if request.param == "dict":
+        monkeypatch.setenv("SNAPLE_DICT_STATE", "1")
+    elif request.param == "columnar":
+        monkeypatch.setenv("SNAPLE_NO_SHM", "1")
+    return request.param
+
+
+class TestStatePlaneParityGrid:
+    """{dict, columnar, shm} × {gas, bsp} × {1, 4 workers}: one answer."""
+
+    _reference: dict[tuple[str, int], object] = {}
+
+    @pytest.mark.parametrize("backend", ["gas", "bsp"])
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_grid_cell_matches_reference(self, backend, workers, state_plane,
+                                         random_graph):
+        graph = parity_graph(random_graph)
+        predictor = SnapleLinkPredictor(parity_config())
+        run = predictor.predict(graph, backend=backend, workers=workers)
+        key = (backend, workers)
+        reference = self._reference.setdefault(
+            key, {"predictions": run.predictions,
+                  "scores": dict(run.scores),
+                  "supersteps": run.supersteps}
+        )
+        assert run.predictions == reference["predictions"]
+        assert dict(run.scores) == reference["scores"]
+        assert run.supersteps == reference["supersteps"]
+        # shipped_bytes accounting is columnar-specific (the dict plane
+        # charges pickled payload sizes); within the columnar family the
+        # shm and pickled transports must agree exactly.
+        if state_plane != "dict":
+            accounting = [
+                (p.gather_invocations, p.apply_invocations, p.shipped_bytes)
+                for p in run.partition_reports
+            ]
+            columnar_key = ("columnar",) + key
+            columnar_ref = self._reference.setdefault(columnar_key,
+                                                      accounting)
+            assert accounting == columnar_ref
+        if workers > 1 and state_plane == "shm":
+            assert run.extra["shm_enabled"] == 1.0
+        assert_no_leaked_segments()

@@ -31,13 +31,13 @@ def _untruncated_config(**overrides) -> SnapleConfig:
 class TestSnapleBspEquivalence:
     def test_matches_local_predictions_without_truncation(self, small_social_graph):
         config = _untruncated_config()
-        local = SnapleLinkPredictor(config).predict_local(small_social_graph)
+        local = SnapleLinkPredictor(config).predict(small_social_graph)
         bsp = SnapleBspPredictor(config).predict(small_social_graph)
         assert bsp.predictions == local.predictions
 
     def test_matches_local_scores_without_truncation(self, small_social_graph):
         config = _untruncated_config()
-        local = SnapleLinkPredictor(config).predict_local(small_social_graph)
+        local = SnapleLinkPredictor(config).predict(small_social_graph)
         bsp = SnapleBspPredictor(config).predict(small_social_graph)
         for u in small_social_graph.vertices():
             assert set(bsp.scores[u]) == set(local.scores[u])
@@ -46,8 +46,8 @@ class TestSnapleBspEquivalence:
 
     def test_matches_gas_predictions_without_truncation(self, small_social_graph):
         config = _untruncated_config()
-        gas = SnapleLinkPredictor(config).predict_gas(
-            small_social_graph, cluster=cluster_of(TYPE_II, 4)
+        gas = SnapleLinkPredictor(config).predict(
+            small_social_graph, backend="gas", cluster=cluster_of(TYPE_II, 4)
         )
         bsp = SnapleBspPredictor(config).predict(
             small_social_graph, cluster=cluster_of(TYPE_II, 4)
@@ -59,7 +59,7 @@ class TestSnapleBspEquivalence:
         self, small_social_graph, score_name
     ):
         config = _untruncated_config().with_score(score_name)
-        local = SnapleLinkPredictor(config).predict_local(small_social_graph)
+        local = SnapleLinkPredictor(config).predict(small_social_graph)
         bsp = SnapleBspPredictor(config).predict(small_social_graph)
         assert bsp.predictions == local.predictions
 
@@ -132,15 +132,16 @@ class TestBspVersusGasDataFlow:
         """
         config = SnapleConfig.paper_default("linearSum", k_local=20, seed=5)
         cluster = cluster_of(TYPE_II, 8)
-        gas_greedy = SnapleLinkPredictor(config).predict_gas(
-            medium_social_graph, cluster=cluster, partitioner=GreedyVertexCut()
+        gas_greedy = SnapleLinkPredictor(config).predict(
+            medium_social_graph, backend="gas", cluster=cluster,
+            partitioner=GreedyVertexCut()
         )
-        gas_random = SnapleLinkPredictor(config).predict_gas(
-            medium_social_graph, cluster=cluster
+        gas_random = SnapleLinkPredictor(config).predict(
+            medium_social_graph, backend="gas", cluster=cluster
         )
         bsp = SnapleBspPredictor(config).predict(medium_social_graph, cluster=cluster)
-        greedy_bytes = gas_greedy.gas_result.metrics.total_network_bytes
-        random_bytes = gas_random.gas_result.metrics.total_network_bytes
+        greedy_bytes = gas_greedy.native.metrics.total_network_bytes
+        random_bytes = gas_random.native.metrics.total_network_bytes
         bsp_bytes = bsp.bsp_result.metrics.total_network_bytes
         assert greedy_bytes < bsp_bytes
         # Random vertex-cut and the BSP port carry the same order of traffic.

@@ -52,7 +52,7 @@ class TestTopologicalEquivalence:
     def test_zero_weight_matches_standard_predictions(self, small_social_graph):
         snaple = _snaple_config()
         profiles = generate_profiles(small_social_graph, seed=1)
-        standard = SnapleLinkPredictor(snaple).predict_local(small_social_graph)
+        standard = SnapleLinkPredictor(snaple).predict(small_social_graph)
         content = ContentAwareLinkPredictor(
             ContentConfig(snaple=snaple, content_weight=0.0)
         ).predict(small_social_graph, profiles)
@@ -61,7 +61,7 @@ class TestTopologicalEquivalence:
     def test_zero_weight_matches_standard_scores(self, small_social_graph):
         snaple = _snaple_config()
         profiles = generate_profiles(small_social_graph, seed=1)
-        standard = SnapleLinkPredictor(snaple).predict_local(small_social_graph)
+        standard = SnapleLinkPredictor(snaple).predict(small_social_graph)
         content = ContentAwareLinkPredictor(
             ContentConfig(snaple=snaple, content_weight=0.0)
         ).predict(small_social_graph, profiles)
@@ -74,7 +74,7 @@ class TestTopologicalEquivalence:
                                                       score_name):
         snaple = _snaple_config().with_score(score_name)
         profiles = generate_profiles(small_social_graph, seed=1)
-        standard = SnapleLinkPredictor(snaple).predict_local(small_social_graph)
+        standard = SnapleLinkPredictor(snaple).predict(small_social_graph)
         content = ContentAwareLinkPredictor(
             ContentConfig(snaple=snaple, content_weight=0.0)
         ).predict(small_social_graph, profiles)

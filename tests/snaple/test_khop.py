@@ -40,13 +40,13 @@ class TestTwoHopEquivalence:
 
     def test_predictions_match_the_standard_predictor(self, small_social_graph):
         config = _config()
-        standard = SnapleLinkPredictor(config).predict_local(small_social_graph)
+        standard = SnapleLinkPredictor(config).predict(small_social_graph)
         khop = KHopLinkPredictor(config, num_hops=2).predict(small_social_graph)
         assert khop.predictions == standard.predictions
 
     def test_scores_match_the_standard_predictor(self, small_social_graph):
         config = _config()
-        standard = SnapleLinkPredictor(config).predict_local(small_social_graph)
+        standard = SnapleLinkPredictor(config).predict(small_social_graph)
         khop = KHopLinkPredictor(config, num_hops=2).predict(small_social_graph)
         for u in small_social_graph.vertices():
             assert set(khop.scores[u]) == set(standard.scores[u])
@@ -57,13 +57,13 @@ class TestTwoHopEquivalence:
     def test_equivalence_across_score_configurations(self, small_social_graph,
                                                       score_name):
         config = _config().with_score(score_name)
-        standard = SnapleLinkPredictor(config).predict_local(small_social_graph)
+        standard = SnapleLinkPredictor(config).predict(small_social_graph)
         khop = KHopLinkPredictor(config, num_hops=2).predict(small_social_graph)
         assert khop.predictions == standard.predictions
 
     def test_equivalence_with_klocal_sampling(self, small_social_graph):
         config = _config(k_local=5)
-        standard = SnapleLinkPredictor(config).predict_local(small_social_graph)
+        standard = SnapleLinkPredictor(config).predict(small_social_graph)
         khop = KHopLinkPredictor(config, num_hops=2).predict(small_social_graph)
         assert khop.predictions == standard.predictions
 

@@ -106,7 +106,7 @@ class TestSupervisedPredictor:
         supervised_recall = evaluate_predictions(result.predictions, split).recall
         unsupervised = SnapleLinkPredictor(
             SnapleConfig.paper_default("linearSum", k_local=20, seed=5)
-        ).predict_local(split.train_graph)
+        ).predict(split.train_graph)
         unsupervised_recall = evaluate_predictions(
             unsupervised.predictions, split
         ).recall
