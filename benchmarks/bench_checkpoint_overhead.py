@@ -26,7 +26,7 @@ from repro.runtime.checkpoint import FaultSpec
 from repro.snaple.config import SnapleConfig
 from repro.snaple.predictor import SnapleLinkPredictor
 
-from conftest import BENCH_SEED
+from conftest import BENCH_SEED, peak_rss_bytes
 
 WORKERS = 2
 
@@ -114,6 +114,7 @@ def test_bench_checkpoint_overhead(save_json, save_result, tmp_path,
         "cpu_count": os.cpu_count(),
         "python": platform.python_version(),
         "rows": rows,
+        "peak_rss_bytes": peak_rss_bytes(),
         "caveat": (
             "checkpoint cost is dominated by pickling the full state plane; "
             "on small graphs the fixed per-superstep cost overstates the "

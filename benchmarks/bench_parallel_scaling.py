@@ -33,7 +33,7 @@ import time
 from repro.snaple.config import SnapleConfig
 from repro.snaple.predictor import SnapleLinkPredictor
 
-from conftest import BENCH_SEED
+from conftest import BENCH_SEED, peak_rss_bytes
 
 WORKER_COUNTS = (1, 2, 4)
 
@@ -181,6 +181,7 @@ def test_bench_parallel_scaling(save_json, save_result, monkeypatch,
         "parallel_runs": runs,
         "pickled_transport_run": pickled,
         "scaling_row": scaling_row,
+        "peak_rss_bytes": peak_rss_bytes(),
         "caveat": (
             "rows with cores_limited=true ran more workers than usable "
             "cores; their wall clock measures time-slicing, not scaling — "

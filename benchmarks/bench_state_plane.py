@@ -29,7 +29,7 @@ import time
 from repro.snaple.config import SnapleConfig
 from repro.snaple.predictor import SnapleLinkPredictor
 
-from conftest import BENCH_SEED
+from conftest import BENCH_SEED, peak_rss_bytes
 
 #: The acceptance configuration: gas backend, 4 shared-nothing workers.
 WORKERS = 4
@@ -101,6 +101,7 @@ def test_bench_state_plane(save_json, save_result, monkeypatch, bench_graph):
         ),
         "dict_exchanged_bytes": dict_report.network_bytes,
         "columnar_exchanged_bytes": columnar_report.network_bytes,
+        "peak_rss_bytes": peak_rss_bytes(),
     }
     path = save_json("BENCH_state", payload)
     assert path.exists()

@@ -24,6 +24,24 @@ BENCH_SCALE = 0.5
 BENCH_SEED = 42
 
 
+def peak_rss_bytes() -> int:
+    """High-water RSS of this process and its reaped children, in bytes.
+
+    ``ru_maxrss`` is a lifetime high-water mark, so within one pytest
+    process the numbers are only comparable *upward* — a benchmark that
+    needs an isolated measurement must fork a fresh process (see
+    ``python -m repro.graph.storage generate``, which prints exactly this
+    value for its own run).  Including ``RUSAGE_CHILDREN`` matters because
+    the parallel executor does its heavy lifting in worker processes.
+    """
+    import resource
+
+    scale = 1024  # Linux reports KiB
+    self_rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    child_rss = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    return max(self_rss, child_rss) * scale
+
+
 @pytest.fixture(scope="session")
 def bench_graph():
     """Session-cached factory for the benchmarks' power-law graphs.

@@ -37,6 +37,7 @@ import argparse
 import dataclasses
 import inspect
 import json
+import os
 import sys
 from collections.abc import Sequence
 from typing import Any
@@ -119,6 +120,18 @@ def build_parser() -> argparse.ArgumentParser:
             "execute graph partitions in N shared-nothing worker processes "
             "instead of the simulated cluster (only experiments taking a "
             "'workers' parameter, e.g. ablation-engines)"
+        ),
+    )
+    parser.add_argument(
+        "--graph-format",
+        choices=("memory", "memmap"),
+        default=None,
+        help=(
+            "where parallel (--workers) runs host the graph and state "
+            "columns: 'memory' (the default; RAM and shared-memory "
+            "segments) or 'memmap' (out-of-core: on-disk containers and "
+            "spool files, equivalent to SNAPLE_OOC=1, bounding peak RSS "
+            "on graphs larger than memory)"
         ),
     )
     parser.add_argument(
@@ -509,6 +522,15 @@ def main(argv: Sequence[str] | None = None) -> int:
             kwargs["workers"] = validate_workers(args.workers)
         except ConfigurationError as error:
             parser.error(f"--workers: {error}")
+    if args.graph_format is not None:
+        if args.workers is None:
+            parser.error("--graph-format requires --workers")
+        # The executor reads the flag from the environment (and mirrors it
+        # into every worker), so the CLI only has to set it here.
+        if args.graph_format == "memmap":
+            os.environ["SNAPLE_OOC"] = "1"
+        else:
+            os.environ.pop("SNAPLE_OOC", None)
     if args.checkpoint_dir is not None:
         if "checkpoint_dir" not in parameters:
             parser.error(

@@ -13,9 +13,22 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import GraphError, VertexNotFoundError
+from repro.errors import ConfigurationError, GraphError, VertexNotFoundError
 
-__all__ = ["DiGraph", "GraphSummary"]
+__all__ = ["DiGraph", "GraphSummary", "CSR_ARRAY_NAMES"]
+
+#: The eight CSR arrays that fully describe a :class:`DiGraph`, in the
+#: canonical order used by shared-memory packing and the on-disk container.
+CSR_ARRAY_NAMES = (
+    "out_indptr",
+    "out_indices",
+    "out_order",
+    "in_indptr",
+    "in_indices",
+    "in_order",
+    "edge_src",
+    "edge_dst",
+)
 
 
 @dataclass(frozen=True)
@@ -63,6 +76,7 @@ class DiGraph:
         "_in_order",
         "_edge_src",
         "_edge_dst",
+        "_memmap_path",
     )
 
     def __init__(
@@ -89,6 +103,7 @@ class DiGraph:
                     f"found range [{lo}, {hi}]"
                 )
         self._num_vertices = int(num_vertices)
+        self._memmap_path = None
         self._edge_src = src
         self._edge_dst = dst
         self._out_indptr, self._out_indices, self._out_order = _build_csr(
@@ -111,16 +126,55 @@ class DiGraph:
         in_order: np.ndarray,
         edge_src: np.ndarray,
         edge_dst: np.ndarray,
+        read_only: bool = False,
     ) -> "DiGraph":
         """Adopt prebuilt CSR arrays without re-deriving them.
 
         This is how parallel workers reconstruct the graph over
-        shared-memory views (:func:`repro.runtime.shm.attach_graph`): the
-        arrays are adopted as-is — no copy, no sort, only shape checks — so
-        the caller guarantees they came from a real :class:`DiGraph`.
+        shared-memory views (:func:`repro.runtime.shm.attach_graph`) and how
+        :meth:`load_memmap` adopts on-disk views: the arrays are adopted
+        as-is — no copy, no sort — so the caller guarantees they came from a
+        real :class:`DiGraph`.  Dtypes and shapes are always validated;
+        with ``read_only=True`` every array must additionally be a
+        non-writable view (a writable array would let callers silently
+        mutate a graph that advertises itself as immutable and shared), and
+        a violation raises :class:`~repro.errors.ConfigurationError` instead
+        of crashing downstream.
         """
         if num_vertices < 0:
             raise GraphError("num_vertices must be non-negative")
+        arrays = {
+            "out_indptr": out_indptr,
+            "out_indices": out_indices,
+            "out_order": out_order,
+            "in_indptr": in_indptr,
+            "in_indices": in_indices,
+            "in_order": in_order,
+            "edge_src": edge_src,
+            "edge_dst": edge_dst,
+        }
+        for label, array in arrays.items():
+            if not isinstance(array, np.ndarray):
+                raise ConfigurationError(
+                    f"from_csr_arrays: {label} must be a numpy array, "
+                    f"got {type(array).__name__}"
+                )
+            if array.ndim != 1:
+                raise ConfigurationError(
+                    f"from_csr_arrays: {label} must be one-dimensional, "
+                    f"got shape {array.shape}"
+                )
+            if array.dtype != np.int64:
+                raise ConfigurationError(
+                    f"from_csr_arrays: {label} must have dtype int64, "
+                    f"got {array.dtype}"
+                )
+            if read_only and array.flags.writeable:
+                raise ConfigurationError(
+                    f"from_csr_arrays: {label} is a writable array but "
+                    f"read_only=True was requested; pass a non-writable "
+                    f"view (array.flags.writeable = False)"
+                )
         if (out_indptr.size != num_vertices + 1
                 or in_indptr.size != num_vertices + 1):
             raise GraphError(
@@ -141,6 +195,7 @@ class DiGraph:
                 )
         graph = object.__new__(cls)
         graph._num_vertices = int(num_vertices)
+        graph._memmap_path = None
         graph._out_indptr = out_indptr
         graph._out_indices = out_indices
         graph._out_order = out_order
@@ -163,6 +218,38 @@ class DiGraph:
     def num_edges(self) -> int:
         """Number of directed edges in the graph."""
         return int(self._edge_src.size)
+
+    @property
+    def memmap_path(self) -> str | None:
+        """Path of the on-disk container backing this graph, if any.
+
+        Set by :meth:`load_memmap`; the parallel executor uses it to hand
+        workers the existing container instead of re-spooling the arrays.
+        """
+        return self._memmap_path
+
+    def csr_arrays(self) -> dict[str, np.ndarray]:
+        """The eight CSR arrays keyed by :data:`CSR_ARRAY_NAMES`."""
+        return {name: getattr(self, f"_{name}") for name in CSR_ARRAY_NAMES}
+
+    def save_memmap(self, path) -> None:
+        """Persist the CSR arrays to an on-disk container at ``path``.
+
+        See :func:`repro.graph.storage.save_graph_memmap` for the format.
+        """
+        from repro.graph.storage import save_graph_memmap
+
+        save_graph_memmap(self, path)
+
+    @classmethod
+    def load_memmap(cls, path, *, verify: bool = False) -> "DiGraph":
+        """O(1) load of a graph container as read-only memmap-backed views.
+
+        See :func:`repro.graph.storage.load_graph_memmap`.
+        """
+        from repro.graph.storage import load_graph_memmap
+
+        return load_graph_memmap(path, verify=verify)
 
     def vertices(self) -> range:
         """Iterate over all vertex ids."""

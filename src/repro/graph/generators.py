@@ -17,7 +17,9 @@ from __future__ import annotations
 
 import math
 import random
-from collections.abc import Sequence
+from collections.abc import Iterator, Sequence
+
+import numpy as np
 
 from repro.errors import GraphError
 from repro.graph.digraph import DiGraph
@@ -29,6 +31,7 @@ __all__ = [
     "watts_strogatz",
     "kronecker_like",
     "social_graph",
+    "streamed_powerlaw_edge_chunks",
 ]
 
 
@@ -298,6 +301,50 @@ def social_graph(
             sources.append(u)
             targets.append(v)
     return DiGraph(num_vertices, sources, targets)
+
+
+def streamed_powerlaw_edge_chunks(
+    num_vertices: int,
+    num_edges: int,
+    *,
+    exponent: float = 2.0,
+    seed: int = 0,
+    chunk_edges: int = 262_144,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(sources, targets)`` chunks of a power-law graph in O(V) memory.
+
+    The out-of-core path needs graphs far larger than RAM, so unlike the
+    materializing generators above this one never holds the edge list: both
+    endpoints of every edge are drawn independently from a Zipf-like
+    distribution (``P(v) ∝ (v + 1) ** -exponent``) via one precomputed O(V)
+    inverse-CDF table, and edges are yielded in fixed-size ``int64`` chunk
+    pairs ready for :func:`repro.graph.storage.build_graph_memmap`.
+    Self-loops are deterministically redirected to the next vertex.  The
+    stream is fully determined by ``(num_vertices, num_edges, exponent,
+    seed, chunk_edges)``.
+    """
+    _validate_counts(num_vertices, minimum=2)
+    if num_edges < 0:
+        raise GraphError("num_edges must be non-negative")
+    if exponent <= 0.0:
+        raise GraphError("exponent must be positive")
+    if chunk_edges < 1:
+        raise GraphError("chunk_edges must be positive")
+    weights = np.arange(1, num_vertices + 1, dtype=np.float64) ** -exponent
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    rng = np.random.default_rng(seed)
+    remaining = num_edges
+    while remaining > 0:
+        size = min(chunk_edges, remaining)
+        draws = rng.random((2, size))
+        sources = np.searchsorted(cdf, draws[0], side="left").astype(np.int64)
+        targets = np.searchsorted(cdf, draws[1], side="left").astype(np.int64)
+        loops = sources == targets
+        if loops.any():
+            targets[loops] = (targets[loops] + 1) % num_vertices
+        yield sources, targets
+        remaining -= size
 
 
 def expected_edges(generator_name: str, params: Sequence[float]) -> int:

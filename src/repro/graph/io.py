@@ -1,9 +1,12 @@
-"""Edge-list I/O in the SNAP / GraphLab ``tsv`` style used by the paper.
+"""Graph I/O: SNAP-style edge lists and on-disk memmap containers.
 
 The evaluation datasets of the paper (gowalla, pokec, livejournal, orkut,
 twitter-rv) are distributed as whitespace-separated edge lists with optional
 ``#`` comment lines.  These helpers read and write that format, optionally
-gzip-compressed.
+gzip-compressed.  The out-of-core container format (a directory holding the
+eight CSR arrays page-aligned behind a checksummed manifest) lives in
+:mod:`repro.graph.storage` and is re-exported here; :func:`load_graph`
+auto-detects which of the two formats a path holds.
 """
 
 from __future__ import annotations
@@ -15,6 +18,11 @@ from pathlib import Path
 from repro.errors import GraphIOError
 from repro.graph.builder import GraphBuilder
 from repro.graph.digraph import DiGraph
+from repro.graph.storage import (
+    is_graph_container,
+    load_graph_memmap,
+    save_graph_memmap,
+)
 
 __all__ = [
     "read_edge_list",
@@ -22,6 +30,9 @@ __all__ = [
     "iter_edge_list",
     "load_graph",
     "save_graph",
+    "is_graph_container",
+    "load_graph_memmap",
+    "save_graph_memmap",
 ]
 
 
@@ -104,7 +115,20 @@ def write_edge_list(
 
 
 def load_graph(path: str | Path, *, undirected: bool = False) -> DiGraph:
-    """Alias of :func:`read_edge_list` kept for API symmetry with ``save_graph``."""
+    """Load a graph from an edge-list file or a memmap container directory.
+
+    Container directories (see :mod:`repro.graph.storage`) load in O(1) as
+    read-only memmap views; anything else is parsed as an edge list.
+    ``undirected`` only applies to edge lists — containers persist a fully
+    built graph.
+    """
+    if is_graph_container(path):
+        if undirected:
+            raise GraphIOError(
+                "undirected=True is not applicable to a memmap graph "
+                "container (the container already holds the built CSR)"
+            )
+        return load_graph_memmap(path)
     return read_edge_list(path, undirected=undirected)
 
 

@@ -68,6 +68,15 @@ def _fault_tolerance_options(workers: int | None, **options) -> dict:
     return given
 
 
+def _reject_pool_without_workers(pool, workers: int | None) -> None:
+    """Worker-pool reuse only exists on the shared-nothing parallel path."""
+    if pool is not None and workers is None:
+        raise ConfigurationError(
+            "the 'pool' option reuses a shared-nothing worker pool and "
+            "requires workers=N"
+        )
+
+
 def _serial_partition_report(predictions: dict[int, list[int]],
                              gather_invocations: int, apply_invocations: int,
                              wall: float) -> PartitionReport:
@@ -123,6 +132,7 @@ def _parallel_report(backend_name: str,
         for index, seconds in enumerate(outcome.routing_seconds):
             extra[f"routing_seconds_step{index}"] = float(seconds)
         extra["shm_enabled"] = float(outcome.shm_enabled)
+        extra["ooc_enabled"] = float(outcome.ooc_enabled)
         extra["transport_bytes"] = float(sum(outcome.transport_bytes))
         for index, num_bytes in enumerate(outcome.transport_bytes):
             extra[f"transport_bytes_step{index}"] = float(num_bytes)
@@ -351,13 +361,16 @@ class GasBackend(ExecutionBackend):
                  workers: int | None = None,
                  checkpoint_dir=None, checkpoint_every: int | None = None,
                  resume_from=None, worker_timeout: float | None = None,
-                 max_restarts: int | None = None, fault=None) -> None:
+                 max_restarts: int | None = None, fault=None,
+                 pool=None) -> None:
         super().__init__()
         _reject_cluster_with_workers(cluster, workers)
         self._cluster = cluster
         self._partitioner = partitioner
         self._enforce_memory = enforce_memory
         self._workers = None if workers is None else validate_workers(workers)
+        _reject_pool_without_workers(pool, self._workers)
+        self._pool = pool
         self._fault_tolerance = _fault_tolerance_options(
             self._workers,
             checkpoint_dir=checkpoint_dir,
@@ -379,7 +392,7 @@ class GasBackend(ExecutionBackend):
             parallel=True,
             options=("cluster", "partitioner", "enforce_memory", "workers",
                      "checkpoint_dir", "checkpoint_every", "resume_from",
-                     "worker_timeout", "max_restarts", "fault"),
+                     "worker_timeout", "max_restarts", "fault", "pool"),
         )
 
     def run(self, vertices: list[int] | None = None) -> RunReport:
@@ -392,6 +405,7 @@ class GasBackend(ExecutionBackend):
                 workers=self._workers,
                 partitioner=self._partitioner,
                 vertices=vertices,
+                pool=self._pool,
                 **self._fault_tolerance,
             )
             return _parallel_report(self.name, outcome)
@@ -453,13 +467,16 @@ class BspBackend(ExecutionBackend):
                  workers: int | None = None,
                  checkpoint_dir=None, checkpoint_every: int | None = None,
                  resume_from=None, worker_timeout: float | None = None,
-                 max_restarts: int | None = None, fault=None) -> None:
+                 max_restarts: int | None = None, fault=None,
+                 pool=None) -> None:
         super().__init__()
         _reject_cluster_with_workers(cluster, workers)
         self._cluster = cluster
         self._partitioner = partitioner
         self._enforce_memory = enforce_memory
         self._workers = None if workers is None else validate_workers(workers)
+        _reject_pool_without_workers(pool, self._workers)
+        self._pool = pool
         self._fault_tolerance = _fault_tolerance_options(
             self._workers,
             checkpoint_dir=checkpoint_dir,
@@ -481,7 +498,7 @@ class BspBackend(ExecutionBackend):
             parallel=True,
             options=("cluster", "partitioner", "enforce_memory", "workers",
                      "checkpoint_dir", "checkpoint_every", "resume_from",
-                     "worker_timeout", "max_restarts", "fault"),
+                     "worker_timeout", "max_restarts", "fault", "pool"),
         )
 
     def run(self, vertices: list[int] | None = None) -> RunReport:
@@ -497,6 +514,7 @@ class BspBackend(ExecutionBackend):
                 partitioner=self._partitioner,
                 vertices=None,
                 targets=targets,
+                pool=self._pool,
                 **self._fault_tolerance,
             )
             return _parallel_report(self.name, outcome)

@@ -114,6 +114,13 @@ from repro.runtime.checkpoint import (
     save_checkpoint,
     vertices_digest,
 )
+from repro.runtime.ooc import (
+    MemmapColumnAllocator,
+    MemmapGraphHandle,
+    MemmapRegistry,
+    ooc_enabled,
+    spool_graph,
+)
 from repro.runtime.shm import (
     ShmColumnAllocator,
     ShmGraphHandle,
@@ -142,6 +149,7 @@ __all__ = [
     "PartitionReport",
     "ParallelRunOutcome",
     "ParallelExecutor",
+    "WorkerPoolLease",
     "run_parallel_gas",
     "run_parallel_bsp",
     "validate_workers",
@@ -208,9 +216,11 @@ class ParallelRunOutcome:
     ``None`` when the run never resumed.
 
     ``shm_enabled`` records whether the run hosted graph + state columns in
-    shared memory; ``transport_bytes`` carries the bytes that actually
-    crossed the process boundary per executed superstep (descriptors + row
-    indices on the shm path, the slice/message arrays themselves on the
+    shared memory and ``ooc_enabled`` whether they lived in on-disk spool
+    files instead (``SNAPLE_OOC=1``; at most one of the two is set);
+    ``transport_bytes`` carries the bytes that actually crossed the process
+    boundary per executed superstep (descriptors + row indices on the
+    shm/memmap paths, the slice/message arrays themselves on the
     pickled path).  Unlike the deterministic ``shipped``/``exchanged``
     accounting — which is transport-independent by design — transport bytes
     are a measurement of the wire, so they are *not* checkpointed: a
@@ -234,6 +244,7 @@ class ParallelRunOutcome:
     worker_restarts: int = 0
     resumed_from: int | None = None
     shm_enabled: bool = False
+    ooc_enabled: bool = False
     transport_bytes: list[int] = field(default_factory=list)
 
     @property
@@ -306,7 +317,7 @@ _WORKER_FAULT: FaultSpec | None = None
 #: inherit the forkserver's (stale) environment rather than the settings in
 #: effect when the pool was created.
 _WORKER_ENV_FLAGS = ("SNAPLE_DICT_STATE", "SNAPLE_PARALLEL_SCALAR",
-                     "SNAPLE_NO_SHM")
+                     "SNAPLE_NO_SHM", "SNAPLE_OOC", "SNAPLE_OOC_DIR")
 
 
 def _worker_env_snapshot() -> dict[str, str]:
@@ -335,7 +346,8 @@ def _watch_parent() -> None:
     os._exit(3)
 
 
-def _init_worker(graph: DiGraph | ShmGraphHandle, config: SnapleConfig,
+def _init_worker(graph: DiGraph | ShmGraphHandle | MemmapGraphHandle,
+                 config: SnapleConfig,
                  fault: FaultSpec | None = None,
                  env: dict[str, str] | None = None) -> None:
     """Pool initializer: install the graph, config and flags once per process.
@@ -344,11 +356,15 @@ def _init_worker(graph: DiGraph | ShmGraphHandle, config: SnapleConfig,
     :class:`~repro.runtime.shm.ShmGraphHandle` instead of the graph itself:
     the worker maps the coordinator's CSR segment once (read-only views,
     pinned for the process lifetime) rather than unpickling an edge-array
-    copy per pool spawn.
+    copy per pool spawn.  On the out-of-core path the graph arrives as a
+    :class:`~repro.runtime.ooc.MemmapGraphHandle` — the path of an on-disk
+    container the worker maps read-only in O(1).
     """
     global _WORKER_GRAPH, _WORKER_CONFIG, _WORKER_FAULT
     if isinstance(graph, ShmGraphHandle):
         graph = attach_graph(graph, attachment_cache())
+    elif isinstance(graph, MemmapGraphHandle):
+        graph = graph.load()
     _WORKER_GRAPH = graph
     _WORKER_CONFIG = config
     _WORKER_FAULT = fault
@@ -730,6 +746,88 @@ def _pool_context():
     return multiprocessing.get_context("spawn")
 
 
+class WorkerPoolLease:
+    """A worker pool (plus its graph plane) reused across parallel runs.
+
+    Spawning a pool is the fixed cost of every ``workers=N`` run: N process
+    creations, a graph transport (shm packing, container spooling, or an
+    edge-array pickle per worker), and the workers' first-import warmup.
+    A lease amortizes that cost: the first run materializes the pool and
+    the graph plane, and later runs with the *same* (graph, config,
+    workers, transport, env-flags) key reuse both — ``spawns`` counts how
+    often the expensive path actually ran.  :class:`ParallelExecutor`
+    acquires the lease when given one (``pool=``), bypassing it for
+    fault-injected runs, and invalidates it when a worker crashes so
+    recovery always replays on a fresh self-managed pool.
+
+    The lease owns real resources (processes, shared segments or spool
+    files): call :meth:`close` — or use it as a context manager — when done.
+    :class:`~repro.snaple.predictor.SnapleLinkPredictor` holds one lease
+    per predictor and forwards ``close()``.
+    """
+
+    def __init__(self) -> None:
+        self._pool: ProcessPoolExecutor | None = None
+        self._registry: ShmRegistry | None = None
+        self._graph_handle: ShmGraphHandle | MemmapGraphHandle | None = None
+        self._key: tuple | None = None
+        #: How many times a pool was actually spawned (cache misses).
+        self.spawns = 0
+
+    def acquire(self, *, graph: DiGraph, config: SnapleConfig, workers: int,
+                transport: str, env: dict[str, str]) -> ProcessPoolExecutor:
+        """The pool for this run key, spawning or respawning as needed."""
+        key = (id(graph), id(config), workers, transport,
+               tuple(sorted(env.items())))
+        if self._pool is not None and self._key == key:
+            return self._pool
+        self.invalidate()
+        if transport == "shm":
+            self._registry = ShmRegistry()
+            self._graph_handle = share_graph(self._registry, graph)
+        elif transport == "ooc":
+            self._registry = MemmapRegistry()
+            self._graph_handle = spool_graph(self._registry, graph)
+        graph_arg = self._graph_handle if self._graph_handle is not None \
+            else graph
+        self._pool = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=_pool_context(),
+            initializer=_init_worker,
+            initargs=(graph_arg, config, None, env),
+        )
+        self._key = key
+        self.spawns += 1
+        return self._pool
+
+    def invalidate(self, *, kill: bool = False) -> None:
+        """Discard the pool and its graph plane (``kill`` after a crash)."""
+        pool, self._pool = self._pool, None
+        registry, self._registry = self._registry, None
+        self._graph_handle = None
+        self._key = None
+        if pool is not None:
+            ParallelExecutor._shutdown_pool(pool, kill=kill)
+        if registry is not None:
+            registry.close()
+
+    def close(self) -> None:
+        """Release the pool and every segment/spool file.  Idempotent."""
+        self.invalidate()
+
+    def __enter__(self) -> "WorkerPoolLease":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC backstop
+        try:
+            self.invalidate(kill=True)
+        except Exception:
+            pass
+
+
 class ParallelExecutor:
     """Coordinates one shared-nothing parallel run over a worker pool.
 
@@ -771,6 +869,10 @@ class ParallelExecutor:
     fault:
         A :class:`~repro.runtime.checkpoint.FaultSpec` crash injection used
         by the fault-tolerance test harness; never set in production.
+    pool:
+        An optional :class:`WorkerPoolLease` to reuse the worker pool (and
+        graph transport) across runs.  Ignored for fault-injected runs and
+        invalidated on worker crashes, so fault tolerance is unchanged.
     """
 
     def __init__(self, graph: DiGraph, config: SnapleConfig | None = None, *,
@@ -781,7 +883,8 @@ class ParallelExecutor:
                  resume_from: str | Path | None = None,
                  max_restarts: int = DEFAULT_MAX_RESTARTS,
                  worker_timeout: float | None = None,
-                 fault: FaultSpec | None = None) -> None:
+                 fault: FaultSpec | None = None,
+                 pool: "WorkerPoolLease | None" = None) -> None:
         if kind not in ("gas", "bsp"):
             raise ConfigurationError(f"unknown parallel execution kind {kind!r}")
         self._graph = graph
@@ -836,9 +939,15 @@ class ParallelExecutor:
         self._owner_array = np.asarray(self._owner, dtype=np.int64)
         self._owned_arrays = [np.asarray(owned, dtype=np.int64)
                               for owned in self._owned]
-        # Shared-memory plane, alive only inside run() (see _use_shm).
+        if pool is not None and not isinstance(pool, WorkerPoolLease):
+            raise ConfigurationError(
+                f"pool must be a WorkerPoolLease, got {pool!r}"
+            )
+        self._pool_lease = pool
+        # State plane (shm segments or memmap spool files), alive only
+        # inside run() (see _use_shm / _use_ooc).
         self._registry: ShmRegistry | None = None
-        self._graph_handle: ShmGraphHandle | None = None
+        self._graph_handle: ShmGraphHandle | MemmapGraphHandle | None = None
 
     def _assign_owners(self, partitioner: Any, seed: int) -> list[int]:
         """One owning partition per vertex, from the engine's own partitioner."""
@@ -860,7 +969,7 @@ class ParallelExecutor:
     # Pool lifecycle and fault handling
     # ------------------------------------------------------------------
     def _make_pool(self) -> ProcessPoolExecutor:
-        graph_arg: DiGraph | ShmGraphHandle = (
+        graph_arg: DiGraph | ShmGraphHandle | MemmapGraphHandle = (
             self._graph_handle if self._graph_handle is not None
             else self._graph
         )
@@ -925,6 +1034,42 @@ class ParallelExecutor:
             and not shm_disabled()
             and shm_available()
         )
+
+    def _use_ooc(self) -> bool:
+        """Whether this run hosts graph + state columns in on-disk files.
+
+        ``SNAPLE_OOC=1`` selects the out-of-core plane (it takes precedence
+        over shm and needs no shared-memory support); like shm it is a
+        transport for column buffers, so it requires the columnar flavour.
+        The checkpoint fingerprint is unchanged — checkpoints resume across
+        the in-RAM, shm and memmap tiers in any direction.
+        """
+        return self._flavour() == "columnar" and ooc_enabled()
+
+    def _transport(self) -> str:
+        """Which plane this run ships arrays over: ``ooc``/``shm``/``pickle``."""
+        if self._use_ooc():
+            return "ooc"
+        if self._use_shm():
+            return "shm"
+        return "pickle"
+
+    def _share_graph_plane(
+            self, transport: str) -> "ShmGraphHandle | MemmapGraphHandle | None":
+        """Host the graph on the run's own plane (``self._registry``)."""
+        if transport == "shm":
+            return share_graph(self._registry, self._graph)
+        if transport == "ooc":
+            return spool_graph(self._registry, self._graph)
+        return None
+
+    def _column_allocator(self):
+        """The StateStore allocator matching the live plane (or ``None``)."""
+        if self._registry is None:
+            return None
+        if isinstance(self._registry, MemmapRegistry):
+            return MemmapColumnAllocator(self._registry)
+        return ShmColumnAllocator(self._registry)
 
     def _fingerprint(self) -> dict[str, Any]:
         return checkpoint_fingerprint(
@@ -1033,14 +1178,36 @@ class ParallelExecutor:
             self._validate_resume(resume)
             resumed_from = resume.superstep
         restarts = 0
+        transport = self._transport()
+        # Fault-injected runs bypass the lease: crash tests must exercise
+        # the full self-managed pool + plane lifecycle.
+        lease = (self._pool_lease
+                 if self._pool_lease is not None and self._fault is None
+                 else None)
         try:
-            if self._use_shm():
+            if transport == "ooc":
+                # One registry per run owns every spool file; like the shm
+                # plane it survives pool respawns after crashes.
+                self._registry = MemmapRegistry()
+            elif transport == "shm":
                 # One registry per run owns every segment; the graph is
                 # packed once and survives pool respawns after crashes.
                 self._registry = ShmRegistry()
-                self._graph_handle = share_graph(self._registry, self._graph)
+            if lease is None:
+                self._graph_handle = self._share_graph_plane(transport)
             while True:
-                pool = self._make_pool()
+                leased = lease is not None
+                if leased:
+                    # The lease hosts the graph plane (its own registry) and
+                    # the pool; this run's registry only holds state columns
+                    # and message blocks.
+                    pool = lease.acquire(
+                        graph=self._graph, config=self._config,
+                        workers=self._workers, transport=transport,
+                        env=_worker_env_snapshot(),
+                    )
+                else:
+                    pool = self._make_pool()
                 crashed = False
                 try:
                     outcome = self._dispatch(pool, vertices, targets, resume)
@@ -1048,8 +1215,16 @@ class ParallelExecutor:
                 except WorkerCrashError:
                     crashed = True
                     restarts += 1
+                    if leased:
+                        # The leased pool (and its graph plane) died with
+                        # the crash: drop it so no later run reuses a broken
+                        # pool; recovery replays on self-managed pools.
+                        lease.invalidate(kill=True)
+                        lease = None
                     if restarts > self._max_restarts:
                         raise
+                    if self._graph_handle is None and self._registry is not None:
+                        self._graph_handle = self._share_graph_plane(transport)
                     resume = None
                     if self._checkpoint_dir is not None:
                         resume = latest_valid_checkpoint(self._checkpoint_dir)
@@ -1063,7 +1238,8 @@ class ParallelExecutor:
                         resume = external_resume
                     resumed_from = 0 if resume is None else resume.superstep
                 finally:
-                    self._shutdown_pool(pool, kill=crashed)
+                    if not leased:
+                        self._shutdown_pool(pool, kill=crashed)
         finally:
             # Crash-safe cleanup: every segment is unlinked here no matter
             # how the run ended (success, exhausted restarts, KeyboardInterrupt).
@@ -1225,10 +1401,11 @@ class ParallelExecutor:
             np.asarray([u for u in owned if u in active_set], dtype=np.int64)
             for owned in self._owned
         ]
-        use_shm = self._registry is not None
+        use_plane = self._registry is not None
+        use_ooc = isinstance(self._registry, MemmapRegistry)
         store = StateStore(
             num_vertices, snaple_state_schema(),
-            allocator=ShmColumnAllocator(self._registry) if use_shm else None,
+            allocator=self._column_allocator(),
         )
         transport: list[int] = []
         acct = _Accounting.fresh(self._workers)
@@ -1265,7 +1442,7 @@ class ParallelExecutor:
                     if step_index == 1:
                         payload = (
                             state_slice_handle(store, rows, ("gamma",))
-                            if use_shm else store.extract(rows, ("gamma",))
+                            if use_plane else store.extract(rows, ("gamma",))
                         )
                         acct.shipped[w] += self._boundary_bytes(
                             store, "gamma", rows, own_mask
@@ -1273,7 +1450,7 @@ class ParallelExecutor:
                     else:
                         # The recommendation step probes only the targets'
                         # own Γ̂ but reads every neighbor's kept map.
-                        if use_shm:
+                        if use_plane:
                             gamma_slice: Any = state_slice_handle(
                                 store, owned_active, ("gamma",)
                             )
@@ -1372,7 +1549,8 @@ class ParallelExecutor:
 
         outcome = self._merge_outcome(predictions, scores, num_steps, acct,
                                       store.rows_mapping())
-        outcome.shm_enabled = use_shm
+        outcome.shm_enabled = use_plane and not use_ooc
+        outcome.ooc_enabled = use_ooc
         outcome.transport_bytes = transport
         return outcome
 
@@ -1503,10 +1681,11 @@ class ParallelExecutor:
         aggregator_fns = program.aggregators()
         num_vertices = graph.num_vertices
         schema = snaple_bsp_state_schema()
-        use_shm = self._registry is not None
+        use_plane = self._registry is not None
+        use_ooc = isinstance(self._registry, MemmapRegistry)
         store = StateStore(
             num_vertices, schema,
-            allocator=ShmColumnAllocator(self._registry) if use_shm else None,
+            allocator=self._column_allocator(),
         )
         field_names = schema.names()
         transport: list[int] = []
@@ -1549,7 +1728,7 @@ class ParallelExecutor:
             if inbox.num_messages:
                 has_message[np.unique(inbox.receiver)] = True
                 keys = owner[inbox.receiver]
-                if use_shm:
+                if use_plane:
                     # Same routing as split_by — stable owner sort + one
                     # searchsorted pass — but the ordered block is packed
                     # into one per-superstep segment and each partition
@@ -1579,7 +1758,7 @@ class ParallelExecutor:
                 compute_lists.append(compute_w)
                 state_payload = (
                     state_slice_handle(store, compute_w, field_names)
-                    if use_shm else store.extract(compute_w, field_names)
+                    if use_plane else store.extract(compute_w, field_names)
                 )
                 step_transport += _transport_nbytes(state_payload)
                 step_transport += _transport_nbytes(inbox_parts[w])
@@ -1661,7 +1840,8 @@ class ParallelExecutor:
         scores = {u: dict(scores.get(u, {})) for u in targets}
         outcome = self._merge_outcome(predictions, scores, superstep, acct,
                                       store.rows_mapping())
-        outcome.shm_enabled = use_shm
+        outcome.shm_enabled = use_plane and not use_ooc
+        outcome.ooc_enabled = use_ooc
         outcome.transport_bytes = transport
         return outcome
 
@@ -1709,17 +1889,19 @@ def run_parallel_gas(graph: DiGraph, config: SnapleConfig | None = None, *,
                      vertices: list[int] | None = None,
                      targets: list[int] | None = None,
                      seed: int | None = None,
+                     pool: WorkerPoolLease | None = None,
                      **fault_tolerance: Any) -> ParallelRunOutcome:
     """Run Algorithm 2's GAS steps with partitions in parallel processes.
 
     ``fault_tolerance`` forwards the checkpoint/recovery options
     (``checkpoint_dir``, ``checkpoint_every``, ``resume_from``,
     ``max_restarts``, ``worker_timeout``, ``fault``) to
-    :class:`ParallelExecutor`.
+    :class:`ParallelExecutor`; ``pool`` optionally reuses a
+    :class:`WorkerPoolLease` across runs.
     """
     executor = ParallelExecutor(graph, config, workers=workers, kind="gas",
                                 partitioner=partitioner, seed=seed,
-                                **fault_tolerance)
+                                pool=pool, **fault_tolerance)
     return executor.run(vertices=vertices, targets=targets)
 
 
@@ -1728,13 +1910,15 @@ def run_parallel_bsp(graph: DiGraph, config: SnapleConfig | None = None, *,
                      vertices: list[int] | None = None,
                      targets: list[int] | None = None,
                      seed: int | None = None,
+                     pool: WorkerPoolLease | None = None,
                      **fault_tolerance: Any) -> ParallelRunOutcome:
     """Run the four-superstep BSP port with partitions in parallel processes.
 
     ``fault_tolerance`` forwards the checkpoint/recovery options to
-    :class:`ParallelExecutor` as in :func:`run_parallel_gas`.
+    :class:`ParallelExecutor` as in :func:`run_parallel_gas`; ``pool``
+    optionally reuses a :class:`WorkerPoolLease` across runs.
     """
     executor = ParallelExecutor(graph, config, workers=workers, kind="bsp",
                                 partitioner=partitioner, seed=seed,
-                                **fault_tolerance)
+                                pool=pool, **fault_tolerance)
     return executor.run(vertices=vertices, targets=targets)

@@ -306,7 +306,15 @@ class AttachmentCache:
         segment = self._attachments.get(name)
         if segment is None:
             try:
-                segment = shared_memory.SharedMemory(name=name)
+                if os.path.isabs(name):
+                    # An absolute path is an out-of-core spool file (see
+                    # repro.runtime.ooc), not a POSIX segment name; map the
+                    # file read-only through the same cache.
+                    from repro.runtime.ooc import attach_file_segment
+
+                    segment = attach_file_segment(name)
+                else:
+                    segment = shared_memory.SharedMemory(name=name)
             except FileNotFoundError:
                 raise EngineError(
                     f"shared-memory segment {name!r} has vanished; the "

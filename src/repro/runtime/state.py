@@ -230,6 +230,21 @@ class ArrayAllocator:
     def free(self, array: np.ndarray) -> None:
         """Release a buffer obtained from :meth:`empty` (no-op here)."""
 
+    def describe(self, array: np.ndarray, length: int | None = None):
+        """Turn a live buffer into a picklable by-reference descriptor.
+
+        The descriptor seam of the zero-copy transports: allocators whose
+        buffers other processes can attach to — shared-memory segments
+        (:class:`~repro.runtime.shm.ShmColumnAllocator`) and on-disk spool
+        files (:class:`~repro.runtime.ooc.MemmapColumnAllocator`) — return
+        an :class:`~repro.runtime.shm.ArrayHandle` here.  The process-
+        private default cannot ship buffers by reference.
+        """
+        raise EngineError(
+            "process-private column buffers cannot be shipped by reference; "
+            "use an allocator with an attachable backing store"
+        )
+
 
 class _ScalarColumn:
     """One fixed-width value per vertex plus a present mask."""

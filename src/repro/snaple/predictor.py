@@ -67,14 +67,58 @@ class SnapleLinkPredictor:
     config:
         The :class:`~repro.snaple.config.SnapleConfig` controlling the scoring
         configuration, ``thrΓ``, ``klocal``, the sampling policy, and ``k``.
+
+    Notes
+    -----
+    ``workers=N`` runs hold a reusable worker-pool lease on the predictor:
+    repeated :meth:`predict` calls with the same graph, configuration and
+    environment reuse the spawned pool and its graph transport instead of
+    paying the spawn cost per call (``pool_spawns`` counts the actual
+    spawns).  The lease owns processes and shared segments/spool files —
+    call :meth:`close` when done, or use the predictor as a context
+    manager::
+
+        with SnapleLinkPredictor(config) as predictor:
+            first = predictor.predict(graph, backend="gas", workers=4)
+            second = predictor.predict(graph, backend="gas", workers=4)
     """
 
     def __init__(self, config: SnapleConfig | None = None) -> None:
         self._config = config if config is not None else SnapleConfig()
+        self._pool = None  # lazily created WorkerPoolLease
 
     @property
     def config(self) -> SnapleConfig:
         return self._config
+
+    @property
+    def pool_spawns(self) -> int:
+        """How many worker pools this predictor actually spawned."""
+        return 0 if self._pool is None else self._pool.spawns
+
+    def close(self) -> None:
+        """Release the worker-pool lease (processes, segments, spool files).
+
+        Idempotent; a predictor that never ran with ``workers=N`` holds
+        nothing.  Garbage collection is the backstop, but explicit closing
+        keeps resource lifetime deterministic.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+
+    def __enter__(self) -> "SnapleLinkPredictor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _worker_pool(self):
+        from repro.runtime.parallel import WorkerPoolLease
+
+        if self._pool is None:
+            self._pool = WorkerPoolLease()
+        return self._pool
 
     # ------------------------------------------------------------------
     # Unified backend dispatch
@@ -135,6 +179,10 @@ class SnapleLinkPredictor:
 
         if workers is not None:
             options["workers"] = workers
+            # Reuse this predictor's worker pool across predict() calls;
+            # the executor bypasses the lease for fault-injected runs and
+            # invalidates it after worker crashes.
+            options.setdefault("pool", self._worker_pool())
         if checkpoint_dir is not None:
             options["checkpoint_dir"] = checkpoint_dir
         if checkpoint_every is not None:

@@ -13,6 +13,7 @@ from repro.graph.io import (
     load_graph,
     read_edge_list,
     save_graph,
+    save_graph_memmap,
     write_edge_list,
 )
 
@@ -93,3 +94,49 @@ class TestWriting:
         count = save_graph(DiGraph(3, [], []), path)
         assert count == 0
         assert load_graph(path).num_edges == 0
+
+
+class TestContainerRoundTrip:
+    """save_graph_memmap → load_graph auto-detect → adjacency equality."""
+
+    def test_memmap_load_preserves_out_adjacency(self, tmp_path,
+                                                 small_social_graph):
+        container = save_graph_memmap(small_social_graph, tmp_path / "g")
+        loaded = load_graph(container)
+        ref_indptr, ref_indices = small_social_graph.csr_out_adjacency()
+        got_indptr, got_indices = loaded.csr_out_adjacency()
+        assert (ref_indptr == got_indptr).all()
+        assert (ref_indices == got_indices).all()
+
+    def test_load_graph_dispatches_on_container(self, tmp_path,
+                                                small_social_graph):
+        edge_list = tmp_path / "g.txt"
+        save_graph(small_social_graph, edge_list)
+        container = save_graph_memmap(small_social_graph, tmp_path / "g.mm")
+        from_list = load_graph(edge_list)
+        from_container = load_graph(container)
+        # Edge lists remap sparse IDs densely; the container preserves them.
+        assert from_list.num_edges == from_container.num_edges
+        assert sorted(from_container.edges()) == \
+            sorted(small_social_graph.edges())
+
+    def test_container_rejects_undirected(self, tmp_path, small_social_graph):
+        container = save_graph_memmap(small_social_graph, tmp_path / "g")
+        with pytest.raises(GraphIOError, match="undirected"):
+            load_graph(container, undirected=True)
+
+    def test_empty_graph_container_round_trip(self, tmp_path):
+        container = save_graph_memmap(DiGraph(4, [], []), tmp_path / "empty")
+        loaded = load_graph(container)
+        assert loaded.num_vertices == 4
+        assert loaded.num_edges == 0
+        indptr, indices = loaded.csr_out_adjacency()
+        assert indptr.size == 5
+        assert indices.size == 0
+
+    def test_max_degree_vertex_adjacency(self, tmp_path, star_graph):
+        container = save_graph_memmap(star_graph, tmp_path / "star")
+        loaded = load_graph(container)
+        for v in star_graph.vertices():
+            assert list(loaded.out_neighbors(v)) == \
+                list(star_graph.out_neighbors(v))

@@ -1,0 +1,231 @@
+"""Tests for the on-disk graph container (out-of-core storage tier)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, GraphIOError
+from repro.graph.digraph import CSR_ARRAY_NAMES, DiGraph
+from repro.graph.generators import streamed_powerlaw_edge_chunks
+from repro.graph.storage import (
+    GRAPH_DATA_NAME,
+    GRAPH_MANIFEST_NAME,
+    build_graph_memmap,
+    is_graph_container,
+    load_graph_memmap,
+    read_graph_manifest,
+    save_graph_memmap,
+)
+
+
+def assert_same_graph(left: DiGraph, right: DiGraph) -> None:
+    assert left.num_vertices == right.num_vertices
+    assert left.num_edges == right.num_edges
+    left_csr = left.csr_arrays()
+    right_csr = right.csr_arrays()
+    for name in CSR_ARRAY_NAMES:
+        np.testing.assert_array_equal(left_csr[name], right_csr[name])
+
+
+class TestRoundTrip:
+    def test_save_then_load_is_bit_identical(self, tmp_path, random_graph):
+        graph = random_graph(120, 4, 0.25, seed=7)
+        container = save_graph_memmap(graph, tmp_path / "g")
+        assert is_graph_container(container)
+        loaded = load_graph_memmap(container)
+        assert_same_graph(graph, loaded)
+        assert loaded.memmap_path == str(container)
+
+    def test_loaded_views_are_read_only(self, tmp_path, random_graph):
+        graph = random_graph(40, 3, 0.2, seed=1)
+        loaded = load_graph_memmap(save_graph_memmap(graph, tmp_path / "g"))
+        for array in loaded.csr_arrays().values():
+            assert not array.flags.writeable
+
+    def test_empty_graph_round_trips(self, tmp_path):
+        graph = DiGraph(5, np.array([], dtype=np.int64),
+                        np.array([], dtype=np.int64))
+        loaded = load_graph_memmap(save_graph_memmap(graph, tmp_path / "g"))
+        assert loaded.num_vertices == 5
+        assert loaded.num_edges == 0
+        assert list(loaded.out_neighbors(0)) == []
+
+    def test_zero_vertex_graph_round_trips(self, tmp_path):
+        graph = DiGraph(0, np.array([], dtype=np.int64),
+                        np.array([], dtype=np.int64))
+        loaded = load_graph_memmap(save_graph_memmap(graph, tmp_path / "g"))
+        assert loaded.num_vertices == 0
+        assert loaded.num_edges == 0
+
+    def test_max_degree_vertex_round_trips(self, tmp_path):
+        # A hub adjacent to every other vertex, in both directions.
+        n = 64
+        others = np.arange(1, n, dtype=np.int64)
+        src = np.concatenate([np.zeros(n - 1, dtype=np.int64), others])
+        dst = np.concatenate([others, np.zeros(n - 1, dtype=np.int64)])
+        graph = DiGraph(n, src, dst)
+        loaded = load_graph_memmap(save_graph_memmap(graph, tmp_path / "g"))
+        assert_same_graph(graph, loaded)
+        np.testing.assert_array_equal(loaded.out_neighbors(0), others)
+
+    def test_save_overwrites_existing_container(self, tmp_path, random_graph):
+        first = random_graph(30, 2, 0.1, seed=2)
+        second = random_graph(50, 3, 0.4, seed=3)
+        path = tmp_path / "g"
+        save_graph_memmap(first, path)
+        save_graph_memmap(second, path)
+        assert_same_graph(second, load_graph_memmap(path))
+
+    def test_digraph_save_load_memmap_shims(self, tmp_path, random_graph):
+        graph = random_graph(60, 3, 0.3, seed=9)
+        graph.save_memmap(tmp_path / "g")
+        assert_same_graph(graph, DiGraph.load_memmap(tmp_path / "g"))
+
+    def test_verify_accepts_intact_container(self, tmp_path, random_graph):
+        graph = random_graph(40, 3, 0.2, seed=4)
+        container = save_graph_memmap(graph, tmp_path / "g")
+        assert_same_graph(graph, load_graph_memmap(container, verify=True))
+
+
+class TestCorruption:
+    def test_flipped_byte_fails_verification(self, tmp_path, random_graph):
+        graph = random_graph(40, 3, 0.2, seed=5)
+        container = save_graph_memmap(graph, tmp_path / "g")
+        data = container / GRAPH_DATA_NAME
+        blob = bytearray(data.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        data.write_bytes(bytes(blob))
+        with pytest.raises(GraphIOError, match="checksum"):
+            load_graph_memmap(container, verify=True)
+
+    def test_missing_manifest_rejected(self, tmp_path, random_graph):
+        container = save_graph_memmap(random_graph(20, 2, 0.1, seed=6),
+                                      tmp_path / "g")
+        (container / GRAPH_MANIFEST_NAME).unlink()
+        assert not is_graph_container(container)
+        with pytest.raises(GraphIOError):
+            load_graph_memmap(container)
+
+    def test_truncated_manifest_rejected(self, tmp_path, random_graph):
+        container = save_graph_memmap(random_graph(20, 2, 0.1, seed=6),
+                                      tmp_path / "g")
+        manifest = container / GRAPH_MANIFEST_NAME
+        manifest.write_text(manifest.read_text()[:10])
+        with pytest.raises(GraphIOError):
+            read_graph_manifest(container)
+
+    def test_wrong_format_version_rejected(self, tmp_path, random_graph):
+        container = save_graph_memmap(random_graph(20, 2, 0.1, seed=6),
+                                      tmp_path / "g")
+        manifest = container / GRAPH_MANIFEST_NAME
+        payload = json.loads(manifest.read_text())
+        payload["format_version"] = 999
+        manifest.write_text(json.dumps(payload))
+        with pytest.raises(GraphIOError, match="version"):
+            load_graph_memmap(container)
+
+    def test_crash_leaves_no_half_valid_container(self, tmp_path):
+        # A failing chunk iterator must not publish a container directory.
+        def exploding_chunks():
+            yield (np.array([0], dtype=np.int64),
+                   np.array([1], dtype=np.int64))
+            raise RuntimeError("generator died")
+
+        with pytest.raises(RuntimeError):
+            build_graph_memmap(4, exploding_chunks(), tmp_path / "g")
+        assert not (tmp_path / "g").exists()
+
+
+class TestStreamedBuilder:
+    def test_builder_matches_in_ram_constructor(self, tmp_path):
+        rng = np.random.default_rng(13)
+        n, m = 200, 900
+        src = rng.integers(0, n, m).astype(np.int64)
+        dst = rng.integers(0, n, m).astype(np.int64)
+        chunks = [(src[i:i + 97], dst[i:i + 97]) for i in range(0, m, 97)]
+        stats = build_graph_memmap(n, iter(chunks), tmp_path / "built",
+                                   chunk_edges=128)
+        assert stats["num_edges"] == m
+        built = load_graph_memmap(tmp_path / "built")
+        save_graph_memmap(DiGraph(n, src, dst), tmp_path / "direct")
+        direct = load_graph_memmap(tmp_path / "direct")
+        assert_same_graph(direct, built)
+        # Bit-identical at the file level too, not just view-equal.
+        assert (tmp_path / "built" / GRAPH_DATA_NAME).read_bytes() == \
+            (tmp_path / "direct" / GRAPH_DATA_NAME).read_bytes()
+
+    def test_builder_with_powerlaw_stream(self, tmp_path):
+        n, m = 500, 4000
+        stats = build_graph_memmap(
+            n, streamed_powerlaw_edge_chunks(n, m, seed=21, chunk_edges=512),
+            tmp_path / "pl", chunk_edges=1024,
+        )
+        assert stats["num_edges"] == m
+        graph = load_graph_memmap(tmp_path / "pl")
+        assert graph.num_edges == m
+        # Stream is deterministic: same parameters, same container bytes.
+        build_graph_memmap(
+            n, streamed_powerlaw_edge_chunks(n, m, seed=21, chunk_edges=512),
+            tmp_path / "pl2", chunk_edges=1024,
+        )
+        assert (tmp_path / "pl" / GRAPH_DATA_NAME).read_bytes() == \
+            (tmp_path / "pl2" / GRAPH_DATA_NAME).read_bytes()
+
+    def test_builder_rejects_out_of_range_endpoints(self, tmp_path):
+        chunks = [(np.array([0, 7], dtype=np.int64),
+                   np.array([1, 2], dtype=np.int64))]
+        with pytest.raises(GraphIOError, match="endpoints"):
+            build_graph_memmap(4, iter(chunks), tmp_path / "g")
+
+    def test_builder_rejects_mismatched_chunks(self, tmp_path):
+        chunks = [(np.array([0, 1], dtype=np.int64),
+                   np.array([1], dtype=np.int64))]
+        with pytest.raises(GraphIOError, match="parallel"):
+            build_graph_memmap(4, iter(chunks), tmp_path / "g")
+
+
+class TestFromCsrArraysValidation:
+    @staticmethod
+    def _csr_kwargs(graph: DiGraph) -> dict[str, np.ndarray]:
+        return {name: array.copy()
+                for name, array in graph.csr_arrays().items()}
+
+    def test_rejects_wrong_dtype(self, random_graph):
+        graph = random_graph(20, 2, 0.1, seed=8)
+        kwargs = self._csr_kwargs(graph)
+        kwargs["edge_src"] = kwargs["edge_src"].astype(np.int32)
+        with pytest.raises(ConfigurationError, match="int64"):
+            DiGraph.from_csr_arrays(graph.num_vertices, **kwargs)
+
+    def test_rejects_wrong_shape(self, random_graph):
+        graph = random_graph(20, 2, 0.1, seed=8)
+        kwargs = self._csr_kwargs(graph)
+        kwargs["out_indices"] = kwargs["out_indices"].reshape(1, -1)
+        with pytest.raises(ConfigurationError, match="one-dimensional"):
+            DiGraph.from_csr_arrays(graph.num_vertices, **kwargs)
+
+    def test_rejects_non_array(self, random_graph):
+        graph = random_graph(20, 2, 0.1, seed=8)
+        kwargs = self._csr_kwargs(graph)
+        kwargs["in_order"] = list(kwargs["in_order"])
+        with pytest.raises(ConfigurationError, match="numpy array"):
+            DiGraph.from_csr_arrays(graph.num_vertices, **kwargs)
+
+    def test_read_only_rejects_writable_views(self, random_graph):
+        graph = random_graph(20, 2, 0.1, seed=8)
+        kwargs = self._csr_kwargs(graph)
+        with pytest.raises(ConfigurationError, match="read_only"):
+            DiGraph.from_csr_arrays(graph.num_vertices, read_only=True,
+                                    **kwargs)
+
+    def test_read_only_accepts_frozen_views(self, random_graph):
+        graph = random_graph(20, 2, 0.1, seed=8)
+        kwargs = self._csr_kwargs(graph)
+        for array in kwargs.values():
+            array.flags.writeable = False
+        rebuilt = DiGraph.from_csr_arrays(graph.num_vertices, read_only=True,
+                                          **kwargs)
+        assert_same_graph(graph, rebuilt)

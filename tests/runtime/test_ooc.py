@@ -1,0 +1,408 @@
+"""Lifecycle and parity tests for the out-of-core (memmap) state plane.
+
+:mod:`repro.runtime.ooc` swaps the parallel executor's segment substrate
+from POSIX shared memory to file-backed mappings so peak RSS stays bounded
+on graphs larger than RAM.  Pinned here:
+
+* **lifecycle** — every spool directory a run creates is removed again
+  (success, crash, or resume), and predictors release their pool lease on
+  ``close()``;
+* **parity** — predictions, scores and accounting are bit-identical across
+  the in-RAM, shm and memmap tiers, across backends and worker counts;
+* **portability** — checkpoints carry the same ``columnar`` flavour on
+  every tier, so a run checkpointed under one tier resumes under another.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import EngineError, WorkerCrashError
+from repro.runtime.ooc import (
+    FileSegment,
+    MemmapColumnAllocator,
+    MemmapGraphHandle,
+    MemmapRegistry,
+    list_spool_dirs,
+    ooc_enabled,
+    spool_graph,
+)
+from repro.runtime.parallel import WorkerPoolLease
+from repro.runtime.shm import AttachmentCache, state_slice_handle
+from repro.runtime.state import (
+    FieldKind,
+    StateField,
+    StateSchema,
+    StateStore,
+)
+from repro.graph.digraph import CSR_ARRAY_NAMES
+from repro.graph.storage import load_graph_memmap, save_graph_memmap
+from repro.snaple.config import SnapleConfig
+from repro.snaple.predictor import SnapleLinkPredictor
+
+
+def parity_graph(random_graph):
+    return random_graph(150, 3, 0.3, seed=11)
+
+
+def parity_config() -> SnapleConfig:
+    return SnapleConfig.paper_default(seed=3, k_local=10)
+
+
+def assert_no_leaked_spools() -> None:
+    assert list_spool_dirs() == [], (
+        "spool directories leaked: " + ", ".join(list_spool_dirs())
+    )
+
+
+@pytest.fixture(autouse=True)
+def spool_leak_guard(tmp_path, monkeypatch):
+    """Every test spools under its own tmp dir and must leave it clean."""
+    spool_parent = tmp_path / "spool"
+    spool_parent.mkdir()
+    monkeypatch.setenv("SNAPLE_OOC_DIR", str(spool_parent))
+    assert_no_leaked_spools()
+    yield
+    assert_no_leaked_spools()
+
+
+@pytest.fixture
+def ooc_env(monkeypatch):
+    monkeypatch.setenv("SNAPLE_OOC", "1")
+
+
+# ----------------------------------------------------------------------
+# FileSegment / MemmapRegistry units
+# ----------------------------------------------------------------------
+class TestFileSegment:
+    def test_create_write_attach_read(self, tmp_path):
+        path = tmp_path / "seg.bin"
+        writer = FileSegment(path, 64, create=True)
+        np.frombuffer(writer.buf, dtype=np.int64)[:] = np.arange(8)
+        reader = FileSegment(path)
+        np.testing.assert_array_equal(
+            np.frombuffer(reader.buf, dtype=np.int64), np.arange(8))
+        reader.close()
+        writer.close()
+        writer.unlink()
+        assert not path.exists()
+
+    def test_name_is_absolute_path(self, tmp_path):
+        segment = FileSegment(tmp_path / "seg.bin", 8, create=True)
+        try:
+            assert segment.name == str(tmp_path / "seg.bin")
+            assert segment.size == 8
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_create_requires_size(self, tmp_path):
+        with pytest.raises(ValueError):
+            FileSegment(tmp_path / "seg.bin", create=True)
+
+    def test_create_refuses_existing_file(self, tmp_path):
+        path = tmp_path / "seg.bin"
+        path.write_bytes(b"x")
+        with pytest.raises(FileExistsError):
+            FileSegment(path, 8, create=True)
+
+    def test_close_raises_while_views_live(self, tmp_path):
+        segment = FileSegment(tmp_path / "seg.bin", 64, create=True)
+        view = np.frombuffer(segment.buf, dtype=np.int64)
+        with pytest.raises(BufferError):
+            segment.close()
+        del view
+        segment.close()
+        segment.unlink()
+
+    def test_unlink_is_idempotent(self, tmp_path):
+        segment = FileSegment(tmp_path / "seg.bin", 8, create=True)
+        segment.close()
+        segment.unlink()
+        segment.unlink()
+
+
+class TestMemmapRegistry:
+    def test_spool_dir_created_and_removed(self):
+        registry = MemmapRegistry()
+        spool = registry.spool_dir
+        assert spool.is_dir()
+        assert list_spool_dirs() == [spool.name]
+        registry.close()
+        assert not spool.exists()
+        assert_no_leaked_spools()
+
+    def test_close_is_idempotent(self):
+        registry = MemmapRegistry()
+        registry.create(128)
+        registry.close()
+        registry.close()
+
+    def test_share_arrays_round_trip(self):
+        cache = AttachmentCache()
+        with MemmapRegistry() as registry:
+            arrays = {
+                "a": np.arange(10, dtype=np.int64),
+                "b": np.linspace(0.0, 1.0, 5),
+            }
+            block = registry.share_arrays(arrays)
+            assert registry.num_segments == 1
+            for name, array in arrays.items():
+                view = cache.view(block.specs[name])
+                np.testing.assert_array_equal(view, array)
+                assert not view.flags.writeable
+                del view
+            cache.retain(set())
+
+    def test_column_allocator_descriptors_carry_paths(self):
+        cache = AttachmentCache()
+        with MemmapRegistry() as registry:
+            schema = StateSchema([StateField("gamma", FieldKind.INT_LIST)])
+            store = StateStore(8, schema,
+                               allocator=MemmapColumnAllocator(registry))
+            store.set_rows("gamma", np.array([2]), np.array([3]),
+                           np.array([5, 6, 7], dtype=np.int64))
+            rows = np.array([1, 2], dtype=np.int64)
+            handle = state_slice_handle(store, rows, ("gamma",))
+            # Descriptors carry spool-file paths, which is what makes them
+            # self-routing through the worker-side attachment cache.
+            for spec in handle.ragged["gamma"]:
+                if spec is not None:
+                    assert spec.segment.startswith(str(registry.spool_dir))
+            expected = store.extract(rows, ("gamma",))
+            actual = handle.materialize(cache)
+            np.testing.assert_array_equal(actual.rows, expected.rows)
+            np.testing.assert_array_equal(actual.ragged["gamma"][1],
+                                          expected.ragged["gamma"][1])
+            cache.retain(set())
+
+    def test_attachment_cache_missing_file_raises(self):
+        cache = AttachmentCache()
+        with MemmapRegistry() as registry:
+            handle = registry.share_array(np.arange(4, dtype=np.int64))
+        with pytest.raises(EngineError, match="vanished"):
+            cache.view(handle)
+
+
+class TestSpoolGraph:
+    def test_in_ram_graph_spooled_into_registry(self, random_graph):
+        graph = parity_graph(random_graph)
+        registry = MemmapRegistry()
+        try:
+            handle = spool_graph(registry, graph)
+            assert handle.num_vertices == graph.num_vertices
+            assert handle.num_edges == graph.num_edges
+            assert handle.path.startswith(str(registry.spool_dir))
+            loaded = handle.load()
+            for name in CSR_ARRAY_NAMES:
+                np.testing.assert_array_equal(
+                    loaded.csr_arrays()[name], graph.csr_arrays()[name])
+        finally:
+            registry.close()
+
+    def test_container_backed_graph_ships_without_copy(self, tmp_path,
+                                                       random_graph):
+        graph = parity_graph(random_graph)
+        container = save_graph_memmap(graph, tmp_path / "g")
+        mapped = load_graph_memmap(container)
+        registry = MemmapRegistry()
+        try:
+            handle = spool_graph(registry, mapped)
+            assert handle.path == str(container)
+            assert not (registry.spool_dir / "graph").exists()
+        finally:
+            registry.close()
+
+
+# ----------------------------------------------------------------------
+# End-to-end parity and lifecycle
+# ----------------------------------------------------------------------
+class TestOutOfCoreParity:
+    _reference: dict[tuple[str, int], object] = {}
+
+    def _reference_run(self, backend, workers, random_graph):
+        key = (backend, workers)
+        if key not in self._reference:
+            graph = parity_graph(random_graph)
+            run = SnapleLinkPredictor(parity_config()).predict(
+                graph, backend=backend)
+            self._reference[key] = {
+                "predictions": run.predictions,
+                "scores": dict(run.scores),
+            }
+        return self._reference[key]
+
+    @pytest.mark.parametrize("backend", ["gas", "bsp"])
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_memmap_tier_matches_in_ram(self, backend, workers, ooc_env,
+                                        random_graph):
+        graph = parity_graph(random_graph)
+        reference = self._reference_run(backend, workers, random_graph)
+        with SnapleLinkPredictor(parity_config()) as predictor:
+            run = predictor.predict(graph, backend=backend, workers=workers)
+            assert run.predictions == reference["predictions"]
+            assert dict(run.scores) == reference["scores"]
+            if workers > 1:
+                assert run.extra["ooc_enabled"] == 1.0
+                assert run.extra["shm_enabled"] == 0.0
+        assert_no_leaked_spools()
+
+    def test_container_backed_graph_runs_parallel(self, tmp_path, ooc_env,
+                                                  random_graph):
+        graph = parity_graph(random_graph)
+        container = save_graph_memmap(graph, tmp_path / "g")
+        mapped = load_graph_memmap(container)
+        reference = self._reference_run("gas", 2, random_graph)
+        with SnapleLinkPredictor(parity_config()) as predictor:
+            run = predictor.predict(mapped, backend="gas", workers=2)
+        assert run.predictions == reference["predictions"]
+        assert run.extra["ooc_enabled"] == 1.0
+        assert_no_leaked_spools()
+
+    def test_ooc_takes_precedence_over_shm(self, monkeypatch, ooc_env,
+                                           random_graph):
+        graph = parity_graph(random_graph)
+        with SnapleLinkPredictor(parity_config()) as predictor:
+            run = predictor.predict(graph, backend="bsp", workers=2)
+        assert run.extra["ooc_enabled"] == 1.0
+        assert run.extra["shm_enabled"] == 0.0
+
+    def test_spools_cleaned_after_worker_crash(self, fault_injector, ooc_env,
+                                               random_graph):
+        graph = parity_graph(random_graph)
+        predictor = SnapleLinkPredictor(parity_config())
+        fault = fault_injector.kill_worker(1, partition=0)
+        with pytest.raises(WorkerCrashError):
+            predictor.predict(graph, backend="gas", workers=2,
+                              max_restarts=0, fault=fault)
+        predictor.close()
+        assert_no_leaked_spools()
+
+
+class TestCrossTierResume:
+    """A checkpoint written under one tier resumes under another."""
+
+    def _crash_then_resume(self, write_env, resume_env, monkeypatch,
+                           fault_injector, tmp_path, random_graph):
+        graph = parity_graph(random_graph)
+        predictor = SnapleLinkPredictor(parity_config())
+        baseline = predictor.predict(graph, backend="bsp", workers=2)
+        predictor.close()
+        checkpoint_dir = tmp_path / "ckpt"
+
+        for name, value in write_env.items():
+            monkeypatch.setenv(name, value)
+        fault = fault_injector.kill_worker(2, partition=0)
+        with pytest.raises(WorkerCrashError):
+            predictor.predict(graph, backend="bsp", workers=2,
+                              checkpoint_dir=checkpoint_dir,
+                              max_restarts=0, fault=fault)
+        predictor.close()
+        for name in write_env:
+            monkeypatch.delenv(name)
+
+        for name, value in resume_env.items():
+            monkeypatch.setenv(name, value)
+        resumed = predictor.predict(graph, backend="bsp", workers=2,
+                                    resume_from=checkpoint_dir)
+        predictor.close()
+        assert resumed.predictions == baseline.predictions
+        assert dict(resumed.scores) == dict(baseline.scores)
+        assert_no_leaked_spools()
+
+    def test_checkpoint_under_shm_resumes_under_memmap(
+            self, monkeypatch, fault_injector, tmp_path, random_graph):
+        self._crash_then_resume({}, {"SNAPLE_OOC": "1"}, monkeypatch,
+                                fault_injector, tmp_path, random_graph)
+
+    def test_checkpoint_under_memmap_resumes_under_shm(
+            self, monkeypatch, fault_injector, tmp_path, random_graph):
+        self._crash_then_resume({"SNAPLE_OOC": "1"}, {}, monkeypatch,
+                                fault_injector, tmp_path, random_graph)
+
+
+# ----------------------------------------------------------------------
+# Worker-pool lease (satellite: pool reuse across predict() calls)
+# ----------------------------------------------------------------------
+class TestWorkerPoolLease:
+    @pytest.mark.parametrize("env", [{}, {"SNAPLE_OOC": "1"}],
+                             ids=["shm", "ooc"])
+    def test_pool_reused_across_predicts(self, env, monkeypatch,
+                                         random_graph):
+        for name, value in env.items():
+            monkeypatch.setenv(name, value)
+        graph = parity_graph(random_graph)
+        with SnapleLinkPredictor(parity_config()) as predictor:
+            first = predictor.predict(graph, backend="gas", workers=2)
+            second = predictor.predict(graph, backend="gas", workers=2)
+            assert predictor.pool_spawns == 1
+            assert first.predictions == second.predictions
+
+    def test_env_change_respawns_pool(self, monkeypatch, random_graph):
+        graph = parity_graph(random_graph)
+        with SnapleLinkPredictor(parity_config()) as predictor:
+            predictor.predict(graph, backend="gas", workers=2)
+            monkeypatch.setenv("SNAPLE_OOC", "1")
+            run = predictor.predict(graph, backend="gas", workers=2)
+            assert predictor.pool_spawns == 2
+            assert run.extra["ooc_enabled"] == 1.0
+
+    def test_worker_count_change_respawns_pool(self, random_graph):
+        graph = parity_graph(random_graph)
+        with SnapleLinkPredictor(parity_config()) as predictor:
+            predictor.predict(graph, backend="gas", workers=2)
+            predictor.predict(graph, backend="gas", workers=3)
+            assert predictor.pool_spawns == 2
+
+    def test_close_is_idempotent_and_releases(self, ooc_env, random_graph):
+        graph = parity_graph(random_graph)
+        predictor = SnapleLinkPredictor(parity_config())
+        predictor.predict(graph, backend="gas", workers=2)
+        assert predictor.pool_spawns == 1
+        predictor.close()
+        predictor.close()
+        assert_no_leaked_spools()
+        assert predictor.pool_spawns == 0
+
+    def test_crash_invalidates_lease(self, fault_injector, random_graph):
+        graph = parity_graph(random_graph)
+        with SnapleLinkPredictor(parity_config()) as predictor:
+            baseline = predictor.predict(graph, backend="gas", workers=2)
+            fault = fault_injector.kill_worker(1, partition=0)
+            with pytest.raises(WorkerCrashError):
+                predictor.predict(graph, backend="gas", workers=2,
+                                  max_restarts=0, fault=fault)
+            # The fault run bypassed the lease; the pooled workers are
+            # still healthy and reused.
+            after = predictor.predict(graph, backend="gas", workers=2)
+            assert predictor.pool_spawns == 1
+            assert after.predictions == baseline.predictions
+
+    def test_lease_requires_lease_instance(self, random_graph):
+        from repro.errors import ConfigurationError
+        from repro.runtime.parallel import ParallelExecutor
+
+        graph = parity_graph(random_graph)
+        with pytest.raises(ConfigurationError, match="pool"):
+            ParallelExecutor(graph, parity_config(), workers=2, kind="gas",
+                             pool=object())
+
+    def test_pool_option_requires_workers(self, random_graph):
+        from repro.errors import ConfigurationError
+        from repro.runtime import get_backend
+
+        with pytest.raises(ConfigurationError, match="workers"):
+            get_backend("gas", pool=WorkerPoolLease())
+
+    def test_lease_context_manager(self, random_graph):
+        graph = parity_graph(random_graph)
+        config = parity_config()
+        with WorkerPoolLease() as lease:
+            first = SnapleLinkPredictor(config).predict(
+                graph, backend="gas", workers=2, pool=lease)
+            second = SnapleLinkPredictor(config).predict(
+                graph, backend="gas", workers=2, pool=lease)
+            assert lease.spawns == 1
+            assert first.predictions == second.predictions
+        assert_no_leaked_spools()

@@ -313,10 +313,11 @@ class TestRunLifecycle:
     @pytest.mark.parametrize("backend", ["gas", "bsp"])
     def test_no_segments_after_successful_run(self, backend, random_graph):
         graph = parity_graph(random_graph)
-        predictor = SnapleLinkPredictor(parity_config())
-        report = predictor.predict(graph, backend=backend, workers=2)
-        assert report.extra.get("shm_enabled") == 1.0
-        assert report.extra.get("transport_bytes", 0.0) > 0.0
+        with SnapleLinkPredictor(parity_config()) as predictor:
+            report = predictor.predict(graph, backend=backend, workers=2)
+            assert report.extra.get("shm_enabled") == 1.0
+            assert report.extra.get("transport_bytes", 0.0) > 0.0
+        # Closing the predictor releases the pool lease and its graph plane.
         assert_no_leaked_segments()
 
     def test_no_segments_after_worker_crash(self, fault_injector,
@@ -327,6 +328,7 @@ class TestRunLifecycle:
         with pytest.raises(WorkerCrashError):
             predictor.predict(graph, backend="gas", workers=2,
                               max_restarts=0, fault=fault)
+        predictor.close()
         assert_no_leaked_segments()
 
     def test_no_segments_after_crash_recovery(self, fault_injector, tmp_path,
@@ -341,6 +343,7 @@ class TestRunLifecycle:
         )
         assert recovered.extra["worker_restarts"] == 1.0
         assert recovered.predictions == baseline.predictions
+        predictor.close()
         assert_no_leaked_segments()
 
     def test_no_segments_after_checkpoint_resume(self, fault_injector,
@@ -354,11 +357,13 @@ class TestRunLifecycle:
             predictor.predict(graph, backend="bsp", workers=2,
                               checkpoint_dir=checkpoint_dir,
                               max_restarts=0, fault=fault)
+        predictor.close()
         assert_no_leaked_segments()
         resumed = predictor.predict(graph, backend="bsp", workers=2,
                                     resume_from=checkpoint_dir)
         assert resumed.predictions == baseline.predictions
         assert dict(resumed.scores) == dict(baseline.scores)
+        predictor.close()
         assert_no_leaked_segments()
 
     def test_no_shm_escape_hatch(self, monkeypatch, random_graph):
@@ -371,6 +376,7 @@ class TestRunLifecycle:
         assert without.extra["shm_enabled"] == 0.0
         assert without.predictions == with_shm.predictions
         assert dict(without.scores) == dict(with_shm.scores)
+        predictor.close()
         assert_no_leaked_segments()
 
     @pytest.mark.parametrize("backend", ["gas", "bsp"])
@@ -416,8 +422,8 @@ class TestStatePlaneParityGrid:
     def test_grid_cell_matches_reference(self, backend, workers, state_plane,
                                          random_graph):
         graph = parity_graph(random_graph)
-        predictor = SnapleLinkPredictor(parity_config())
-        run = predictor.predict(graph, backend=backend, workers=workers)
+        with SnapleLinkPredictor(parity_config()) as predictor:
+            run = predictor.predict(graph, backend=backend, workers=workers)
         key = (backend, workers)
         reference = self._reference.setdefault(
             key, {"predictions": run.predictions,
