@@ -1,6 +1,6 @@
 """Online serving benchmark: incremental rescoring and load/latency curves.
 
-Two claims are measured on the acceptance-scale power-law graph:
+Three claims are measured on the acceptance-scale power-law graph:
 
 1. **Incremental beats batch.** Applying a single absent edge to a warm
    :class:`~repro.serving.IncrementalIndex` (dirty-region rescoring) must be
@@ -11,7 +11,17 @@ Two claims are measured on the acceptance-scale power-law graph:
 2. **Throughput/latency vs offered load.** One long-lived
    :class:`~repro.serving.PredictorService` is driven by the closed-loop
    load generator at several client counts; each level reports stable-window
-   throughput and p50/p99 latency, memtier-style.
+   throughput, p50/p99 latency, and the operational-law bottleneck analysis
+   derived from the per-stage queue/service-time samples, memtier-style.
+
+3. **Sharding breaks the GIL.** The same load is replayed against a
+   :class:`~repro.serving.ShardedPredictorService` with
+   ``SNAPLE_BENCH_SERVING_SHARDS`` shard processes.  When the container
+   actually grants enough cores (``usable_cores >= shards``), the sharded
+   plane must reach at least ``2x`` the threaded service's stable
+   throughput at the highest offered load; on core-limited boxes the rows
+   are annotated ``cores_limited`` and the gate is skipped — same policy as
+   ``bench_parallel_scaling.py``.
 
 Environment knobs (all optional):
 
@@ -21,6 +31,8 @@ Environment knobs (all optional):
 - ``SNAPLE_BENCH_SERVING_WINDOW_SECONDS`` (default ``1.0``)
 - ``SNAPLE_BENCH_SERVING_UPDATES`` (default ``5``)
 - ``SNAPLE_BENCH_SERVING_INGEST_FRACTION`` (default ``0.05``)
+- ``SNAPLE_BENCH_SERVING_SHARDS`` (default ``4``; ``0`` skips the sharded
+  levels entirely)
 """
 
 from __future__ import annotations
@@ -38,12 +50,28 @@ from repro.serving import (
     LoadGenerator,
     PredictorService,
     ServingConfig,
+    ShardedPredictorService,
 )
 from repro.snaple.config import SnapleConfig
 
 from conftest import BENCH_SEED
 
 BENCH_K_LOCAL = 10
+
+SHARDED_SPEEDUP_FLOOR = 2.0
+
+
+def usable_cores() -> int:
+    """CPUs this process may actually run on (affinity-aware).
+
+    ``os.cpu_count()`` reports the machine; a container pinned to one core
+    still sees every socket there.  ``sched_getaffinity`` reflects the
+    pinning, so the speedup gate keys off the honest number.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
 
 
 def _absent_edges(graph, count: int, seed: int) -> list[tuple[int, int]]:
@@ -58,6 +86,43 @@ def _absent_edges(graph, count: int, seed: int) -> list[tuple[int, int]]:
             edges.append((u, v))
             seen.add((u, v))
     return edges
+
+
+def _run_levels(service, client_levels, *, windows, window_seconds,
+                ingest_fraction, plane, parallelism, cores):
+    """One load level per client count; rows annotated like the scaling bench.
+
+    ``parallelism`` is the number of genuinely concurrent executors the
+    plane can use (worker threads for the threaded service, shard processes
+    for the sharded one); a row is ``cores_limited`` when that exceeds the
+    cores the container actually grants.
+    """
+    levels = []
+    for clients in client_levels:
+        load = LoadGenerator(service, LoadConfig(
+            clients=clients,
+            windows=windows,
+            window_seconds=window_seconds,
+            warmup_windows=1 if windows > 1 else 0,
+            ingest_fraction=ingest_fraction,
+            seed=BENCH_SEED + clients,
+        )).run()
+        row = load.to_dict()
+        # The operational table already distills the stage samples; keep
+        # only the per-stage totals in the artifact, not the raw sample
+        # arrays (megabytes per run).
+        if row.get("stages"):
+            row["stages"] = {
+                name: {key: value for key, value in snap.items()
+                       if not key.endswith("_samples")}
+                for name, snap in row["stages"].items()
+            }
+        row["plane"] = plane
+        row["parallelism"] = parallelism
+        row["usable_cores"] = cores
+        row["cores_limited"] = parallelism > cores
+        levels.append(row)
+    return levels
 
 
 def test_bench_serving(save_json, save_result, bench_graph):
@@ -76,6 +141,8 @@ def test_bench_serving(save_json, save_result, bench_graph):
     ingest_fraction = float(
         os.environ.get("SNAPLE_BENCH_SERVING_INGEST_FRACTION", "0.05")
     )
+    shards = int(os.environ.get("SNAPLE_BENCH_SERVING_SHARDS", "4"))
+    cores = usable_cores()
 
     graph = bench_graph(num_vertices, 3, 0.2, seed=BENCH_SEED)
     config = SnapleConfig.paper_default(seed=BENCH_SEED,
@@ -102,22 +169,69 @@ def test_bench_serving(save_json, save_result, bench_graph):
         f"rebuild ({batch_seconds:.3f}s)"
     )
 
-    # --- Claim 2: one service, several offered-load levels.
-    levels = []
+    # --- Claim 2: one threaded service, several offered-load levels.
     serving_config = ServingConfig(workers=2, queue_bound=256,
                                    compact_every=4096)
     with PredictorService(graph, config, serving=serving_config) as service:
-        for clients in client_levels:
-            load = LoadGenerator(service, LoadConfig(
-                clients=clients,
-                windows=windows,
-                window_seconds=window_seconds,
-                warmup_windows=1 if windows > 1 else 0,
-                ingest_fraction=ingest_fraction,
-                seed=BENCH_SEED + clients,
-            )).run()
-            levels.append(load.to_dict())
+        threaded_levels = _run_levels(
+            service, client_levels,
+            windows=windows, window_seconds=window_seconds,
+            ingest_fraction=ingest_fraction,
+            plane="threaded", parallelism=serving_config.workers,
+            cores=cores,
+        )
         stats = service.stats()
+
+    # --- Claim 3: the sharded multi-process plane under the same load.
+    sharded_levels = []
+    sharded_stats = None
+    if shards > 0:
+        with ShardedPredictorService(graph, config, shards=shards,
+                                     serving=serving_config) as sharded:
+            sharded_levels = _run_levels(
+                sharded, client_levels,
+                windows=windows, window_seconds=window_seconds,
+                ingest_fraction=ingest_fraction,
+                plane="sharded", parallelism=shards,
+                cores=cores,
+            )
+            raw = sharded.stats()
+            sharded_stats = {
+                "requests_served": raw.requests_served,
+                "edges_ingested": raw.edges_ingested,
+                "edges_removed": raw.edges_removed,
+                "updates_applied": raw.updates_applied,
+                "batches_dispatched": raw.batches_dispatched,
+                "mean_batch_size": raw.mean_batch_size,
+                "compactions": raw.compactions,
+                "shards": raw.shards,
+            }
+
+    # Speedup of the sharded plane over the threaded one at the highest
+    # offered load — only a hard gate when the container grants the cores.
+    sharded_speedup = None
+    cores_limited = shards > cores
+    if sharded_levels:
+        threaded_top = threaded_levels[-1]["stable_throughput_ops"]
+        sharded_top = sharded_levels[-1]["stable_throughput_ops"]
+        if threaded_top > 0:
+            sharded_speedup = sharded_top / threaded_top
+        if shards >= 4 and not cores_limited:
+            assert sharded_speedup is not None and \
+                sharded_speedup >= SHARDED_SPEEDUP_FLOOR, (
+                    f"sharded plane ({shards} shards, {cores} cores) reached "
+                    f"only {sharded_speedup:.2f}x the threaded throughput; "
+                    f"gate is {SHARDED_SPEEDUP_FLOOR}x"
+                )
+
+    # Every load level must carry the operational-law analysis; the sharded
+    # rows additionally expose the dispatch/shard_queue/rescore/reply stages.
+    for row in threaded_levels + sharded_levels:
+        assert row["operational"] is not None
+        assert row["operational"]["bottleneck"] in row["operational"]["stages"]
+    for row in sharded_levels:
+        for stage in ("dispatch", "shard_queue", "rescore", "reply"):
+            assert stage in row["stages"], f"missing sharded stage {stage}"
 
     payload = {
         "experiment": "serving",
@@ -128,12 +242,23 @@ def test_bench_serving(save_json, save_result, bench_graph):
         "seed": BENCH_SEED,
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "usable_cores": cores,
         "batch_build_seconds": batch_seconds,
         "incremental_update_seconds": update_seconds,
         "incremental_update_median_seconds": median_update,
         "incremental_rescored_vertices": rescored_counts,
         "incremental_speedup_vs_batch": speedup,
-        "load_levels": levels,
+        "load_levels": threaded_levels,
+        "sharded_load_levels": sharded_levels,
+        "sharded": {
+            "shards": shards,
+            "usable_cores": cores,
+            "cores_limited": cores_limited,
+            "speedup_vs_threaded": sharded_speedup,
+            "speedup_floor": SHARDED_SPEEDUP_FLOOR,
+            "gate_enforced": bool(sharded_levels) and shards >= 4
+            and not cores_limited,
+        },
         "service_stats": {
             "requests_served": stats.requests_served,
             "edges_ingested": stats.edges_ingested,
@@ -144,12 +269,14 @@ def test_bench_serving(save_json, save_result, bench_graph):
             "pair_cache_misses": stats.pair_cache_misses,
             "compactions": stats.compactions,
         },
+        "sharded_service_stats": sharded_stats,
     }
     save_json("BENCH_serving", payload)
 
     lines = [
         f"Online serving ({num_vertices:,} vertices, "
-        f"{graph.num_edges:,} edges, k_local={BENCH_K_LOCAL})",
+        f"{graph.num_edges:,} edges, k_local={BENCH_K_LOCAL}, "
+        f"{cores} usable cores)",
         "",
         f"batch index build        {batch_seconds:8.3f} s",
         f"single-edge update (med) {median_update:8.4f} s   "
@@ -157,13 +284,28 @@ def test_bench_serving(save_json, save_result, bench_graph):
         f"median {int(statistics.median(rescored_counts))} "
         f"vertices rescored)",
         "",
-        f"{'clients':>8} {'ops/s':>10} {'p50 ms':>9} {'p99 ms':>9}",
+        f"{'plane':>10} {'clients':>8} {'ops/s':>10} {'p50 ms':>9} "
+        f"{'p99 ms':>9}  bottleneck",
     ]
-    for level in levels:
+    for level in threaded_levels + sharded_levels:
+        note = " [cores-limited]" if level["cores_limited"] else ""
         lines.append(
+            f"{level['plane']:>10} "
             f"{level['offered_clients']:>8} "
             f"{level['stable_throughput_ops']:>10.0f} "
             f"{level['stable_p50_ms']:>9.3f} "
-            f"{level['stable_p99_ms']:>9.3f}"
+            f"{level['stable_p99_ms']:>9.3f}  "
+            f"{level['operational']['bottleneck']}"
+            f" (U={level['operational']['bottleneck_utilization']:.2f})"
+            f"{note}"
+        )
+    if sharded_speedup is not None:
+        gate = ("gate enforced" if shards >= 4 and not cores_limited
+                else "gate skipped: cores-limited" if cores_limited
+                else "gate skipped: <4 shards")
+        lines.append("")
+        lines.append(
+            f"sharded vs threaded at {client_levels[-1]} clients: "
+            f"{sharded_speedup:.2f}x ({gate})"
         )
     save_result("BENCH_serving", "\n".join(lines))

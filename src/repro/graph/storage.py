@@ -151,6 +151,47 @@ def madvise_array(array: np.ndarray, *advices: str) -> bool:
     return applied
 
 
+def madvise_region(mm, offset: int, nbytes: int, *advices: str) -> bool:
+    """Apply ``madvise`` hints to one byte range of a mapping; best-effort.
+
+    ``madvise`` requires a page-aligned start, so the range is widened down
+    to the containing page boundary and clamped to the mapping.  Same
+    contract as :func:`madvise_array`: hints never change behaviour, only
+    paging, and platforms without range ``madvise`` are a silent no-op.
+    """
+    if mm is None or not hasattr(mm, "madvise") or nbytes <= 0:
+        return False
+    start = (int(offset) // _PAGE) * _PAGE
+    try:
+        length = min(int(offset) + int(nbytes), len(mm)) - start
+    except TypeError:  # pragma: no cover - exotic mapping without len()
+        return False
+    if length <= 0:
+        return False
+    applied = False
+    for name in advices:
+        flag = getattr(mmap, f"MADV_{name.upper()}", None)
+        if flag is None:
+            continue
+        try:
+            mm.madvise(flag, start, length)
+            applied = True
+        except (OSError, ValueError):  # pragma: no cover - kernel-dependent
+            pass
+    return applied
+
+
+#: Access-pattern hints per CSR region: ``indptr`` is touched by every row
+#: lookup (prefault it), ``indices`` is sparse random row reads under the
+#: serving workload (don't readahead past the row).
+GRAPH_REGION_ADVICE: dict[str, tuple[str, ...]] = {
+    "out_indptr": ("willneed",),
+    "in_indptr": ("willneed",),
+    "out_indices": ("random",),
+    "in_indices": ("random",),
+}
+
+
 # ----------------------------------------------------------------------
 # Manifest
 # ----------------------------------------------------------------------
@@ -381,6 +422,14 @@ def load_graph_memmap(
     if advise:
         names = (advise,) if isinstance(advise, str) else tuple(advise)
         madvise_array(buffer, *names)
+        # Per-region refinements on top of the blanket hint: prefault the
+        # indptr tables every lookup walks, keep readahead off the
+        # randomly-probed index rows.
+        mm = getattr(buffer, "_mmap", None)
+        for name, region_advices in GRAPH_REGION_ADVICE.items():
+            offset, length = layout[name]
+            madvise_region(mm, offset, length * _INT64.itemsize,
+                           *region_advices)
     views: dict[str, np.ndarray] = {}
     for name in CSR_ARRAY_NAMES:
         offset, length = layout[name]

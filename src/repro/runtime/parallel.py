@@ -150,6 +150,7 @@ __all__ = [
     "ParallelRunOutcome",
     "ParallelExecutor",
     "WorkerPoolLease",
+    "pool_context",
     "run_parallel_gas",
     "run_parallel_bsp",
     "validate_workers",
@@ -744,6 +745,16 @@ def _pool_context():
             _FORKSERVER_PRELOADED = True
         return ctx
     return multiprocessing.get_context("spawn")
+
+
+def pool_context():
+    """Public alias of the executor's start-method choice.
+
+    Other process fan-outs (the sharded serving plane) must make the same
+    forkserver-or-spawn decision for the same thread-safety reasons; sharing
+    the helper keeps the preload bookkeeping in one place.
+    """
+    return _pool_context()
 
 
 class WorkerPoolLease:

@@ -443,14 +443,21 @@ def attach_graph(handle: ShmGraphHandle, cache: AttachmentCache) -> Any:
     """Reconstruct the graph as read-only views over the mapped segment.
 
     The segment is pinned in the cache: graph views live for the worker
-    process's whole lifetime.
+    process's whole lifetime.  Paging hints are applied per region —
+    ``WILLNEED`` on the indptr tables every row lookup walks, ``RANDOM`` on
+    the index rows the kernel probes sparsely — mirroring the memmap loader.
     """
     from repro.graph.digraph import DiGraph
+    from repro.graph.storage import GRAPH_REGION_ADVICE, madvise_region
 
     cache.pin(handle.block.segment)
     views = {
         key: cache.view(handle.block.specs[key]) for key in _GRAPH_ARRAYS
     }
+    mapping = getattr(cache._get(handle.block.segment), "_mmap", None)
+    for key, region_advices in GRAPH_REGION_ADVICE.items():
+        spec = handle.block.specs[key]
+        madvise_region(mapping, spec.offset, spec.nbytes, *region_advices)
     return DiGraph.from_csr_arrays(
         handle.num_vertices,
         out_indptr=views["out_indptr"],

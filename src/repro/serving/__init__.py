@@ -5,14 +5,18 @@ package is the bridge to a long-lived system: a mutable edge overlay over
 the immutable CSR graph (:mod:`~repro.serving.delta`), an incrementally
 maintained SNAPLE index that rescores only dirty regions
 (:mod:`~repro.serving.index`), a request/worker service in the
-Queueing-middleware shape (:mod:`~repro.serving.service`), and a closed-loop
-load generator with windowed instrumentation
-(:mod:`~repro.serving.loadgen`).
+Queueing-middleware shape (:mod:`~repro.serving.service`), its sharded
+multi-process counterpart — shm-backed shard workers behind a batching
+dispatcher (:mod:`~repro.serving.sharded`) — per-stage queue/service-time
+instrumentation with operational-law bottleneck analysis
+(:mod:`~repro.serving.stages`), and a closed-loop load generator with
+windowed instrumentation (:mod:`~repro.serving.loadgen`).
 
-Parity contract: at any point in an edge stream, the service's answers are
-bit-identical (predictions *and* scores) to a cold batch
-``predict(backend="gas"/"bsp", workers=N)`` on the merged graph — the
-per-vertex RNG discipline makes dirty-region recomputation exact.
+Parity contract: at any point in an edge stream (additions *and* removals),
+both services' answers are bit-identical (predictions *and* scores) to a
+cold batch ``predict(backend="gas"/"bsp", workers=N)`` on the merged graph —
+the per-vertex RNG discipline makes dirty-region recomputation exact, for
+any shard count.
 """
 
 from repro.serving.delta import GraphDelta
@@ -30,9 +34,20 @@ from repro.serving.loadgen import (
 from repro.serving.service import (
     IngestResult,
     PredictorService,
+    RemovalResult,
     ServiceStats,
     ServingConfig,
     TopKResult,
+)
+from repro.serving.sharded import (
+    ShardedPredictorService,
+    ShardedServiceStats,
+    ShardMap,
+)
+from repro.serving.stages import (
+    StageRecorder,
+    merge_snapshots,
+    operational_analysis,
 )
 
 __all__ = [
@@ -45,8 +60,15 @@ __all__ = [
     "LoadResult",
     "PairSimilarityCache",
     "PredictorService",
+    "RemovalResult",
     "ServiceStats",
     "ServingConfig",
+    "ShardMap",
+    "ShardedPredictorService",
+    "ShardedServiceStats",
+    "StageRecorder",
     "TopKResult",
     "WindowStats",
+    "merge_snapshots",
+    "operational_analysis",
 ]

@@ -21,6 +21,15 @@ Two invariants make the overlay safe to serve from:
   what makes :meth:`compact` a pure representation change: folding the delta
   into a new base ``DiGraph`` yields byte-identical adjacency, so scoring
   parity holds trivially across a compaction boundary.
+
+Deletions are tombstones: :meth:`remove_edge` removes a *delta* edge
+physically (it only ever existed in the overlay) but marks a *base* edge
+with a per-pair tombstone count — the immutable CSR is never rewritten.
+Every merged view strips tombstoned occurrences, and :meth:`compact` folds
+them out for real, so the CSR-equivalence invariant extends to deletions:
+the merged adjacency is always element-identical to a fresh rebuild from
+(base + delta − removed).  Base rows may hold duplicate edges; one
+``remove_edge`` call removes exactly one occurrence.
 """
 
 from __future__ import annotations
@@ -43,13 +52,15 @@ class GraphDelta:
 
     Edges whose endpoints lie beyond the current vertex range grow the graph
     (new vertices start with empty adjacency), matching how a streamed social
-    graph acquires users.  Deletion is out of scope: the paper's workload is
-    append-only and every downstream invalidation rule here assumes
-    monotonically growing adjacency.
+    graph acquires users.  Edges can also be *removed* (unfollow/unfriend):
+    delta edges go away physically, base edges are tombstoned per pair and
+    folded out at the next :meth:`compact`.  Vertices are never retired —
+    the vertex range grows monotonically even when adjacency shrinks.
     """
 
     __slots__ = ("_base", "_num_vertices", "_extra_out", "_extra_in",
-                 "_extra_sets", "_delta_src", "_delta_dst", "_csr")
+                 "_extra_sets", "_delta_src", "_delta_dst",
+                 "_removed_out", "_removed_in", "_num_removed", "_csr")
 
     def __init__(self, base: DiGraph) -> None:
         self._base = base
@@ -59,6 +70,10 @@ class GraphDelta:
         self._extra_sets: dict[int, set[int]] = {}
         self._delta_src: list[int] = []
         self._delta_dst: list[int] = []
+        #: Tombstones over *base* edges: vertex -> {neighbor: count removed}.
+        self._removed_out: dict[int, dict[int, int]] = {}
+        self._removed_in: dict[int, dict[int, int]] = {}
+        self._num_removed = 0
         self._csr: tuple[np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------------
@@ -75,12 +90,18 @@ class GraphDelta:
 
     @property
     def num_edges(self) -> int:
-        return self._base.num_edges + len(self._delta_src)
+        return (self._base.num_edges + len(self._delta_src)
+                - self._num_removed)
 
     @property
     def num_delta_edges(self) -> int:
         """Edges absorbed since the last :meth:`compact` (or construction)."""
         return len(self._delta_src)
+
+    @property
+    def num_removed_edges(self) -> int:
+        """Base-edge tombstones pending since the last :meth:`compact`."""
+        return self._num_removed
 
     def delta_edges(self) -> list[tuple[int, int]]:
         """The uncompacted edges in ingest order."""
@@ -126,15 +147,82 @@ class GraphDelta:
                 added.append((int(u), int(v)))
         return added
 
+    def remove_edge(self, u: int, v: int) -> bool:
+        """Remove one occurrence of ``u -> v``; ``False`` when absent.
+
+        A delta edge is removed physically (the overlay is mutable); a base
+        edge gets a per-pair tombstone the merged views strip and
+        :meth:`compact` folds out.  Base rows may hold the same edge several
+        times — each call removes exactly one occurrence, so a later
+        :meth:`add_edge` of the same pair round-trips to the original
+        multiset.  The vertex range never shrinks.
+        """
+        u, v = int(u), int(v)
+        if u < 0 or v < 0:
+            raise GraphError(
+                f"edge endpoints must be non-negative, got ({u}, {v})"
+            )
+        if u >= self._num_vertices or v >= self._num_vertices:
+            return False
+        if v in self._extra_sets.get(u, ()):
+            # Delta copy: unwind exactly what add_edge recorded.
+            self._extra_out[u].remove(v)
+            if not self._extra_out[u]:
+                del self._extra_out[u]
+            self._extra_in[v].remove(u)
+            if not self._extra_in[v]:
+                del self._extra_in[v]
+            self._extra_sets[u].discard(v)
+            if not self._extra_sets[u]:
+                del self._extra_sets[u]
+            for position in range(len(self._delta_src) - 1, -1, -1):
+                if (self._delta_src[position] == u
+                        and self._delta_dst[position] == v):
+                    del self._delta_src[position]
+                    del self._delta_dst[position]
+                    break
+            self._csr = None
+            return True
+        remaining = (self._base_multiplicity(u, v)
+                     - self._removed_out.get(u, {}).get(v, 0))
+        if remaining <= 0:
+            return False
+        self._removed_out.setdefault(u, {})[v] = (
+            self._removed_out.get(u, {}).get(v, 0) + 1
+        )
+        self._removed_in.setdefault(v, {})[u] = (
+            self._removed_in.get(v, {}).get(u, 0) + 1
+        )
+        self._num_removed += 1
+        self._csr = None
+        return True
+
+    def remove_edges(self, edges: Iterable[tuple[int, int]]
+                     ) -> list[tuple[int, int]]:
+        """Remove a batch of edges; returns the ones actually removed."""
+        removed: list[tuple[int, int]] = []
+        for u, v in edges:
+            if self.remove_edge(u, v):
+                removed.append((int(u), int(v)))
+        return removed
+
     def compact(self) -> DiGraph:
         """Fold the delta into a fresh base :class:`DiGraph` and clear it.
 
         The merged adjacency is unchanged — ``DiGraph`` sorts rows by
-        ``(src, dst)`` exactly like the overlay's merge — so any consumer of
-        ``csr_out_adjacency()`` sees byte-identical arrays before and after.
-        Returns the new base graph.
+        ``(src, dst)`` exactly like the overlay's merge, and tombstoned base
+        occurrences are dropped from the edge arrays before the rebuild — so
+        any consumer of ``csr_out_adjacency()`` sees byte-identical arrays
+        before and after.  Returns the new base graph.
         """
         src, dst = self._base.edge_arrays()
+        if self._num_removed:
+            keep = np.ones(src.size, dtype=bool)
+            for u, tombstones in self._removed_out.items():
+                for v, count in tombstones.items():
+                    hits = np.flatnonzero((src == u) & (dst == v))[:count]
+                    keep[hits] = False
+            src, dst = src[keep], dst[keep]
         if self._delta_src:
             src = np.concatenate(
                 [src, np.asarray(self._delta_src, dtype=np.int64)]
@@ -148,6 +236,9 @@ class GraphDelta:
         self._extra_sets.clear()
         self._delta_src = []
         self._delta_dst = []
+        self._removed_out.clear()
+        self._removed_in.clear()
+        self._num_removed = 0
         self._csr = None
         return self._base
 
@@ -158,21 +249,45 @@ class GraphDelta:
         if not 0 <= u < self._num_vertices:
             raise VertexNotFoundError(u, self._num_vertices)
 
+    def _base_multiplicity(self, u: int, v: int) -> int:
+        """How many copies of ``u -> v`` the base row holds (pre-tombstone)."""
+        base = self._base
+        if u >= base.num_vertices or v >= base.num_vertices:
+            return 0
+        row = base.out_neighbors(u)
+        lo = int(np.searchsorted(row, v, side="left"))
+        hi = int(np.searchsorted(row, v, side="right"))
+        return hi - lo
+
     def _edge_known(self, u: int, v: int) -> bool:
         if v in self._extra_sets.get(u, ()):
             return True
-        base = self._base
-        return (u < base.num_vertices and v < base.num_vertices
-                and base.has_edge(u, v))
+        surviving = (self._base_multiplicity(u, v)
+                     - self._removed_out.get(u, {}).get(v, 0))
+        return surviving > 0
 
     def has_edge(self, u: int, v: int) -> bool:
         self._check_vertex(u)
         self._check_vertex(v)
         return self._edge_known(u, v)
 
+    @staticmethod
+    def _strip_tombstones(row: np.ndarray,
+                          tombstones: dict[int, int] | None) -> np.ndarray:
+        """Drop the first *count* copies of each tombstoned value from a
+        sorted row."""
+        if not tombstones:
+            return row
+        keep = np.ones(row.size, dtype=bool)
+        for value, count in tombstones.items():
+            lo = int(np.searchsorted(row, value, side="left"))
+            keep[lo:lo + count] = False
+        return row[keep]
+
     def _base_out_row(self, u: int) -> np.ndarray:
         if u < self._base.num_vertices:
-            return self._base.out_neighbors(u)
+            return self._strip_tombstones(self._base.out_neighbors(u),
+                                          self._removed_out.get(u))
         return _EMPTY
 
     def out_neighbors(self, u: int) -> np.ndarray:
@@ -192,7 +307,8 @@ class GraphDelta:
         """Merged in-neighborhood ``Γ⁻¹(u)``, sorted."""
         self._check_vertex(u)
         extras = self._extra_in.get(u)
-        base_row = (self._base.in_neighbors(u)
+        base_row = (self._strip_tombstones(self._base.in_neighbors(u),
+                                           self._removed_in.get(u))
                     if u < self._base.num_vertices else _EMPTY)
         if not extras:
             return base_row
@@ -206,17 +322,32 @@ class GraphDelta:
         self._check_vertex(u)
         base_degree = (self._base.out_degree(u)
                        if u < self._base.num_vertices else 0)
+        base_degree -= sum(self._removed_out.get(u, {}).values())
         return base_degree + len(self._extra_out.get(u, ()))
 
     def in_degree(self, u: int) -> int:
         self._check_vertex(u)
         base_degree = (self._base.in_degree(u)
                        if u < self._base.num_vertices else 0)
+        base_degree -= sum(self._removed_in.get(u, {}).values())
         return base_degree + len(self._extra_in.get(u, ()))
 
     def edges(self) -> Iterator[tuple[int, int]]:
-        """Base edges in their original order, then delta edges in ingest order."""
-        yield from self._base.edges()
+        """Base edges in their original order, then delta edges in ingest order.
+
+        Tombstoned base edges are skipped (the first *count* occurrences of
+        each removed pair, matching what :meth:`compact` folds out).
+        """
+        if not self._num_removed:
+            yield from self._base.edges()
+        else:
+            skipped: dict[tuple[int, int], int] = {}
+            for u, v in self._base.edges():
+                budget = self._removed_out.get(u, {}).get(v, 0)
+                if budget and skipped.get((u, v), 0) < budget:
+                    skipped[(u, v)] = skipped.get((u, v), 0) + 1
+                    continue
+                yield u, v
         yield from zip(self._delta_src, self._delta_dst)
 
     def csr_out_adjacency(self) -> tuple[np.ndarray, np.ndarray]:
@@ -238,14 +369,17 @@ class GraphDelta:
         counts = base_counts.copy()
         for u, extras in self._extra_out.items():
             counts[u] += len(extras)
+        for u, tombstones in self._removed_out.items():
+            counts[u] -= sum(tombstones.values())
         indptr = indptr_from_counts(counts)
         indices = np.empty(int(indptr[-1]), dtype=np.int64)
-        if not self._extra_out:
+        touched_rows = set(self._extra_out) | set(self._removed_out)
+        if not touched_rows:
             indices[:base_indices.size] = base_indices
             return indptr, indices
         untouched = np.ones(n, dtype=bool)
-        touched = np.fromiter(self._extra_out, dtype=np.int64,
-                              count=len(self._extra_out))
+        touched = np.fromiter(touched_rows, dtype=np.int64,
+                              count=len(touched_rows))
         untouched[touched] = False
         rows = np.flatnonzero(untouched & (base_counts > 0))
         indices[gather_slices(indptr[rows], base_counts[rows])] = (

@@ -127,11 +127,13 @@ class PairSimilarityCache:
 
 @dataclass(frozen=True)
 class AppliedUpdate:
-    """Outcome of one :meth:`IncrementalIndex.apply_edges` call."""
+    """Outcome of one :meth:`IncrementalIndex.apply_edges` /
+    :meth:`IncrementalIndex.apply_removals` call."""
 
     added: list[tuple[int, int]]
     gamma_dirty: np.ndarray = field(repr=False)
     rescored: np.ndarray = field(repr=False)
+    removed: list[tuple[int, int]] = field(default_factory=list)
 
     @property
     def num_rescored(self) -> int:
@@ -162,18 +164,29 @@ class IncrementalIndex:
     """Maintains every vertex's Γ̂, kept neighbors, and ranked predictions.
 
     Construction runs a cold build (equivalent to a batch run over the whole
-    graph); :meth:`apply_edges` then keeps the state exact under streamed
-    edge additions by rescoring only the dirty closure.  All randomness is
-    per-vertex (``rng_mode="per_vertex"``, GAS fold order), so the
-    maintained predictions and scores are bit-identical to a cold batch
-    ``predict(backend="gas"/"bsp", workers=N)`` on the current merged graph.
+    graph); :meth:`apply_edges` / :meth:`apply_removals` then keep the state
+    exact under streamed edge additions and deletions by rescoring only the
+    dirty closure.  All randomness is per-vertex (``rng_mode="per_vertex"``,
+    GAS fold order), so the maintained predictions and scores are
+    bit-identical to a cold batch ``predict(backend="gas"/"bsp", workers=N)``
+    on the current merged graph.
+
+    ``target_filter`` restricts *phase 3b only* (the ranked-score refresh) to
+    a subset of vertices — the sharding hook.  Phases 1 and 2 (Γ̂ and kept
+    similarities) always run over the full dirty sets because phase 3b of an
+    owned target reads its neighbors' Γ̂/kept rows, which may not be owned.
+    Per-vertex RNG makes each target's phase-3b computation independent, so
+    a filtered index's rows for owned vertices are bit-identical to an
+    unfiltered index's rows for the same vertices.
     """
 
     def __init__(self, graph: DiGraph | GraphDelta, config: SnapleConfig,
-                 *, use_pair_cache: bool = True) -> None:
+                 *, use_pair_cache: bool = True,
+                 target_filter=None) -> None:
         self._graph = (graph if isinstance(graph, GraphDelta)
                        else GraphDelta(graph))
         self._config = config
+        self._target_filter = target_filter
         self.pair_cache = PairSimilarityCache() if use_pair_cache else None
         self.rescored_total = 0
         self.refreshes = 0
@@ -185,7 +198,8 @@ class IncrementalIndex:
         self._score_vals: list[np.ndarray] = []
         self._grow_to(self._graph.num_vertices)
         everything = np.arange(self._graph.num_vertices, dtype=np.int64)
-        self._refresh(everything, everything, everything)
+        self._refresh(everything, everything,
+                      self._filter_targets(everything))
 
     # ------------------------------------------------------------------
     # Read surface
@@ -247,15 +261,38 @@ class IncrementalIndex:
                                  gamma_dirty=np.empty(0, dtype=np.int64),
                                  rescored=np.empty(0, dtype=np.int64))
         self._grow_to(self._graph.num_vertices)
-        gamma_dirty = np.unique(
-            np.asarray([u for u, _ in added], dtype=np.int64)
-        )
+        sources = np.asarray([u for u, _ in added], dtype=np.int64)
+        return self._rescore_dirty(sources, added=added)
+
+    def apply_removals(self, edges) -> AppliedUpdate:
+        """Remove streamed edges and rescore exactly the dirty closure.
+
+        Removing ``u -> v`` changes only ``u``'s out-adjacency (plus ``v``'s
+        in-adjacency, which no kernel phase reads), so the dirty data-flow is
+        identical to adding ``u -> v``: ``u`` is gamma-dirty and the same
+        2-reverse-hop closure covers every affected row.  The closure is
+        walked on the post-removal graph; that is safe because ``u`` itself
+        is in every dirty set and no other vertex's adjacency changed.
+        """
+        removed = self._graph.remove_edges(edges)
+        if not removed:
+            return AppliedUpdate(added=[],
+                                 gamma_dirty=np.empty(0, dtype=np.int64),
+                                 rescored=np.empty(0, dtype=np.int64))
+        sources = np.asarray([u for u, _ in removed], dtype=np.int64)
+        return self._rescore_dirty(sources, removed=removed)
+
+    def _rescore_dirty(self, sources: np.ndarray, *,
+                       added: list[tuple[int, int]] | None = None,
+                       removed: list[tuple[int, int]] | None = None
+                       ) -> AppliedUpdate:
+        gamma_dirty = np.unique(sources)
         sims_dirty = self._reverse_closure(gamma_dirty)
-        targets = self._reverse_closure(sims_dirty)
+        targets = self._filter_targets(self._reverse_closure(sims_dirty))
         self._refresh(gamma_dirty, sims_dirty, targets)
         self.rescored_total += int(targets.size)
-        return AppliedUpdate(added=added, gamma_dirty=gamma_dirty,
-                             rescored=targets)
+        return AppliedUpdate(added=added or [], gamma_dirty=gamma_dirty,
+                             rescored=targets, removed=removed or [])
 
     def compact(self) -> DiGraph:
         """Fold the delta overlay into a fresh CSR base (no rescoring:
@@ -274,6 +311,12 @@ class IncrementalIndex:
             self._pred_rows.append([])
             self._score_ids.append(np.empty(0, dtype=np.int64))
             self._score_vals.append(np.empty(0, dtype=np.float64))
+
+    def _filter_targets(self, targets: np.ndarray) -> np.ndarray:
+        """Apply the shard ``target_filter`` (identity when unsharded)."""
+        if self._target_filter is None:
+            return targets
+        return np.asarray(self._target_filter(targets), dtype=np.int64)
 
     def _reverse_closure(self, vertices: np.ndarray) -> np.ndarray:
         """``vertices`` plus their in-neighbors on the merged graph, sorted."""

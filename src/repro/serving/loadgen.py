@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.serving.service import PredictorService
+from repro.serving.stages import operational_analysis
 
 __all__ = ["LoadConfig", "LoadGenerator", "LoadResult", "WindowStats"]
 
@@ -98,6 +99,12 @@ class LoadResult:
     total_operations: int = 0
     total_queries: int = 0
     total_ingests: int = 0
+    #: Raw per-stage queue/service-time snapshots, when the service exposes
+    #: ``stage_stats()`` (both serving planes do).
+    stages: dict | None = None
+    #: Operational-law table over the run: per-stage utilization, Little's
+    #: law fit, and the bottleneck stage (see repro.serving.stages).
+    operational: dict | None = None
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -124,6 +131,10 @@ class LoadGenerator:
         service = self._service
         num_vertices = service.num_vertices
         duration = config.windows * config.window_seconds
+        reset_stages = getattr(service, "reset_stage_stats", None)
+        if reset_stages is not None:
+            reset_stages()
+        run_started = time.perf_counter()
         barrier = threading.Barrier(config.clients)
         records: list[list[tuple[int, float, bool]]] = [
             [] for _ in range(config.clients)
@@ -161,6 +172,12 @@ class LoadGenerator:
             thread.start()
         for thread in threads:
             thread.join()
+        run_elapsed = time.perf_counter() - run_started
+
+        stage_stats = getattr(service, "stage_stats", None)
+        stage_snapshots = stage_stats() if stage_stats is not None else None
+        operational = (operational_analysis(stage_snapshots, run_elapsed)
+                       if stage_snapshots else None)
 
         by_window: list[list[tuple[float, bool]]] = [
             [] for _ in range(config.windows)
@@ -209,4 +226,6 @@ class LoadGenerator:
             total_operations=total,
             total_queries=total - total_ingests,
             total_ingests=total_ingests,
+            stages=stage_snapshots,
+            operational=operational,
         )

@@ -30,10 +30,11 @@ from repro.errors import ConfigurationError, ServingError
 from repro.graph.digraph import DiGraph
 from repro.runtime.report import RunReport
 from repro.serving.index import IncrementalIndex
+from repro.serving.stages import StageRecorder
 from repro.snaple.config import SnapleConfig
 
-__all__ = ["IngestResult", "PredictorService", "ServiceStats",
-           "ServingConfig", "TopKResult"]
+__all__ = ["IngestResult", "PredictorService", "RemovalResult",
+           "ServiceStats", "ServingConfig", "TopKResult"]
 
 #: Queue sentinel that tells a worker to exit its loop.
 _SHUTDOWN = object()
@@ -86,6 +87,15 @@ class IngestResult:
     added: list[tuple[int, int]]
     rescored: int
     compacted: bool
+
+
+@dataclass(frozen=True)
+class RemovalResult:
+    """Answer to one edge-removal request."""
+
+    requested: int
+    removed: list[tuple[int, int]]
+    rescored: int
 
 
 @dataclass(frozen=True)
@@ -179,6 +189,11 @@ class PredictorService:
         self._started = False
         self._stopped = False
         self._started_at: float | None = None
+        workers = self._serving.workers
+        self._stage_recorders = {
+            "query": StageRecorder("query", servers=workers),
+            "ingest": StageRecorder("ingest", servers=workers),
+        }
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -246,7 +261,8 @@ class PredictorService:
             raise ServingError("service already stopped")
         future: Future = Future()
         try:
-            self._queue.put((kind, payload, future), timeout=timeout)
+            self._queue.put((kind, payload, future, time.perf_counter()),
+                            timeout=timeout)
         except queue_module.Full:
             raise ServingError(
                 f"job queue full (bound {self._serving.queue_bound}); "
@@ -265,6 +281,13 @@ class PredictorService:
         return self._submit("ingest", [(int(u), int(v)) for u, v in edges],
                             timeout)
 
+    def submit_remove(self, edges: Iterable[tuple[int, int]], *,
+                      timeout: float | None = None) -> Future:
+        """Enqueue an edge-batch removal; resolves to a
+        :class:`RemovalResult`."""
+        return self._submit("remove", [(int(u), int(v)) for u, v in edges],
+                            timeout)
+
     def top_k(self, vertex: int, k: int | None = None,
               timeout: float | None = None) -> TopKResult:
         """Blocking convenience over :meth:`submit_top_k`."""
@@ -279,6 +302,11 @@ class PredictorService:
                     timeout: float | None = None) -> IngestResult:
         return self.ingest([(u, v)], timeout=timeout)
 
+    def remove(self, edges: Iterable[tuple[int, int]],
+               timeout: float | None = None) -> RemovalResult:
+        """Blocking convenience over :meth:`submit_remove`."""
+        return self.submit_remove(edges).result(timeout)
+
     # ------------------------------------------------------------------
     # Workers
     # ------------------------------------------------------------------
@@ -288,18 +316,27 @@ class PredictorService:
             try:
                 if job is _SHUTDOWN:
                     return
-                kind, payload, future = job
+                kind, payload, future, submitted = job
+                dequeued = time.perf_counter()
                 if not future.set_running_or_notify_cancel():
                     continue
                 try:
                     if kind == "top_k":
                         result = self._handle_top_k(*payload)
+                    elif kind == "remove":
+                        result = self._handle_remove(payload)
                     else:
                         result = self._handle_ingest(payload)
                 except BaseException as exc:  # surfaces via Future.result()
                     future.set_exception(exc)
                 else:
                     future.set_result(result)
+                finished = time.perf_counter()
+                stage = ("query" if kind == "top_k" else "ingest")
+                with self._counters_lock:
+                    recorder = self._stage_recorders[stage]
+                    recorder.record(dequeued - submitted, finished - dequeued)
+                    recorder.sample_depth(self._queue.qsize())
             finally:
                 self._queue.task_done()
 
@@ -351,9 +388,30 @@ class PredictorService:
                             rescored=update.num_rescored,
                             compacted=compacted)
 
+    def _handle_remove(self, edges: list[tuple[int, int]]) -> RemovalResult:
+        with self._lock.write():
+            update = self._index.apply_removals(edges)
+            for u in update.rescored.tolist():
+                self._result_cache.pop(u, None)
+        return RemovalResult(requested=len(edges), removed=update.removed,
+                             rescored=update.num_rescored)
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def stage_stats(self) -> dict[str, dict]:
+        """Per-stage queue/service-time snapshots (see
+        :mod:`repro.serving.stages`)."""
+        with self._counters_lock:
+            return {name: recorder.snapshot()
+                    for name, recorder in self._stage_recorders.items()}
+
+    def reset_stage_stats(self) -> None:
+        """Restart stage sampling (the load generator's warmup boundary)."""
+        with self._counters_lock:
+            for recorder in self._stage_recorders.values():
+                recorder.reset()
+
     def stats(self) -> ServiceStats:
         """Consistent counter snapshot (takes the read side of the lock)."""
         with self._lock.read():

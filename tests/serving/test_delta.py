@@ -142,3 +142,96 @@ class TestCompaction:
         after = delta.csr_out_adjacency()
         np.testing.assert_array_equal(before[0], after[0])
         np.testing.assert_array_equal(before[1], after[1])
+
+
+class TestRemoval:
+    def _unique_base_edge(self, graph):
+        src, dst = graph.edge_arrays()
+        pairs = list(zip(src.tolist(), dst.tolist()))
+        counts: dict[tuple[int, int], int] = {}
+        for pair in pairs:
+            counts[pair] = counts.get(pair, 0) + 1
+        return next(pair for pair in pairs if counts[pair] == 1)
+
+    def test_delta_edge_removed_physically(self, triangle_graph):
+        delta = GraphDelta(triangle_graph)
+        assert delta.add_edge(0, 2)
+        assert delta.remove_edge(0, 2)
+        assert delta.num_delta_edges == 0
+        assert delta.num_removed_edges == 0
+        assert not delta.has_edge(0, 2)
+        assert delta.num_edges == triangle_graph.num_edges
+
+    def test_base_edge_tombstoned(self, random_graph):
+        base = random_graph(60, 3, 0.3, seed=2)
+        u, v = self._unique_base_edge(base)
+        delta = GraphDelta(base)
+        assert delta.remove_edge(u, v)
+        assert delta.num_removed_edges == 1
+        assert not delta.has_edge(u, v)
+        assert delta.num_edges == base.num_edges - 1
+        assert v not in delta.out_neighbors(u).tolist()
+        assert u not in delta.in_neighbors(v).tolist()
+        assert delta.out_degree(u) == base.out_degree(u) - 1
+        assert delta.in_degree(v) == base.in_degree(v) - 1
+        # Removing an edge that no longer survives is a no-op.
+        assert not delta.remove_edge(u, v)
+
+    def test_merged_view_matches_rebuild_after_removals(self, random_graph):
+        base = random_graph(80, 3, 0.3, seed=9)
+        delta = GraphDelta(base)
+        added = delta.add_edges(_absent_edges(base, 12, seed=10))
+        removed = [added[3], self._unique_base_edge(base)]
+        assert delta.remove_edges(removed) == removed
+        rebuilt = _rebuild(delta)
+        indptr, indices = delta.csr_out_adjacency()
+        want_indptr, want_indices = rebuilt.csr_out_adjacency()
+        np.testing.assert_array_equal(indptr, want_indptr)
+        np.testing.assert_array_equal(indices, want_indices)
+        for u in range(delta.num_vertices):
+            np.testing.assert_array_equal(delta.out_neighbors(u),
+                                          rebuilt.out_neighbors(u))
+            assert delta.in_degree(u) == rebuilt.in_degree(u)
+
+    def test_duplicate_base_edge_removed_one_occurrence_at_a_time(self):
+        base = DiGraph(3, [0, 0, 1], [1, 1, 2])
+        delta = GraphDelta(base)
+        assert delta.remove_edge(0, 1)
+        assert delta.has_edge(0, 1)  # one copy survives
+        np.testing.assert_array_equal(delta.out_neighbors(0), [1])
+        assert delta.remove_edge(0, 1)
+        assert not delta.has_edge(0, 1)
+        assert not delta.remove_edge(0, 1)
+        assert delta.num_edges == 1
+
+    def test_readd_after_removal(self, random_graph):
+        base = random_graph(60, 3, 0.3, seed=2)
+        u, v = self._unique_base_edge(base)
+        delta = GraphDelta(base)
+        assert delta.remove_edge(u, v)
+        assert delta.add_edge(u, v)
+        assert delta.has_edge(u, v)
+        assert delta.num_edges == base.num_edges
+
+    def test_compact_folds_out_tombstones(self, random_graph):
+        base = random_graph(80, 3, 0.3, seed=9)
+        delta = GraphDelta(base)
+        added = delta.add_edges(_absent_edges(base, 8, seed=10))
+        removed = [added[0], self._unique_base_edge(base)]
+        delta.remove_edges(removed)
+        before = delta.csr_out_adjacency()
+        compacted = delta.compact()
+        assert delta.num_delta_edges == 0
+        assert delta.num_removed_edges == 0
+        for u, v in removed:
+            assert not compacted.has_edge(u, v)
+        after = compacted.csr_out_adjacency()
+        np.testing.assert_array_equal(before[0], after[0])
+        np.testing.assert_array_equal(before[1], after[1])
+
+    def test_invalid_removals(self, triangle_graph):
+        delta = GraphDelta(triangle_graph)
+        with pytest.raises(GraphError):
+            delta.remove_edge(-1, 0)
+        assert not delta.remove_edge(0, 99)  # out of range: nothing to do
+        assert not delta.remove_edge(0, 2)  # absent edge

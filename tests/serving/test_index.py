@@ -123,6 +123,102 @@ class TestDirtyTracking:
         assert index.predictions(base.num_vertices + 2) == []
 
 
+def _final_graph_after_removals(base, stream, removals):
+    src, dst = base.edge_arrays()
+    edges = list(zip(src.tolist(), dst.tolist())) + list(stream)
+    for edge in removals:
+        edges.remove(edge)
+    num_vertices = max(
+        base.num_vertices, max(max(u, v) for u, v in edges) + 1
+    )
+    return DiGraph(num_vertices, [u for u, _ in edges],
+                   [v for _, v in edges])
+
+
+class TestRemovals:
+    def test_removal_rescoring_equals_cold(self, random_graph, config):
+        """Dirty-region parity for deletions: the incrementally maintained
+        index after remove == a cold index on the post-removal graph."""
+        base = random_graph(90, 3, 0.3, seed=7)
+        stream = _absent_edges(base, 10, seed=1)
+        index = IncrementalIndex(base, config)
+        index.apply_edges(stream)
+        src, dst = base.edge_arrays()
+        removals = [stream[2], (int(src[0]), int(dst[0]))]
+        update = index.apply_removals(removals)
+        assert update.removed == removals
+        assert update.num_rescored > 0
+        cold = IncrementalIndex(
+            _final_graph_after_removals(base, stream, removals), config
+        )
+        _assert_same_state(index, cold)
+
+    def test_removal_across_compaction(self, random_graph, config):
+        base = random_graph(90, 3, 0.3, seed=7)
+        stream = _absent_edges(base, 8, seed=2)
+        index = IncrementalIndex(base, config)
+        index.apply_edges(stream)
+        index.compact()
+        # The streamed edges are base edges now: tombstone path.
+        removals = [stream[1], stream[5]]
+        index.apply_removals(removals)
+        index.compact()
+        cold = IncrementalIndex(
+            _final_graph_after_removals(base, stream, removals), config
+        )
+        _assert_same_state(index, cold)
+
+    def test_absent_removal_is_noop(self, random_graph, config):
+        base = random_graph(60, 3, 0.3, seed=8)
+        index = IncrementalIndex(base, config)
+        before = index.all_predictions()
+        (absent,) = _absent_edges(base, 1, seed=9)
+        update = index.apply_removals([absent])
+        assert update.removed == []
+        assert update.num_rescored == 0
+        assert index.all_predictions() == before
+
+    def test_removal_dirty_closure_covers_sources(self, random_graph,
+                                                  config):
+        base = random_graph(90, 3, 0.3, seed=7)
+        index = IncrementalIndex(base, config)
+        src, dst = base.edge_arrays()
+        u, v = int(src[4]), int(dst[4])
+        update = index.apply_removals([(u, v)])
+        assert u in update.gamma_dirty.tolist()
+        assert set(update.gamma_dirty.tolist()) <= set(
+            update.rescored.tolist()
+        )
+        assert update.num_rescored < index.num_vertices
+
+
+class TestTargetFilter:
+    def test_filtered_indexes_tile_the_unfiltered_one(self, random_graph,
+                                                      config):
+        """Phase 3b restricted to disjoint covering slices reproduces the
+        unfiltered index exactly on each slice — the sharding invariant."""
+        base = random_graph(70, 3, 0.3, seed=12)
+        stream = _absent_edges(base, 6, seed=13)
+        full = IncrementalIndex(base, config)
+        halves = [
+            IncrementalIndex(
+                base, config,
+                target_filter=lambda t, parity=parity:
+                    t[np.asarray(t) % 2 == parity],
+            )
+            for parity in (0, 1)
+        ]
+        updates = [full.apply_edges(stream)]
+        half_rescored = 0
+        for half in halves:
+            half_rescored += half.apply_edges(stream).num_rescored
+        assert half_rescored == updates[0].num_rescored
+        for u in range(full.num_vertices):
+            owner = halves[u % 2]
+            assert owner.predictions(u) == full.predictions(u)
+            assert owner.scores(u) == full.scores(u)
+
+
 class TestPairCache:
     def test_hits_accumulate_and_invalidate(self, random_graph, config):
         base = random_graph(90, 3, 0.3, seed=7)
