@@ -26,6 +26,12 @@ answer change (the online-serving demo loop)::
     snaple serve --demo
     snaple serve --vertex 5 --ingest 5:42 --workers 4 --json
 
+Run a declarative scenario suite (YAML/TOML) and write one report per
+experiment::
+
+    snaple suite run examples/suites/temporal_replay.yaml --out reports/
+    snaple suite list examples/suites/figure6.yaml
+
 List the available experiments, dataset analogs and execution backends::
 
     snaple list
@@ -54,11 +60,19 @@ __all__ = ["main", "build_parser"]
 
 
 def _experiment_argument(value: str) -> str:
-    """Normalize an experiment name (``_`` and ``-`` are interchangeable)."""
-    key = value.replace("_", "-")
-    if key in ("list", "serve") or key in EXPERIMENTS:
+    """Normalize an experiment name (``_`` and ``-`` are interchangeable).
+
+    Uses the registry-level normalizer, the same one behind every
+    component-name lookup.
+    """
+    from repro.runtime.registry import match_component_name
+
+    key = match_component_name(
+        value, list(EXPERIMENTS) + ["list", "serve"]
+    )
+    if key is not None:
         return key
-    known = ", ".join(sorted(EXPERIMENTS) + ["list", "serve"])
+    known = ", ".join(sorted(EXPERIMENTS) + ["list", "serve", "suite"])
     raise argparse.ArgumentTypeError(
         f"unknown experiment {value!r} (choose from: {known})"
     )
@@ -274,6 +288,10 @@ def _render_listing() -> str:
     lines.append(
         "  serve      online predictor service with streamed edge ingest "
         "(see 'snaple serve --help')"
+    )
+    lines.append(
+        "  suite      declarative scenario suites from YAML/TOML files "
+        "(see 'snaple suite --help')"
     )
     lines.append("")
     lines.append("Dataset analogs:")
@@ -510,6 +528,141 @@ def _run_serve(args: argparse.Namespace,
     return 0
 
 
+def build_suite_parser() -> argparse.ArgumentParser:
+    """Argument parser for the ``snaple suite`` command family."""
+    parser = argparse.ArgumentParser(
+        prog="snaple suite",
+        description=(
+            "Run declarative scenario suites (YAML/TOML) through the "
+            "component registry: batch protocol runs and temporal replays "
+            "through the serving plane, no experiment code required."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser(
+        "run", help="execute a suite file's experiments"
+    )
+    run.add_argument("file", help="path to the suite file (.yaml/.yml/.toml)")
+    run.add_argument(
+        "--pack", default=None, metavar="NAME",
+        help="run only the experiments of this pack",
+    )
+    run.add_argument(
+        "--experiment", default=None, metavar="NAME",
+        help="run only the experiment with this name",
+    )
+    run.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="also write one <pack>__<experiment>.json report per "
+             "experiment under DIR",
+    )
+    run.add_argument(
+        "--json", action="store_true",
+        help="emit the full result as machine-readable JSON",
+    )
+
+    listing = commands.add_parser(
+        "list", help="list a suite file's packs and experiments"
+    )
+    listing.add_argument("file", help="path to the suite file")
+    listing.add_argument("--json", action="store_true",
+                         help="emit the listing as JSON")
+
+    describe = commands.add_parser(
+        "describe", help="show every resolved experiment (merged defaults)"
+    )
+    describe.add_argument("file", help="path to the suite file")
+    describe.add_argument("--json", action="store_true",
+                          help="emit the description as JSON")
+    return parser
+
+
+def _suite_experiment_payload(experiment: Any) -> dict[str, Any]:
+    """JSON view of one resolved suite experiment."""
+    payload = dataclasses.asdict(experiment)
+    payload["qualified_name"] = experiment.qualified_name
+    return payload
+
+
+def _run_suite_command(argv: Sequence[str]) -> int:
+    """The ``snaple suite ...`` command family."""
+    from repro.suites import load_suite, run_suite
+
+    parser = build_suite_parser()
+    args = parser.parse_args(list(argv))
+    try:
+        suite = load_suite(args.file)
+    except ConfigurationError as error:
+        parser.error(str(error))
+    if args.command == "list":
+        if args.json:
+            print(json.dumps({
+                "suite": suite.name,
+                "description": suite.description,
+                "source": suite.source,
+                "packs": {
+                    pack: [e.name for e in suite.experiments
+                           if e.pack == pack]
+                    for pack in suite.pack_names()
+                },
+            }, indent=2))
+            return 0
+        lines = [f"Suite {suite.name!r} ({suite.source})"]
+        if suite.description:
+            lines.append(f"  {suite.description}")
+        for pack in suite.pack_names():
+            lines.append(f"  pack {pack}:")
+            for experiment in suite.experiments:
+                if experiment.pack == pack:
+                    lines.append(
+                        f"    {experiment.name:24s} "
+                        f"{experiment.workload} on "
+                        f"{experiment.dataset.describe()}"
+                    )
+        print("\n".join(lines))
+        return 0
+    if args.command == "describe":
+        payloads = [_suite_experiment_payload(e) for e in suite.experiments]
+        if args.json:
+            print(json.dumps({
+                "suite": suite.name,
+                "description": suite.description,
+                "experiments": payloads,
+            }, indent=2, default=_json_default))
+            return 0
+        lines = [f"Suite {suite.name!r} — "
+                 f"{len(suite.experiments)} experiment(s)"]
+        for experiment in suite.experiments:
+            lines.append(f"  {experiment.qualified_name}:")
+            lines.append(f"    workload: {experiment.workload}"
+                         f"  backend: {experiment.backend}")
+            lines.append(f"    dataset:  {experiment.dataset.describe()}")
+            lines.append(f"    scale={experiment.scale} "
+                         f"seed={experiment.seed}")
+            for section in ("config", "protocol", "backend_options",
+                            "options"):
+                content = getattr(experiment, section)
+                if content:
+                    rendered = ", ".join(
+                        f"{key}={value!r}"
+                        for key, value in sorted(content.items())
+                    )
+                    lines.append(f"    {section}: {rendered}")
+        print("\n".join(lines))
+        return 0
+    try:
+        result = run_suite(suite, pack=args.pack,
+                           experiment=args.experiment, out_dir=args.out)
+    except ConfigurationError as error:
+        parser.error(str(error))
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, default=_json_default))
+    else:
+        print(result.render())
+    return 0
+
+
 #: Serve-only flags rejected for batch experiments (dest, rendered flag).
 _SERVE_ONLY_FLAGS = (
     ("shards", "--shards"),
@@ -523,8 +676,11 @@ _SERVE_ONLY_FLAGS = (
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for the ``snaple`` console script."""
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "suite":
+        return _run_suite_command(arguments[1:])
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
     if args.experiment == "list":
         if args.json:
             print(json.dumps(_listing_payload(), indent=2))

@@ -22,6 +22,8 @@ from repro.eval.experiments.ablation_khop import run_ablation_khop
 from repro.eval.experiments.ablation_partitioning import run_ablation_partitioning
 
 __all__ = [
+    "get_experiment",
+    "resolve_experiment_name",
     "run_table5",
     "run_figure5",
     "run_figure6",
@@ -58,3 +60,27 @@ EXPERIMENTS = {
     "ablation-khop": run_ablation_khop,
     "ablation-partitioning": run_ablation_partitioning,
 }
+
+
+def resolve_experiment_name(name: str) -> str:
+    """Canonical :data:`EXPERIMENTS` key for ``name``.
+
+    ``_`` and ``-`` are interchangeable, matching the component registry's
+    normalizer (``ablation_alpha`` resolves to ``ablation-alpha``).  Raises
+    :class:`~repro.errors.ConfigurationError` for unknown names.
+    """
+    from repro.errors import ConfigurationError
+    from repro.runtime.registry import match_component_name
+
+    canonical = match_component_name(name, EXPERIMENTS)
+    if canonical is None:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; available: "
+            f"{', '.join(sorted(EXPERIMENTS))}"
+        )
+    return canonical
+
+
+def get_experiment(name: str):
+    """The run function for experiment ``name`` (normalized lookup)."""
+    return EXPERIMENTS[resolve_experiment_name(name)]

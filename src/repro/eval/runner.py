@@ -72,17 +72,27 @@ class ExperimentRunner:
         (``"vectorized"`` / ``"reference"``, see
         :class:`repro.runtime.engines.LocalBackend`).  ``None`` keeps the
         backend's default (vectorized).
+    datasets:
+        Optional mapping of dataset name to a pre-built graph.  Names in
+        this mapping shadow the named analogs of
+        :func:`repro.graph.datasets.load_dataset`, letting callers (the
+        suite runner in particular) drive the full evaluation protocol on
+        arbitrary graphs — generator outputs, replayed snapshots — without
+        new experiment code.
     """
 
     def __init__(self, *, scale: float = 1.0, seed: int = 42,
                  removed_edges_per_vertex: int = 1, min_degree: int = 3,
-                 mode: str | None = None) -> None:
+                 mode: str | None = None,
+                 datasets: dict[str, DiGraph] | None = None) -> None:
         self._scale = scale
         self._seed = seed
         self._removed_edges_per_vertex = removed_edges_per_vertex
         self._min_degree = min_degree
         self._mode = mode
+        self._datasets: dict[str, DiGraph] = dict(datasets or {})
         self._splits: dict[tuple[str, int], EdgeRemovalSplit] = {}
+        self._last_report: RunReport | None = None
 
     @property
     def scale(self) -> float:
@@ -92,11 +102,35 @@ class ExperimentRunner:
     def seed(self) -> int:
         return self._seed
 
+    @property
+    def last_report(self) -> RunReport | None:
+        """The :class:`RunReport` of the most recent successful backend run.
+
+        ``None`` before the first run and after a failed run.  Exposed
+        separately from :class:`ExperimentRun` so the run records stay
+        plain serializable dataclasses.
+        """
+        return self._last_report
+
     # ------------------------------------------------------------------
     # Dataset / split management
     # ------------------------------------------------------------------
+    def add_dataset(self, name: str, graph: DiGraph) -> None:
+        """Register a pre-built graph under ``name`` for this runner.
+
+        Later :meth:`dataset` / :meth:`split` / :meth:`run_backend` calls
+        naming it use the given graph instead of a named analog.
+        """
+        self._datasets[name] = graph
+
     def dataset(self, name: str) -> DiGraph:
-        """The synthetic analog of dataset ``name`` at this runner's scale."""
+        """The graph for dataset ``name`` at this runner's scale.
+
+        Pre-registered graphs (see :meth:`add_dataset`) take precedence;
+        otherwise the synthetic analog is generated.
+        """
+        if name in self._datasets:
+            return self._datasets[name]
         return load_dataset(name, scale=self._scale, seed=self._seed)
 
     def split(self, dataset_name: str,
@@ -157,6 +191,7 @@ class ExperimentRunner:
         if self._mode is not None and backend == "local":
             options.setdefault("mode", self._mode)
         predictor = SnapleLinkPredictor(config)
+        self._last_report = None
         try:
             report = predictor.predict(split.train_graph, backend=backend,
                                        **options)
@@ -169,6 +204,7 @@ class ExperimentRunner:
                 failed=True,
                 failure_reason=str(exc),
             )
+        self._last_report = report
         quality = evaluate_predictions(report.predictions, split)
         run = ExperimentRun(
             dataset=dataset_name,

@@ -32,6 +32,7 @@ __all__ = [
     "dataset_names",
     "load_dataset",
     "dataset_spec",
+    "register_builtin_sources",
     "PAPER_EDGE_COUNTS",
 ]
 
@@ -139,13 +140,19 @@ def dataset_names() -> list[str]:
 
 
 def dataset_spec(name: str) -> DatasetSpec:
-    """Return the :class:`DatasetSpec` for ``name``; raise for unknown names."""
-    try:
-        return DATASETS[name]
-    except KeyError as exc:
+    """Return the :class:`DatasetSpec` for ``name``; raise for unknown names.
+
+    Name lookup goes through the registry-level normalizer, so ``_`` and
+    ``-`` are interchangeable (``twitter_rv`` finds ``twitter-rv``).
+    """
+    from repro.runtime.registry import match_component_name
+
+    canonical = match_component_name(name, DATASETS)
+    if canonical is None:
         raise GraphError(
             f"unknown dataset {name!r}; available: {', '.join(dataset_names())}"
-        ) from exc
+        )
+    return DATASETS[canonical]
 
 
 @functools.lru_cache(maxsize=32)
@@ -190,6 +197,48 @@ def _load_cached(name: str, scale: float, seed: int) -> DiGraph:
     return graph
 
 
+def _dataset_analog_factory(name: str):
+    """Registry factory for one named dataset analog (scale/seed options)."""
+    def factory(*, scale: float = 1.0, seed: int = 42) -> DiGraph:
+        return load_dataset(name, scale=scale, seed=seed)
+
+    factory.__name__ = f"dataset_{name.replace('-', '_')}"
+    factory.__doc__ = f"Synthetic analog of the {name} dataset."
+    return factory
+
+
+#: Generator-backed graph sources exposed through the ``dataset`` component
+#: family alongside the named analogs.  Factories are the generator
+#: functions themselves; their keyword parameters are the source's options.
+_GENERATOR_SOURCES: tuple[str, ...] = (
+    "erdos_renyi",
+    "barabasi_albert",
+    "powerlaw_cluster",
+    "watts_strogatz",
+    "kronecker_like",
+    "social_graph",
+    "bipartite_recommendation",
+    "degree_skewed",
+)
+
+
+def register_builtin_sources() -> None:
+    """Seed the ``dataset`` component family (called by the registry loader).
+
+    Registers every named dataset analog (options: ``scale``, ``seed``)
+    plus the generator-backed graph sources (options: the generator's own
+    parameters, validated up front like any other component options).
+    """
+    from repro.runtime.registry import register_component
+
+    for name in DATASETS:
+        register_component("dataset", name, _dataset_analog_factory(name),
+                           replace=True, builtin=True)
+    for name in _GENERATOR_SOURCES:
+        register_component("dataset", name, getattr(generators, name),
+                           replace=True, builtin=True)
+
+
 def load_dataset(name: str, *, scale: float = 1.0, seed: int = 42) -> DiGraph:
     """Generate (and cache) the synthetic analog of dataset ``name``.
 
@@ -204,4 +253,5 @@ def load_dataset(name: str, *, scale: float = 1.0, seed: int = 42) -> DiGraph:
     seed:
         Seed for the deterministic generator.
     """
-    return _load_cached(name, float(scale), int(seed))
+    # Canonicalize before the lru_cache so name variants share one entry.
+    return _load_cached(dataset_spec(name).name, float(scale), int(seed))

@@ -31,6 +31,8 @@ __all__ = [
     "watts_strogatz",
     "kronecker_like",
     "social_graph",
+    "bipartite_recommendation",
+    "degree_skewed",
     "streamed_powerlaw_edge_chunks",
 ]
 
@@ -300,6 +302,113 @@ def social_graph(
         else:
             sources.append(u)
             targets.append(v)
+    return DiGraph(num_vertices, sources, targets)
+
+
+def bipartite_recommendation(
+    num_users: int,
+    num_items: int,
+    *,
+    edges_per_user: int = 4,
+    social_degree: int = 4,
+    clustering: float = 0.4,
+    popularity_exponent: float = 1.2,
+    contagion: float = 0.5,
+    seed: int = 0,
+) -> DiGraph:
+    """User–item recommendation graph: social backbone + item adoptions.
+
+    Vertices ``0..num_users-1`` are users, ``num_users..num_users+num_items-1``
+    are items.  Users form a clustered power-law social graph (the
+    :func:`powerlaw_cluster` backbone); each user then adopts
+    ``edges_per_user`` items, drawn either from a Zipf-like popularity
+    distribution (``P(item) ∝ (rank+1)^-popularity_exponent``) or — with
+    probability ``contagion`` — copied from a random friend's existing
+    adoptions (social contagion).  Adoption edges are symmetrized
+    (user→item and item→user) so item neighborhoods are their adopter
+    sets, giving the 2-hop candidate space ``user → friend → item`` the
+    overlap structure SNAPLE's similarity scores exploit: the predictor
+    recommends both new friends *and* new items with zero bipartite-aware
+    code.
+    """
+    _validate_counts(num_users, minimum=4)
+    if num_items < 1:
+        raise GraphError("num_items must be >= 1")
+    if edges_per_user < 1:
+        raise GraphError("edges_per_user must be >= 1")
+    if social_degree < 2:
+        raise GraphError("social_degree must be >= 2")
+    if popularity_exponent <= 0.0:
+        raise GraphError("popularity_exponent must be positive")
+    if not 0.0 <= contagion <= 1.0:
+        raise GraphError("contagion must be in [0, 1]")
+    backbone = powerlaw_cluster(
+        num_users, max(1, social_degree // 2), clustering, seed=seed
+    )
+    rng = random.Random(seed + 13)
+    # Inverse-CDF table over item popularity ranks.
+    weights = np.arange(1, num_items + 1, dtype=np.float64) ** -popularity_exponent
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+
+    def popular_item() -> int:
+        return int(np.searchsorted(cdf, rng.random(), side="left"))
+
+    adoptions: list[set[int]] = [set() for _ in range(num_users)]
+    budget = min(edges_per_user, num_items)
+    for user in range(num_users):
+        friends = [int(v) for v in backbone.out_neighbors(user)
+                   if int(v) < user and adoptions[int(v)]]
+        while len(adoptions[user]) < budget:
+            if friends and rng.random() < contagion:
+                friend = rng.choice(friends)
+                item = rng.choice(sorted(adoptions[friend]))
+            else:
+                item = popular_item()
+            adoptions[user].add(item)
+    sources: list[int] = []
+    targets: list[int] = []
+    base_src, base_dst = backbone.edge_arrays()
+    sources.extend(int(u) for u in base_src)
+    targets.extend(int(v) for v in base_dst)
+    for user, items in enumerate(adoptions):
+        for item in items:
+            item_vertex = num_users + item
+            sources.extend([user, item_vertex])
+            targets.extend([item_vertex, user])
+    return DiGraph(num_users + num_items, sources, targets)
+
+
+def degree_skewed(
+    num_vertices: int,
+    mean_degree: int,
+    *,
+    exponent: float = 1.6,
+    seed: int = 0,
+) -> DiGraph:
+    """Adversarially degree-skewed graph (materialized Zipf endpoint draws).
+
+    Both endpoints of every edge are drawn independently from a Zipf-like
+    distribution (``P(v) ∝ (v+1)^-exponent``), concentrating a huge
+    fraction of the edges on a handful of super-hubs — the structure that
+    stresses the truncation threshold ``thrΓ`` and the ``klocal`` sampling
+    budget hardest (the paper's twitter-rv pathology, distilled).  Built
+    from the same deterministic stream as
+    :func:`streamed_powerlaw_edge_chunks`, materialized into a
+    :class:`DiGraph`; parallel edges are kept, matching the streamed
+    builder's semantics.
+    """
+    _validate_counts(num_vertices, minimum=2)
+    if mean_degree < 1:
+        raise GraphError("mean_degree must be >= 1")
+    num_edges = num_vertices * mean_degree
+    chunks = list(streamed_powerlaw_edge_chunks(
+        num_vertices, num_edges, exponent=exponent, seed=seed
+    ))
+    if not chunks:
+        return DiGraph(num_vertices, [], [])
+    sources = np.concatenate([chunk[0] for chunk in chunks])
+    targets = np.concatenate([chunk[1] for chunk in chunks])
     return DiGraph(num_vertices, sources, targets)
 
 

@@ -38,10 +38,20 @@ from importlib import import_module
 from repro.runtime.backend import BackendCapabilities, ExecutionBackend
 from repro.runtime.registry import (
     available_backends,
+    available_components,
     backend_capabilities,
+    component,
+    component_families,
+    component_options,
     get_backend,
+    get_component,
+    match_component_name,
+    normalize_component_name,
     register_backend,
+    register_component,
+    register_family,
     unregister_backend,
+    unregister_component,
 )
 from repro.runtime.report import RunReport, VertexPrediction
 
@@ -55,6 +65,16 @@ __all__ = [
     "get_backend",
     "backend_capabilities",
     "available_backends",
+    "register_component",
+    "unregister_component",
+    "get_component",
+    "available_components",
+    "component",
+    "component_families",
+    "component_options",
+    "register_family",
+    "match_component_name",
+    "normalize_component_name",
     "LocalBackend",
     "LOCAL_MODES",
     "GasBackend",

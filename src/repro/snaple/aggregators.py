@@ -20,8 +20,6 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from collections.abc import Iterable
 
-from repro.errors import ConfigurationError
-
 __all__ = [
     "Aggregator",
     "SumAggregator",
@@ -133,10 +131,11 @@ AGGREGATORS: dict[str, Aggregator] = {
 
 
 def get_aggregator(name: str) -> Aggregator:
-    """Look up an aggregator by name (case-sensitive, as in the paper)."""
-    try:
-        return AGGREGATORS[name]
-    except KeyError as exc:
-        raise ConfigurationError(
-            f"unknown aggregator {name!r}; available: {', '.join(sorted(AGGREGATORS))}"
-        ) from exc
+    """Look up an aggregator through the plugin registry.
+
+    Names are case-sensitive, as in the paper (``Sum`` / ``Mean`` /
+    ``Geom``); ``_`` and ``-`` are interchangeable like everywhere else.
+    """
+    from repro.runtime.registry import get_component
+
+    return get_component("aggregator", name)

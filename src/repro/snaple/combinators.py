@@ -136,18 +136,29 @@ COMBINATORS: dict[str, Combinator] = {
 }
 
 
+def linear_combinator(alpha: float | None = None) -> LinearCombinator:
+    """Factory for the ``linear`` combinator (the plugin-registry entry).
+
+    Without ``alpha`` it hands out the shared default-``α`` singleton so
+    identity-based sharing keeps working; with ``alpha`` it constructs a
+    customized instance (fingerprint-cached by the registry).
+    """
+    if alpha is None:
+        return COMBINATORS["linear"]  # type: ignore[return-value]
+    return LinearCombinator(alpha=alpha)
+
+
 def get_combinator(name: str, *, alpha: float | None = None) -> Combinator:
-    """Look up a combinator by name.
+    """Look up a combinator by name through the plugin registry.
 
     ``alpha`` customizes the linear combinator's weight; it is rejected for
     other combinators to catch configuration mistakes early.
     """
-    if name not in COMBINATORS:
-        raise ConfigurationError(
-            f"unknown combinator {name!r}; available: {', '.join(sorted(COMBINATORS))}"
-        )
-    if alpha is not None:
-        if name != "linear":
-            raise ConfigurationError("alpha is only valid for the linear combinator")
-        return LinearCombinator(alpha=alpha)
-    return COMBINATORS[name]
+    from repro.runtime.registry import get_component
+
+    combinator = get_component("combinator", name)
+    if alpha is None:
+        return combinator
+    if combinator.name != "linear":
+        raise ConfigurationError("alpha is only valid for the linear combinator")
+    return get_component("combinator", name, alpha=alpha)

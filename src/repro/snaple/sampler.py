@@ -105,10 +105,7 @@ SAMPLERS: dict[str, NeighborSampler] = {
 
 
 def get_sampler(name: str) -> NeighborSampler:
-    """Look up a sampling policy by name (``max``, ``min`` or ``rnd``)."""
-    try:
-        return SAMPLERS[name]
-    except KeyError as exc:
-        raise ConfigurationError(
-            f"unknown sampler {name!r}; available: {', '.join(sorted(SAMPLERS))}"
-        ) from exc
+    """Look up a sampling policy through the plugin registry."""
+    from repro.runtime.registry import get_component
+
+    return get_component("sampler", name)

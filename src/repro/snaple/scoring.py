@@ -136,11 +136,14 @@ def score_config(name: str, *, alpha: float | None = None) -> ScoreConfig:
     ``alpha`` overrides the linear combinator weight for the ``linear*``
     configurations (the paper uses 0.9).
     """
-    if name not in PAPER_SCORES:
+    from repro.runtime.registry import match_component_name
+
+    canonical = match_component_name(name, PAPER_SCORES)
+    if canonical is None:
         raise ConfigurationError(
             f"unknown score {name!r}; available: {', '.join(paper_score_names())}"
         )
-    config = PAPER_SCORES[name]
+    config = PAPER_SCORES[canonical]
     if alpha is not None:
         config = config.with_alpha(alpha)
     return config

@@ -190,10 +190,12 @@ SIMILARITIES: dict[str, SimilarityFn] = {
 
 
 def get_similarity(name: str) -> SimilarityFn:
-    """Look up a similarity by name; raise ``ConfigurationError`` if unknown."""
-    try:
-        return SIMILARITIES[name]
-    except KeyError as exc:
-        raise ConfigurationError(
-            f"unknown similarity {name!r}; available: {', '.join(sorted(SIMILARITIES))}"
-        ) from exc
+    """Look up a similarity through the plugin registry.
+
+    Raises :class:`ConfigurationError` for unknown names; third-party
+    similarities registered via
+    :func:`repro.runtime.registry.register_component` are visible here too.
+    """
+    from repro.runtime.registry import get_component
+
+    return get_component("similarity", name)

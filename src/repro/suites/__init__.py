@@ -1,0 +1,51 @@
+"""Declarative scenario suites: YAML/TOML files in, standard reports out.
+
+A suite file describes a set of experiments — dataset sources, scoring
+configurations, backends, workload drivers — with layered defaults
+(*suite → pack → experiment*).  The loader validates eagerly with precise
+key-path errors, the runner resolves every component through the plugin
+registry (:mod:`repro.runtime.registry`) and executes each experiment via
+its workload driver:
+
+* ``batch`` replays the classic split/predict/measure protocol through
+  :class:`~repro.eval.runner.ExperimentRunner` (bit-identical to the
+  bespoke experiments for the named dataset analogs), and
+* ``temporal_replay`` streams edge snapshots through the online serving
+  plane (:mod:`repro.serving`).
+
+Checked-in suites live in ``examples/suites/``; the CLI front end is
+``snaple suite run|list|describe``.
+"""
+
+from repro.suites.loader import SUITE_EXTENSIONS, load_suite
+from repro.suites.runner import (
+    BatchWorkload,
+    SuiteResult,
+    TemporalReplayWorkload,
+    build_snaple_config,
+    register_builtin_workloads,
+    resolve_graph,
+    run_suite,
+)
+from repro.suites.schema import (
+    DatasetRef,
+    ResolvedExperiment,
+    SuiteSpec,
+    parse_suite,
+)
+
+__all__ = [
+    "BatchWorkload",
+    "DatasetRef",
+    "ResolvedExperiment",
+    "SUITE_EXTENSIONS",
+    "SuiteResult",
+    "SuiteSpec",
+    "TemporalReplayWorkload",
+    "build_snaple_config",
+    "load_suite",
+    "parse_suite",
+    "register_builtin_workloads",
+    "resolve_graph",
+    "run_suite",
+]

@@ -1,0 +1,359 @@
+"""Workload drivers: turn a :class:`ResolvedExperiment` into a run report.
+
+A *workload* is a registered component (family ``workload``) that knows how
+to execute one resolved suite experiment and return a JSON-serializable
+payload.  Two drivers ship built in:
+
+``batch``
+    The classic evaluation protocol — split, predict, measure — through
+    :class:`~repro.eval.runner.ExperimentRunner`.  Named dataset analogs
+    take the exact same code path as the bespoke experiments (same
+    ``load_dataset`` cache, same split seed), so a suite-driven run is
+    bit-identical to e.g. :func:`~repro.eval.experiments.figure6.run_figure6`
+    with the same parameters.  Component graph sources (generators,
+    user-registered sources) are resolved through the ``dataset`` family
+    and injected into the runner.
+
+``temporal_replay``
+    Streams a graph's edges through the online serving plane
+    (:class:`~repro.serving.service.PredictorService`): a deterministic
+    shuffle splits the edge set into a base graph plus N snapshots; before
+    each snapshot is ingested, the service is queried for the vertices
+    about to gain edges, counting how many future edges the predictor
+    anticipated.
+
+Workload options (the experiment's ``options`` mapping) are the driver
+factory's keyword parameters, so the registry validates them up front like
+any other component options.
+
+Every payload carries the standard :class:`~repro.runtime.report.RunReport`
+dictionary under ``"report"`` — suites emit the same accounting currency as
+the rest of the repository, whatever the workload.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.graph.digraph import DiGraph
+from repro.suites.schema import DatasetRef, ResolvedExperiment, SuiteSpec
+
+__all__ = [
+    "BatchWorkload",
+    "TemporalReplayWorkload",
+    "SuiteResult",
+    "register_builtin_workloads",
+    "resolve_graph",
+    "build_snaple_config",
+    "run_suite",
+]
+
+
+def resolve_graph(dataset: DatasetRef, *, scale: float, seed: int) -> DiGraph:
+    """Build the graph for a dataset reference via the ``dataset`` family.
+
+    The experiment's ``seed`` (and, for the named analogs, ``scale``) is
+    passed down whenever the source accepts it and the reference does not
+    pin it explicitly, so suite experiments stay deterministic per seed
+    without repeating it in every dataset block.
+    """
+    from repro.runtime.registry import component_options, get_component
+
+    options = dict(dataset.options)
+    accepted = component_options("dataset", dataset.source)
+    if accepted is None or "seed" in accepted:
+        options.setdefault("seed", seed)
+    if accepted is not None and "scale" in accepted:
+        options.setdefault("scale", scale)
+    return get_component("dataset", dataset.source, **options)
+
+
+def build_snaple_config(config: dict[str, Any], *, default_seed: int):
+    """A :class:`~repro.snaple.config.SnapleConfig` from a suite ``config``.
+
+    Mirrors :meth:`SnapleConfig.paper_default` exactly — same defaults,
+    same α-only-for-linear rule — except that the config seed defaults to
+    the *experiment* seed (as the bespoke experiments do) rather than 0.
+    """
+    from repro.snaple.config import SnapleConfig
+
+    return SnapleConfig.paper_default(
+        config.get("score", "linearSum"),
+        k=config.get("k", 5),
+        k_local=config.get("k_local", 80),
+        truncation_threshold=config.get("truncation_threshold", 200),
+        sampler_name=config.get("sampler", "max"),
+        alpha=config.get("alpha", 0.9),
+        seed=config.get("seed", default_seed),
+    )
+
+
+def _experiment_header(experiment: ResolvedExperiment) -> dict[str, Any]:
+    return {
+        "suite": experiment.suite,
+        "pack": experiment.pack,
+        "experiment": experiment.name,
+        "workload": experiment.workload,
+        "dataset": {
+            "source": experiment.dataset.source,
+            "options": dict(experiment.dataset.options),
+        },
+        "backend": experiment.backend,
+        "scale": experiment.scale,
+        "seed": experiment.seed,
+    }
+
+
+class BatchWorkload:
+    """Split → predict → measure, through :class:`ExperimentRunner`."""
+
+    name = "batch"
+
+    def run(self, experiment: ResolvedExperiment) -> dict[str, Any]:
+        from repro.eval.runner import ExperimentRunner
+        from repro.graph.datasets import DATASETS
+        from repro.runtime.registry import match_component_name
+
+        protocol = experiment.protocol
+        runner_kwargs: dict[str, Any] = {
+            "scale": experiment.scale,
+            "seed": experiment.seed,
+        }
+        if "removed_edges_per_vertex" in protocol:
+            runner_kwargs["removed_edges_per_vertex"] = (
+                protocol["removed_edges_per_vertex"]
+            )
+        if "min_degree" in protocol:
+            runner_kwargs["min_degree"] = protocol["min_degree"]
+        runner = ExperimentRunner(**runner_kwargs)
+
+        # Named analogs without option overrides run through the runner's
+        # own dataset path — the exact code path of the bespoke experiments
+        # (parity guarantee).  Everything else resolves via the component
+        # family and is injected.
+        analog = match_component_name(experiment.dataset.source, DATASETS)
+        if analog is not None and not experiment.dataset.options:
+            dataset_name = analog
+        else:
+            dataset_name = experiment.dataset.source
+            runner.add_dataset(
+                dataset_name,
+                resolve_graph(experiment.dataset, scale=experiment.scale,
+                              seed=experiment.seed),
+            )
+
+        config = build_snaple_config(experiment.config,
+                                     default_seed=experiment.seed)
+        run = runner.run_backend(
+            dataset_name,
+            backend=experiment.backend,
+            config=config,
+            **experiment.backend_options,
+        )
+        payload = _experiment_header(experiment)
+        payload["run"] = {
+            "predictor": run.predictor,
+            "wall_clock_seconds": run.wall_clock_seconds,
+            "simulated_seconds": run.simulated_seconds,
+            "failed": run.failed,
+            "failure_reason": run.failure_reason,
+            "extra": dict(run.extra),
+        }
+        payload["quality"] = (asdict(run.quality)
+                              if run.quality is not None else None)
+        report = runner.last_report
+        payload["report"] = (report.to_dict() if report is not None else None)
+        payload["summary"] = (
+            f"recall={run.recall:.3f}" if not run.failed
+            else f"failed: {run.failure_reason}"
+        )
+        return payload
+
+
+class TemporalReplayWorkload:
+    """Replay a graph's edge stream through the online serving plane.
+
+    Parameters (suite ``options``)
+    ------------------------------
+    snapshots:
+        Number of edge batches the stream is split into.
+    base_fraction:
+        Fraction of the (shuffled) edge set forming the initial graph.
+    queries_per_snapshot:
+        Cap on distinct source vertices queried before each ingest.
+    workers, queue_bound, compact_every:
+        The service's :class:`~repro.serving.service.ServingConfig` shape.
+    """
+
+    name = "temporal_replay"
+
+    def __init__(self, *, snapshots: int = 4, base_fraction: float = 0.7,
+                 queries_per_snapshot: int = 32, workers: int = 2,
+                 queue_bound: int = 64, compact_every: int = 1024) -> None:
+        if snapshots < 1:
+            raise ConfigurationError(
+                f"temporal_replay needs snapshots >= 1, got {snapshots}"
+            )
+        if not 0.0 < base_fraction < 1.0:
+            raise ConfigurationError(
+                f"temporal_replay needs 0 < base_fraction < 1, got "
+                f"{base_fraction}"
+            )
+        if queries_per_snapshot < 1:
+            raise ConfigurationError(
+                f"temporal_replay needs queries_per_snapshot >= 1, got "
+                f"{queries_per_snapshot}"
+            )
+        self._snapshots = snapshots
+        self._base_fraction = base_fraction
+        self._queries_per_snapshot = queries_per_snapshot
+        self._workers = workers
+        self._queue_bound = queue_bound
+        self._compact_every = compact_every
+
+    def run(self, experiment: ResolvedExperiment) -> dict[str, Any]:
+        from repro.serving import PredictorService, ServingConfig
+
+        graph = resolve_graph(experiment.dataset, scale=experiment.scale,
+                              seed=experiment.seed)
+        sources, targets = graph.edge_arrays()
+        edges = list(dict.fromkeys(
+            (int(u), int(v)) for u, v in zip(sources, targets)
+        ))
+        if len(edges) < self._snapshots + 1:
+            raise ConfigurationError(
+                f"temporal_replay: dataset "
+                f"{experiment.dataset.describe()} has only {len(edges)} "
+                f"distinct edges, too few for {self._snapshots} snapshots"
+            )
+        random.Random(experiment.seed).shuffle(edges)
+        base_count = max(1, int(len(edges) * self._base_fraction))
+        base_count = min(base_count, len(edges) - self._snapshots)
+        base_edges = edges[:base_count]
+        stream = edges[base_count:]
+        base_graph = DiGraph(
+            graph.num_vertices,
+            [u for u, _ in base_edges],
+            [v for _, v in base_edges],
+        )
+
+        config = build_snaple_config(experiment.config,
+                                     default_seed=experiment.seed)
+        serving = ServingConfig(workers=self._workers,
+                                queue_bound=self._queue_bound,
+                                compact_every=self._compact_every)
+        chunk_size = -(-len(stream) // self._snapshots)  # ceil division
+        snapshots_payload: list[dict[str, Any]] = []
+        anticipated_total = 0
+        queried_total = 0
+        with PredictorService(base_graph, config, serving=serving) as service:
+            for index in range(self._snapshots):
+                chunk = stream[index * chunk_size:(index + 1) * chunk_size]
+                future: dict[int, set[int]] = {}
+                for u, v in chunk:
+                    future.setdefault(u, set()).add(v)
+                queried = sorted(future)[:self._queries_per_snapshot]
+                anticipated = 0
+                for vertex in queried:
+                    answer = service.top_k(vertex)
+                    anticipated += len(set(answer.predicted) & future[vertex])
+                outcome = service.ingest(chunk)
+                anticipated_total += anticipated
+                queried_total += len(queried)
+                snapshots_payload.append({
+                    "snapshot": index,
+                    "edges": len(chunk),
+                    "queried_vertices": len(queried),
+                    "anticipated_edges": anticipated,
+                    "ingested_edges": len(outcome.added),
+                    "rescored_vertices": outcome.rescored,
+                    "compacted": outcome.compacted,
+                })
+            stats = service.stats()
+            report = service.report()
+
+        payload = _experiment_header(experiment)
+        payload["graph"] = {
+            "num_vertices": graph.num_vertices,
+            "num_edges": len(edges),
+            "base_edges": len(base_edges),
+            "streamed_edges": len(stream),
+        }
+        payload["snapshots"] = snapshots_payload
+        payload["stats"] = asdict(stats)
+        payload["report"] = report.to_dict()
+        payload["summary"] = (
+            f"anticipated {anticipated_total} future edges over "
+            f"{queried_total} queries across {self._snapshots} snapshots"
+        )
+        return payload
+
+
+def register_builtin_workloads() -> None:
+    """Seed the ``workload`` family (called by the registry loader)."""
+    from repro.runtime.registry import register_component
+
+    register_component("workload", BatchWorkload.name, BatchWorkload,
+                       replace=True, builtin=True)
+    register_component("workload", TemporalReplayWorkload.name,
+                       TemporalReplayWorkload, replace=True, builtin=True)
+
+
+@dataclass
+class SuiteResult:
+    """All experiment payloads of one suite run."""
+
+    suite: str
+    source: str
+    results: list[dict[str, Any]] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "suite": self.suite,
+            "source": self.source,
+            "results": list(self.results),
+        }
+
+    def render(self) -> str:
+        lines = [f"Suite {self.suite!r} — {len(self.results)} experiment(s)"]
+        for payload in self.results:
+            lines.append(
+                f"  {payload['pack']}/{payload['experiment']} "
+                f"[{payload['workload']} on {payload['dataset']['source']}]"
+                f": {payload['summary']}"
+            )
+        return "\n".join(lines)
+
+
+def run_suite(suite: SuiteSpec, *, pack: str | None = None,
+              experiment: str | None = None,
+              out_dir: str | Path | None = None) -> SuiteResult:
+    """Execute (a selection of) a suite's experiments.
+
+    Each experiment's workload driver is resolved through the ``workload``
+    component family with the experiment's ``options`` as factory options
+    (validated up front).  With ``out_dir``, every payload is additionally
+    written to ``<out_dir>/<pack>__<experiment>.json``.
+    """
+    from repro.runtime.registry import get_component
+
+    selected = suite.select(pack=pack, experiment=experiment)
+    result = SuiteResult(suite=suite.name, source=suite.source)
+    directory = Path(out_dir) if out_dir is not None else None
+    if directory is not None:
+        directory.mkdir(parents=True, exist_ok=True)
+    for resolved in selected:
+        driver = get_component("workload", resolved.workload,
+                               **resolved.options)
+        payload = driver.run(resolved)
+        if directory is not None:
+            target = directory / f"{resolved.pack}__{resolved.name}.json"
+            target.write_text(json.dumps(payload, indent=2, sort_keys=True),
+                              encoding="utf-8")
+        result.results.append(payload)
+    return result

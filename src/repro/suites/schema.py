@@ -1,0 +1,380 @@
+"""Suite-file schema: sections, allowed keys, layered-default resolution.
+
+A suite file declares *what* to run — datasets, scoring configurations,
+backends, workloads — without any experiment code.  Its shape::
+
+    suite:
+      name: my-suite            # optional; defaults to the file stem
+      description: ...
+    defaults:                   # suite-level defaults (optional)
+      scale: 0.2
+      config: {score: linearSum, k_local: 80}
+    packs:
+      - name: replay
+        defaults:               # pack-level defaults (optional)
+          workload: temporal_replay
+        experiments:
+          - name: powerlaw-small
+            dataset: {source: powerlaw_cluster,
+                      options: {num_vertices: 400, edges_per_vertex: 4,
+                                triangle_probability: 0.4}}
+            options: {snapshots: 4}
+
+Defaults merge *suite → pack → experiment* with a recursive dictionary
+merge: nested mappings (``config``, ``protocol``, ``options``, …) combine
+key-by-key, scalars override wholesale.  Validation is eager and precise —
+an unknown or mistyped key raises a
+:class:`~repro.errors.ConfigurationError` naming the exact path
+(``packs[0].experiments[1].config.k_local``) rather than failing later
+inside a component.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "DatasetRef",
+    "ResolvedExperiment",
+    "SuiteSpec",
+    "parse_suite",
+    "deep_merge",
+    "EXPERIMENT_KEYS",
+    "CONFIG_KEYS",
+    "PROTOCOL_KEYS",
+]
+
+
+#: Keys an experiment (or a defaults block) may set.
+EXPERIMENT_KEYS: frozenset[str] = frozenset({
+    "workload", "dataset", "scale", "seed", "backend", "backend_options",
+    "config", "protocol", "options",
+})
+
+#: Keys of the ``config`` section (mirrors ``SnapleConfig.paper_default``).
+CONFIG_KEYS: frozenset[str] = frozenset({
+    "score", "alpha", "k", "k_local", "truncation_threshold", "sampler",
+    "seed",
+})
+
+#: Keys of the ``protocol`` section (the edge-removal protocol knobs).
+PROTOCOL_KEYS: frozenset[str] = frozenset({
+    "removed_edges_per_vertex", "min_degree",
+})
+
+_SUITE_SECTION_KEYS: frozenset[str] = frozenset({"name", "description"})
+_TOP_LEVEL_KEYS: frozenset[str] = frozenset({"suite", "defaults", "packs"})
+_PACK_KEYS: frozenset[str] = frozenset(
+    {"name", "description", "defaults", "experiments"}
+)
+
+
+@dataclass(frozen=True)
+class DatasetRef:
+    """A graph source reference: component-family name plus its options."""
+
+    source: str
+    options: dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        if not self.options:
+            return self.source
+        rendered = ", ".join(
+            f"{key}={value!r}" for key, value in sorted(self.options.items())
+        )
+        return f"{self.source}({rendered})"
+
+
+@dataclass(frozen=True)
+class ResolvedExperiment:
+    """One fully-merged, validated experiment ready for a workload driver."""
+
+    suite: str
+    pack: str
+    name: str
+    workload: str
+    dataset: DatasetRef
+    backend: str
+    scale: float
+    seed: int
+    config: dict[str, Any] = field(default_factory=dict)
+    protocol: dict[str, Any] = field(default_factory=dict)
+    backend_options: dict[str, Any] = field(default_factory=dict)
+    options: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.pack}/{self.name}"
+
+
+@dataclass(frozen=True)
+class SuiteSpec:
+    """A parsed, validated suite: flat list of resolved experiments."""
+
+    name: str
+    description: str
+    source: str
+    experiments: tuple[ResolvedExperiment, ...]
+
+    def pack_names(self) -> tuple[str, ...]:
+        seen: dict[str, None] = {}
+        for experiment in self.experiments:
+            seen.setdefault(experiment.pack, None)
+        return tuple(seen)
+
+    def select(self, *, pack: str | None = None,
+               experiment: str | None = None) -> tuple[ResolvedExperiment, ...]:
+        """Experiments filtered by pack and/or experiment name.
+
+        Names go through the registry normalizer (``_``/``-``
+        interchangeable); unknown names raise with the available choices.
+        """
+        from repro.runtime.registry import match_component_name
+
+        selected = self.experiments
+        if pack is not None:
+            canonical = match_component_name(pack, self.pack_names())
+            if canonical is None:
+                raise ConfigurationError(
+                    f"suite {self.name!r} has no pack {pack!r}; available "
+                    f"packs: {', '.join(self.pack_names())}"
+                )
+            selected = tuple(e for e in selected if e.pack == canonical)
+        if experiment is not None:
+            names = tuple(e.name for e in selected)
+            canonical = match_component_name(experiment, names)
+            if canonical is None:
+                raise ConfigurationError(
+                    f"suite {self.name!r} has no experiment {experiment!r}"
+                    + (f" in pack {pack!r}" if pack is not None else "")
+                    + f"; available experiments: {', '.join(names)}"
+                )
+            selected = tuple(e for e in selected if e.name == canonical)
+        return selected
+
+
+def deep_merge(base: Any, override: Any) -> Any:
+    """Recursive dictionary merge: mappings combine, scalars override."""
+    if isinstance(base, Mapping) and isinstance(override, Mapping):
+        merged: dict[str, Any] = dict(base)
+        for key, value in override.items():
+            if key in base:
+                merged[key] = deep_merge(base[key], value)
+            else:
+                merged[key] = value
+        return merged
+    return override
+
+
+# ----------------------------------------------------------------------
+# Validation helpers.  Every failure names the exact key path.
+# ----------------------------------------------------------------------
+
+def _fail(path: str, message: str) -> ConfigurationError:
+    return ConfigurationError(f"{path}: {message}")
+
+
+def _require_mapping(value: Any, path: str) -> dict[str, Any]:
+    if not isinstance(value, Mapping):
+        raise _fail(path, f"expected a mapping, got {type(value).__name__}")
+    for key in value:
+        if not isinstance(key, str):
+            raise _fail(path, f"keys must be strings, got {key!r}")
+    return dict(value)
+
+
+def _check_keys(mapping: Mapping[str, Any], allowed: frozenset[str],
+                path: str) -> None:
+    for key in mapping:
+        if key not in allowed:
+            raise _fail(f"{path}.{key}",
+                        f"unknown key; allowed keys: "
+                        f"{', '.join(sorted(allowed))}")
+
+
+def _require_str(value: Any, path: str) -> str:
+    if not isinstance(value, str) or not value:
+        raise _fail(path, f"expected a non-empty string, got {value!r}")
+    return value
+
+
+def _require_int(value: Any, path: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise _fail(path, f"expected an integer, got {value!r}")
+    return value
+
+
+def _require_number(value: Any, path: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise _fail(path, f"expected a number, got {value!r}")
+    return float(value)
+
+
+def _validate_config(config: Mapping[str, Any], path: str) -> dict[str, Any]:
+    config = _require_mapping(config, path)
+    _check_keys(config, CONFIG_KEYS, path)
+    if "score" in config:
+        _require_str(config["score"], f"{path}.score")
+    if "sampler" in config:
+        _require_str(config["sampler"], f"{path}.sampler")
+    for key in ("alpha", "k_local", "truncation_threshold"):
+        if key in config:
+            _require_number(config[key], f"{path}.{key}")
+    for key in ("k", "seed"):
+        if key in config:
+            _require_int(config[key], f"{path}.{key}")
+    return config
+
+
+def _validate_protocol(protocol: Mapping[str, Any], path: str) -> dict[str, Any]:
+    protocol = _require_mapping(protocol, path)
+    _check_keys(protocol, PROTOCOL_KEYS, path)
+    for key in protocol:
+        _require_int(protocol[key], f"{path}.{key}")
+    return protocol
+
+
+def _validate_dataset(dataset: Any, path: str) -> Any:
+    if isinstance(dataset, str):
+        _require_str(dataset, path)
+        return dataset
+    dataset = _require_mapping(dataset, path)
+    _check_keys(dataset, frozenset({"source", "options"}), path)
+    if "source" not in dataset:
+        raise _fail(f"{path}.source", "required key is missing")
+    _require_str(dataset["source"], f"{path}.source")
+    if "options" in dataset:
+        _require_mapping(dataset["options"], f"{path}.options")
+    return dataset
+
+
+def _validate_experiment_block(block: Mapping[str, Any], path: str) -> None:
+    """Validate one defaults/experiment block at its own path (pre-merge)."""
+    _check_keys(block, EXPERIMENT_KEYS, path)
+    if "workload" in block:
+        _require_str(block["workload"], f"{path}.workload")
+    if "backend" in block:
+        _require_str(block["backend"], f"{path}.backend")
+    if "scale" in block:
+        scale = _require_number(block["scale"], f"{path}.scale")
+        if scale <= 0:
+            raise _fail(f"{path}.scale", f"must be positive, got {scale}")
+    if "seed" in block:
+        _require_int(block["seed"], f"{path}.seed")
+    if "dataset" in block:
+        _validate_dataset(block["dataset"], f"{path}.dataset")
+    if "config" in block:
+        _validate_config(block["config"], f"{path}.config")
+    if "protocol" in block:
+        _validate_protocol(block["protocol"], f"{path}.protocol")
+    if "backend_options" in block:
+        _require_mapping(block["backend_options"], f"{path}.backend_options")
+    if "options" in block:
+        _require_mapping(block["options"], f"{path}.options")
+
+
+def _resolve_dataset(dataset: Any, path: str) -> DatasetRef:
+    if isinstance(dataset, str):
+        return DatasetRef(source=dataset)
+    return DatasetRef(
+        source=dataset["source"],
+        options=dict(dataset.get("options", {})),
+    )
+
+
+def _resolve_experiment(merged: Mapping[str, Any], *, suite: str, pack: str,
+                        name: str, path: str) -> ResolvedExperiment:
+    _validate_experiment_block(merged, path)
+    if "dataset" not in merged:
+        raise _fail(f"{path}.dataset",
+                    "required key is missing (set it on the experiment or "
+                    "in a defaults block)")
+    return ResolvedExperiment(
+        suite=suite,
+        pack=pack,
+        name=name,
+        workload=merged.get("workload", "batch"),
+        dataset=_resolve_dataset(merged["dataset"], f"{path}.dataset"),
+        backend=merged.get("backend", "local"),
+        scale=float(merged.get("scale", 1.0)),
+        seed=int(merged.get("seed", 42)),
+        config=dict(merged.get("config", {})),
+        protocol=dict(merged.get("protocol", {})),
+        backend_options=dict(merged.get("backend_options", {})),
+        options=dict(merged.get("options", {})),
+    )
+
+
+def parse_suite(data: Any, *, default_name: str,
+                source: str = "<memory>") -> SuiteSpec:
+    """Validate raw suite data (parsed YAML/TOML) into a :class:`SuiteSpec`."""
+    data = _require_mapping(data, "suite file")
+    _check_keys(data, _TOP_LEVEL_KEYS, "suite file")
+
+    header = _require_mapping(data.get("suite", {}), "suite")
+    _check_keys(header, _SUITE_SECTION_KEYS, "suite")
+    name = header.get("name", default_name)
+    _require_str(name, "suite.name")
+    description = header.get("description", "")
+    if not isinstance(description, str):
+        raise _fail("suite.description",
+                    f"expected a string, got {description!r}")
+
+    suite_defaults = _require_mapping(data.get("defaults", {}), "defaults")
+    _validate_experiment_block(suite_defaults, "defaults")
+
+    packs = data.get("packs")
+    if not isinstance(packs, list) or not packs:
+        raise _fail("packs", "expected a non-empty list of packs")
+
+    experiments: list[ResolvedExperiment] = []
+    pack_names: set[str] = set()
+    for pack_index, raw_pack in enumerate(packs):
+        pack_path = f"packs[{pack_index}]"
+        pack = _require_mapping(raw_pack, pack_path)
+        _check_keys(pack, _PACK_KEYS, pack_path)
+        if "name" not in pack:
+            raise _fail(f"{pack_path}.name", "required key is missing")
+        pack_name = _require_str(pack["name"], f"{pack_path}.name")
+        if pack_name in pack_names:
+            raise _fail(f"{pack_path}.name",
+                        f"duplicate pack name {pack_name!r}")
+        pack_names.add(pack_name)
+        pack_defaults = _require_mapping(pack.get("defaults", {}),
+                                         f"{pack_path}.defaults")
+        _validate_experiment_block(pack_defaults, f"{pack_path}.defaults")
+        raw_experiments = pack.get("experiments")
+        if not isinstance(raw_experiments, list) or not raw_experiments:
+            raise _fail(f"{pack_path}.experiments",
+                        "expected a non-empty list of experiments")
+        seen_names: set[str] = set()
+        for exp_index, raw_experiment in enumerate(raw_experiments):
+            exp_path = f"{pack_path}.experiments[{exp_index}]"
+            experiment = _require_mapping(raw_experiment, exp_path)
+            if "name" not in experiment:
+                raise _fail(f"{exp_path}.name", "required key is missing")
+            exp_name = _require_str(experiment["name"], f"{exp_path}.name")
+            if exp_name in seen_names:
+                raise _fail(f"{exp_path}.name",
+                            f"duplicate experiment name {exp_name!r} in "
+                            f"pack {pack_name!r}")
+            seen_names.add(exp_name)
+            body = {key: value for key, value in experiment.items()
+                    if key != "name"}
+            _validate_experiment_block(body, exp_path)
+            merged = deep_merge(deep_merge(suite_defaults, pack_defaults),
+                                body)
+            experiments.append(_resolve_experiment(
+                merged, suite=name, pack=pack_name, name=exp_name,
+                path=exp_path,
+            ))
+    return SuiteSpec(
+        name=name,
+        description=description,
+        source=source,
+        experiments=tuple(experiments),
+    )

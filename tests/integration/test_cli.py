@@ -196,3 +196,67 @@ class TestServeMain:
         assert len(load["windows"]) == 2
         assert load["stable_windows"] == 1
         assert load["total_operations"] > 0
+
+
+class TestSuiteCommand:
+    def _write_suite(self, tmp_path):
+        path = tmp_path / "mini.toml"
+        path.write_text(
+            "[suite]\n"
+            'name = "mini"\n'
+            "\n"
+            "[defaults]\n"
+            "scale = 0.05\n"
+            "\n"
+            "[[packs]]\n"
+            'name = "pack"\n'
+            "\n"
+            "[[packs.experiments]]\n"
+            'name = "exp"\n'
+            'dataset = "gowalla"\n',
+            encoding="utf-8",
+        )
+        return path
+
+    def test_suite_list(self, tmp_path, capsys):
+        path = self._write_suite(tmp_path)
+        assert main(["suite", "list", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "mini" in captured.out
+        assert "exp" in captured.out
+
+    def test_suite_describe_json(self, tmp_path, capsys):
+        path = self._write_suite(tmp_path)
+        assert main(["suite", "describe", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["suite"] == "mini"
+        (experiment,) = payload["experiments"]
+        assert experiment["qualified_name"] == "pack/exp"
+        assert experiment["workload"] == "batch"
+
+    def test_suite_run_json_and_out_dir(self, tmp_path, capsys):
+        path = self._write_suite(tmp_path)
+        out_dir = tmp_path / "reports"
+        assert main(["suite", "run", str(path), "--json",
+                     "--out", str(out_dir)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        (result,) = payload["results"]
+        assert result["report"]["backend"] == "local"
+        assert (out_dir / "pack__exp.json").is_file()
+
+    def test_suite_run_rejects_bad_file(self, tmp_path, capsys):
+        path = tmp_path / "broken.toml"
+        path.write_text("[packs\n", encoding="utf-8")
+        with pytest.raises(SystemExit):
+            main(["suite", "run", str(path)])
+        assert "invalid TOML" in capsys.readouterr().err
+
+    def test_suite_run_rejects_unknown_pack(self, tmp_path, capsys):
+        path = self._write_suite(tmp_path)
+        with pytest.raises(SystemExit):
+            main(["suite", "run", str(path), "--pack", "nope"])
+        assert "no pack" in capsys.readouterr().err
+
+    def test_list_mentions_suite(self, capsys):
+        main(["list"])
+        assert "suite" in capsys.readouterr().out
